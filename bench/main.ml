@@ -1,0 +1,169 @@
+(* Benchmark harness.
+
+   Regenerates every evaluation panel of the paper (Figures 6, 7, 8)
+   over the synthetic SPEC2000-named suite, printing one table per
+   panel, then runs Bechamel microbenchmarks of the engine primitives.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, full suite
+     dune exec bench/main.exe -- --quick      # 4 benchmarks, shorter runs
+     dune exec bench/main.exe -- fig6-top fig7-ratio
+     dune exec bench/main.exe -- --no-micro   # skip Bechamel section *)
+
+module H = Dise_harness
+module W = Dise_workload
+module A = Dise_acf
+module Core = Dise_core
+module I = Dise_isa.Insn
+
+let parse_args () =
+  let quick = ref false in
+  let micro = ref true in
+  let dyn = ref 300_000 in
+  let panels = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      go rest
+    | "--no-micro" :: rest ->
+      micro := false;
+      go rest
+    | "--dyn" :: n :: rest ->
+      dyn := int_of_string n;
+      go rest
+    | id :: rest ->
+      panels := id :: !panels;
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!quick, !micro, !dyn, List.rev !panels)
+
+let run_panels ~quick ~dyn ids =
+  let opts =
+    if quick then H.Figures.quick_opts
+    else { H.Figures.default_opts with H.Figures.dyn_target = dyn }
+  in
+  let lookup id =
+    match H.Figures.by_id id with
+    | Some f -> (id, f)
+    | None -> (
+      match H.Ablate.by_id id with
+      | Some f -> (id, f)
+      | None ->
+        Format.eprintf "unknown panel %s@." id;
+        exit 2)
+  in
+  let panels =
+    match ids with
+    | [] -> H.Figures.all @ H.Ablate.all
+    | ids -> List.map lookup ids
+  in
+  List.iter
+    (fun (id, f) ->
+      let t0 = Unix.gettimeofday () in
+      Format.eprintf "running %s...@." id;
+      let fig = f opts in
+      Format.printf "@.%a" H.Report.render fig;
+      Format.printf "(elapsed %.1fs)@." (Unix.gettimeofday () -. t0))
+    panels
+
+(* --- Bechamel microbenchmarks of the engine primitives ----------------- *)
+
+let microbenches () =
+  let open Bechamel in
+  let mfi_set =
+    Core.Prodset.resolve_labels
+      (fun _ -> Some 0x9000)
+      (Core.Lang.parse
+         {|
+         P1: T.OPCLASS == store -> R1
+         P2: T.OPCLASS == load -> R1
+         R1: srl T.RS, #26, $dr1
+             xor $dr1, $dr2, $dr1
+             bne $dr1, __error
+             T.INSN
+         |})
+  in
+  let engine = Core.Engine.create mfi_set in
+  let store = I.Mem (Dise_isa.Opcode.Stq, Dise_isa.Reg.r 1, 8, Dise_isa.Reg.r 2) in
+  let alu = I.Rop (Dise_isa.Opcode.Add, Dise_isa.Reg.r 1, Dise_isa.Reg.r 2, Dise_isa.Reg.r 3) in
+  let pc = ref 0x100000 in
+  let bench_expand_hit =
+    Test.make ~name:"engine.expand (memoized)"
+      (Staged.stage (fun () -> Core.Engine.expand engine ~pc:0x100000 store))
+  in
+  let bench_expand_cold =
+    Test.make ~name:"engine.expand (new pc)"
+      (Staged.stage (fun () ->
+           pc := !pc + 4;
+           Core.Engine.expand engine ~pc:!pc store))
+  in
+  let bench_nomatch =
+    Test.make ~name:"engine.expand (no match)"
+      (Staged.stage (fun () -> Core.Engine.expand engine ~pc:0x100000 alu))
+  in
+  let bench_pattern =
+    let p = Core.Pattern.stores in
+    Test.make ~name:"pattern.matches"
+      (Staged.stage (fun () -> Core.Pattern.matches p store))
+  in
+  let rt = Core.Rt.create ~entries:2048 ~assoc:2 () in
+  let rsid = ref 0 in
+  let bench_rt =
+    Test.make ~name:"rt.access"
+      (Staged.stage (fun () ->
+           rsid := (!rsid + 1) land 1023;
+           Core.Rt.access rt ~rsid:!rsid ~len:4))
+  in
+  let cache = Dise_uarch.Cache.create ~size_bytes:32768 ~assoc:2 ~line_bytes:64 in
+  let addr = ref 0 in
+  let bench_cache =
+    Test.make ~name:"icache.access"
+      (Staged.stage (fun () ->
+           addr := (!addr + 64) land 0xFFFFF;
+           Dise_uarch.Cache.access cache !addr))
+  in
+  let entry = W.Suite.get ~dyn_target:20_000 W.Profile.tiny in
+  let bench_emulate =
+    Test.make ~name:"machine.run 20K-insn workload"
+      (Staged.stage (fun () ->
+           let m = Dise_machine.Machine.create entry.W.Suite.image in
+           Dise_machine.Machine.run ~max_steps:2_000_000 m))
+  in
+  let bench_compress =
+    Test.make ~name:"compress tiny (full DISE)"
+      (Staged.stage (fun () ->
+           A.Compress.compress ~scheme:A.Compress.full_dise
+             entry.W.Suite.gen.W.Codegen.program))
+  in
+  let tests =
+    Test.make_grouped ~name:"dise"
+      [ bench_expand_hit; bench_expand_cold; bench_nomatch; bench_pattern;
+        bench_rt; bench_cache; bench_emulate; bench_compress ]
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Format.printf "@.microbenchmarks (ns/op):@.";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> Format.printf "  %-36s %12.1f@." name est
+      | _ -> Format.printf "  %-36s (no estimate)@." name)
+    results
+
+let () =
+  let quick, micro, dyn, panels = parse_args () in
+  Format.printf "DISE evaluation harness (%s suite, %d dynamic instructions)@."
+    (if quick then "quick" else "full")
+    (if quick then 120_000 else dyn);
+  run_panels ~quick ~dyn panels;
+  if micro then microbenches ();
+  Format.printf "@.done.@."

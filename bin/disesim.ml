@@ -1,0 +1,395 @@
+(* disesim: command-line driver for the DISE reproduction.
+
+   Subcommands:
+     list                     available benchmarks, schemes, figure panels
+     run                      simulate one workload/ACF/machine configuration
+     compress                 compress one workload under one scheme
+     figures                  regenerate evaluation panels and ablations
+     exec                     assemble and run a user program (+productions)
+     safety                   inspect a production-set file
+     disasm                   dump a generated workload *)
+
+open Cmdliner
+module Machine = Dise_machine.Machine
+module Config = Dise_uarch.Config
+module Stats = Dise_uarch.Stats
+module Controller = Dise_core.Controller
+module W = Dise_workload
+module A = Dise_acf
+module H = Dise_harness
+
+let entry_of name dyn =
+  match W.Profile.find name with
+  | Some p -> W.Suite.get ~dyn_target:dyn p
+  | None ->
+    Format.eprintf "unknown benchmark %s (try: disesim list)@." name;
+    exit 2
+
+(* --- list ------------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List benchmarks, compression schemes, and figure panels." in
+  let run () =
+    Format.printf "benchmarks:@.";
+    List.iter
+      (fun p -> Format.printf "  %a@." W.Profile.pp p)
+      W.Profile.spec2000;
+    Format.printf "@.compression schemes:@.";
+    List.iter
+      (fun s -> Format.printf "  %s@." s.A.Compress.name)
+      A.Compress.fig7_schemes;
+    Format.printf "@.figure panels:@.";
+    List.iter (fun (id, _) -> Format.printf "  %s@." id) H.Figures.all;
+    Format.printf "@.ablations:@.";
+    List.iter (fun (id, _) -> Format.printf "  %s@." id) H.Ablate.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- shared options ---------------------------------------------------- *)
+
+let bench_arg =
+  Arg.(value & opt string "gzip" & info [ "b"; "bench" ] ~docv:"NAME"
+         ~doc:"Workload profile name.")
+
+let dyn_arg =
+  Arg.(value & opt int 300_000 & info [ "dyn" ] ~docv:"N"
+         ~doc:"Approximate dynamic instructions per run.")
+
+let icache_arg =
+  Arg.(value & opt (some int) (Some 32) & info [ "icache" ] ~docv:"KB"
+         ~doc:"I-cache size in KB; 0 means perfect.")
+
+let width_arg =
+  Arg.(value & opt int 4 & info [ "width" ] ~docv:"N" ~doc:"Machine width.")
+
+let rt_arg =
+  Arg.(value & opt (some int) None & info [ "rt" ] ~docv:"ENTRIES"
+         ~doc:"Model a finite RT with this many entries (default: perfect).")
+
+let rt_assoc_arg =
+  Arg.(value & opt int 2 & info [ "rt-assoc" ] ~docv:"N"
+         ~doc:"RT associativity.")
+
+let machine_of icache width =
+  Config.default
+  |> Config.with_width width
+  |> Config.with_icache_kb (match icache with Some 0 -> None | x -> x)
+
+let spec_of dyn icache width rt rt_assoc composing =
+  let controller =
+    match rt with
+    | None -> None
+    | Some entries ->
+      Some
+        { Controller.default_config with
+          rt_entries = entries;
+          rt_assoc;
+          composing }
+  in
+  { H.Experiment.dyn_target = dyn; machine = machine_of icache width;
+    controller }
+
+(* --- run --------------------------------------------------------------- *)
+
+let acf_arg =
+  let acfs =
+    [ ("none", `None); ("mfi-dise3", `Dise3); ("mfi-dise4", `Dise4);
+      ("mfi-rewrite", `Rewrite); ("decompress", `Decompress);
+      ("composed", `Composed) ]
+  in
+  Arg.(value & opt (enum acfs) `None & info [ "acf" ] ~docv:"ACF"
+         ~doc:"Customization function: $(docv) is one of none, mfi-dise3, \
+               mfi-dise4, mfi-rewrite, decompress, composed.")
+
+let run_cmd =
+  let doc = "Simulate one workload under one ACF and machine configuration." in
+  let run bench dyn icache width acf rt rt_assoc =
+    let entry = entry_of bench dyn in
+    let spec = spec_of dyn icache width rt rt_assoc (acf = `Composed) in
+    let stats =
+      match acf with
+      | `None -> H.Experiment.baseline spec entry
+      | `Dise3 -> H.Experiment.mfi_dise ~variant:A.Mfi.Dise3 spec entry
+      | `Dise4 -> H.Experiment.mfi_dise ~variant:A.Mfi.Dise4 spec entry
+      | `Rewrite -> H.Experiment.mfi_rewrite spec entry
+      | `Decompress ->
+        H.Experiment.decompress_run ~scheme:A.Compress.full_dise spec entry
+      | `Composed ->
+        H.Experiment.decompress_run ~scheme:A.Compress.full_dise
+          ~mfi:`Composed spec entry
+    in
+    Format.printf "machine: %a@." Config.pp spec.H.Experiment.machine;
+    Format.printf "%a@." Stats.pp stats;
+    let base = H.Experiment.baseline spec entry in
+    if acf <> `None then
+      Format.printf "relative to ACF-free: %.3f@."
+        (H.Experiment.relative stats ~baseline:base)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ bench_arg $ dyn_arg $ icache_arg $ width_arg $ acf_arg
+          $ rt_arg $ rt_assoc_arg)
+
+(* --- compress ---------------------------------------------------------- *)
+
+let scheme_arg =
+  let conv_name s =
+    match
+      List.find_opt (fun c -> c.A.Compress.name = s) A.Compress.fig7_schemes
+    with
+    | Some c -> Ok c
+    | None -> Error (`Msg ("unknown scheme " ^ s))
+  in
+  let printer ppf s = Format.pp_print_string ppf s.A.Compress.name in
+  Arg.(value & opt (conv (conv_name, printer)) A.Compress.full_dise
+       & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Compression scheme name.")
+
+let compress_cmd =
+  let doc = "Compress one workload and report sizes." in
+  let show_arg =
+    Arg.(value & opt int 0 & info [ "show-dictionary" ] ~docv:"N"
+           ~doc:"Print the $(docv) most-used dictionary entries.")
+  in
+  let run bench dyn scheme show =
+    let entry = entry_of bench dyn in
+    let r = H.Experiment.compress_result ~scheme entry in
+    Format.printf "scheme %s on %s:@." scheme.A.Compress.name bench;
+    Format.printf "  original text:   %7d bytes@." r.A.Compress.orig_text_bytes;
+    Format.printf "  compressed text: %7d bytes (%.1f%%)@."
+      r.A.Compress.text_bytes
+      (100. *. A.Compress.compression_ratio r);
+    Format.printf "  dictionary:      %7d bytes (%d entries)@."
+      r.A.Compress.dict_bytes
+      (List.length r.A.Compress.entries);
+    Format.printf "  total:           %.1f%% of original@."
+      (100. *. A.Compress.total_ratio r);
+    Format.printf "  codewords planted: %d@." r.A.Compress.codewords;
+    if show > 0 then begin
+      let by_use =
+        List.sort
+          (fun a b -> compare b.A.Compress.uses a.A.Compress.uses)
+          r.A.Compress.entries
+      in
+      List.iteri
+        (fun i e ->
+          if i < show then begin
+            Format.printf "@.  tag %d: %d codewords, %d params@."
+              e.A.Compress.tag e.A.Compress.uses e.A.Compress.param_fields;
+            Array.iter
+              (fun ri ->
+                Format.printf "    %a@." Dise_core.Replacement.pp_rinsn ri)
+              e.A.Compress.spec
+          end)
+        by_use
+    end
+  in
+  Cmd.v (Cmd.info "compress" ~doc)
+    Term.(const run $ bench_arg $ dyn_arg $ scheme_arg $ show_arg)
+
+(* --- figures ------------------------------------------------------------ *)
+
+let figures_cmd =
+  let doc = "Regenerate evaluation figure panels." in
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"PANEL"
+           ~doc:"Panel ids (default: all).")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Four benchmarks at reduced dynamic length.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR"
+           ~doc:"Also write one CSV per panel into $(docv).")
+  in
+  let run ids quick dyn csv =
+    let opts =
+      if quick then H.Figures.quick_opts
+      else { H.Figures.default_opts with H.Figures.dyn_target = dyn }
+    in
+    let opts =
+      { opts with
+        H.Figures.progress =
+          (fun msg -> Format.eprintf "  [%s]@." msg) }
+    in
+    let lookup id =
+      match H.Figures.by_id id with
+      | Some f -> (id, f)
+      | None -> (
+        match H.Ablate.by_id id with
+        | Some f -> (id, f)
+        | None ->
+          Format.eprintf "unknown panel %s@." id;
+          exit 2)
+    in
+    let panels =
+      match ids with
+      | [] -> H.Figures.all @ H.Ablate.all
+      | ids -> List.map lookup ids
+    in
+    List.iter
+      (fun (id, f) ->
+        let fig = f opts in
+        Format.printf "@.%a@." H.Report.render fig;
+        match csv with
+        | Some dir ->
+          let path = Filename.concat dir (id ^ ".csv") in
+          let oc = open_out path in
+          output_string oc (H.Report.to_csv fig);
+          close_out oc;
+          Format.printf "(csv written to %s)@." path
+        | None -> ())
+      panels
+  in
+  Cmd.v (Cmd.info "figures" ~doc)
+    Term.(const run $ ids_arg $ quick_arg $ dyn_arg $ csv_arg)
+
+(* --- exec: assemble and run user programs -------------------------------- *)
+
+let exec_cmd =
+  let doc =
+    "Assemble a program, optionally activate a production-set file, and \
+     run it (functionally, with a timing summary)."
+  in
+  let asm_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.S"
+           ~doc:"Assembly source (see lib/isa/asm.mli for the syntax).")
+  in
+  let prods_arg =
+    Arg.(value & opt (some file) None & info [ "p"; "productions" ]
+           ~docv:"FILE.DISE"
+           ~doc:"Production-set source (the DSL of lib/core/lang.mli). \
+                 Labels resolve against the program's symbols.")
+  in
+  let dr_arg =
+    Arg.(value & opt_all (pair ~sep:'=' int int) []
+         & info [ "dr" ] ~docv:"N=V"
+             ~doc:"Initialize dedicated register \\$drN to V (repeatable).")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Print every executed instruction.")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let run asm_path prods_path drs trace =
+    let program =
+      try Dise_isa.Asm.parse (read_file asm_path)
+      with Dise_isa.Asm.Parse_error (line, msg) ->
+        Format.eprintf "%s:%d: %s@." asm_path line msg;
+        exit 1
+    in
+    let img = Dise_isa.Program.layout program in
+    let expander =
+      match prods_path with
+      | None -> None
+      | Some path -> (
+        match Dise_core.Lang.parse (read_file path) with
+        | set ->
+          let set =
+            Dise_core.Prodset.resolve_labels
+              (Dise_isa.Program.Image.symbol img) set
+          in
+          List.iter
+            (fun f ->
+              Format.eprintf "%s: %a@." path Dise_core.Safety.pp_finding f)
+            (Dise_core.Safety.check set);
+          Some (Dise_core.Engine.expander (Dise_core.Engine.create set))
+        | exception Dise_core.Lang.Parse_error (line, msg) ->
+          Format.eprintf "%s:%d: %s@." path line msg;
+          exit 1)
+    in
+    let m = Machine.create ?expander img in
+    List.iter (fun (n, v) -> Machine.set_dise_reg m n v) drs;
+    let pipeline = Dise_uarch.Pipeline.create Config.default in
+    (try
+       ignore
+         (Machine.run_events ~max_steps:50_000_000 m (fun ev ->
+              Dise_uarch.Pipeline.consume pipeline ev;
+              if trace then
+                Format.printf "%08x%s %s@." ev.Machine.Event.pc
+                  (match ev.Machine.Event.origin with
+                  | Machine.Event.App -> "   "
+                  | Machine.Event.Rep { offset; _ } ->
+                    Printf.sprintf ":%-2d" offset)
+                  (Dise_isa.Insn.to_string ev.Machine.Event.insn)))
+     with Machine.Runtime_error msg ->
+       Format.eprintf "runtime error: %s@." msg;
+       exit 1);
+    let stats = Dise_uarch.Pipeline.finish pipeline in
+    Format.printf "exit code: %d@." (Machine.exit_code m);
+    Format.printf "%a@." Stats.pp stats
+  in
+  Cmd.v (Cmd.info "exec" ~doc)
+    Term.(const run $ asm_arg $ prods_arg $ dr_arg $ trace_arg)
+
+(* --- safety: inspect a production-set file -------------------------------- *)
+
+let safety_cmd =
+  let doc =
+    "Run the kernel's inspection (static safety analysis) on a \
+     production-set file."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.DISE")
+  in
+  let reserved_arg =
+    Arg.(value & opt_all int [ 2; 3 ] & info [ "reserved" ] ~docv:"N"
+           ~doc:"Dedicated registers the kernel reserves (repeatable; \
+                 default \\$dr2 and \\$dr3).")
+  in
+  let run path reserved =
+    let ic = open_in_bin path in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Dise_core.Lang.parse src with
+    | set -> (
+      (* Bind any symbolic targets to a placeholder: inspection is
+         structural, not about concrete addresses. *)
+      let set = Dise_core.Prodset.resolve_labels (fun _ -> Some 0) set in
+      match Dise_core.Safety.check ~reserved_dedicated:reserved set with
+      | [] ->
+        Format.printf "%s: approved (%d productions, %d sequences)@." path
+          (Dise_core.Prodset.num_productions set)
+          (Dise_core.Prodset.num_sequences set)
+      | findings ->
+        List.iter
+          (fun f -> Format.printf "%a@." Dise_core.Safety.pp_finding f)
+          findings;
+        if Dise_core.Safety.errors findings <> [] then exit 1)
+    | exception Dise_core.Lang.Parse_error (line, msg) ->
+      Format.eprintf "%s:%d: %s@." path line msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info "safety" ~doc) Term.(const run $ file_arg $ reserved_arg)
+
+(* --- disasm -------------------------------------------------------------- *)
+
+let disasm_cmd =
+  let doc = "Disassemble a generated workload (first N instructions)." in
+  let count_arg =
+    Arg.(value & opt int 60 & info [ "n" ] ~docv:"N" ~doc:"Instructions.")
+  in
+  let run bench dyn n =
+    let entry = entry_of bench dyn in
+    let img = entry.W.Suite.image in
+    Dise_isa.Disasm.pp_range Format.std_formatter img ~lo:0
+      ~hi:(min n (Dise_isa.Program.Image.length img));
+    Format.printf "... (%d instructions total)@."
+      (Dise_isa.Program.Image.length img)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc)
+    Term.(const run $ bench_arg $ dyn_arg $ count_arg)
+
+let () =
+  let doc = "DISE: programmable macro engine reproduction (ISCA 2003)" in
+  let info = Cmd.info "disesim" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; compress_cmd; figures_cmd; exec_cmd; safety_cmd;
+            disasm_cmd ]))

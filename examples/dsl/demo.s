@@ -1,0 +1,14 @@
+; Demo program for `disesim exec`: one legal store, one out-of-segment
+; store. Run with:
+;   dune exec bin/disesim.exe -- exec examples/dsl/demo.s \
+;       -p examples/dsl/mfi.dise --dr 2=1 --trace
+main:
+  lui #1024, r1        ; 0x04000000, segment 1 (legal data)
+  lui #3072, r9        ; 0x0C000000, segment 3 (illegal)
+  add zero, #5, r2
+  stq r2, 0(r1)        ; passes the check
+  stq r2, 0(r9)        ; trapped before it executes
+  halt
+__error:
+  add zero, #77, r2
+  halt

@@ -1,0 +1,22 @@
+module Prodset = Dise_core.Prodset
+module Compose = Dise_core.Compose
+module R = Dise_core.Replacement
+
+let compose ~mfi ~decompression =
+  Compose.nest ~outer:mfi ~inner:decompression
+
+let for_compressed ?variant (result : Compress.result) =
+  let mfi =
+    Mfi.productions_for ?variant result.Compress.image
+  in
+  compose ~mfi ~decompression:result.Compress.prodset
+
+let total_entries set =
+  List.fold_left
+    (fun acc (_, seq) -> acc + R.length seq)
+    0 (Prodset.sequences set)
+
+let rt_entry_growth ~plain ~composed =
+  let p = total_entries plain in
+  if p = 0 then 1.
+  else float_of_int (total_entries composed) /. float_of_int p

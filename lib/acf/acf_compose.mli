@@ -1,0 +1,36 @@
+(** Transparent-with-aware composition (Sections 3.3 and 4.3): fault
+    isolation nested within decompression.
+
+    The server ships a compressed, unmodified application; the client
+    wants the {e decompressed} program fault-isolated — the checks must
+    apply to the instructions the codewords expand to, not to the
+    codewords. The composite production set is therefore
+    [MFI(decompress(stream))]: MFI's own productions (for uncompressed
+    loads/stores) plus the decompression productions with MFI inlined
+    into every dictionary entry.
+
+    In the paper this inlining runs inside the RT miss handler (150
+    cycles instead of 30); model that by creating the
+    {!Dise_core.Controller} with [composing = true]. *)
+
+val compose :
+  mfi:Dise_core.Prodset.t ->
+  decompression:Dise_core.Prodset.t ->
+  Dise_core.Prodset.t
+(** [Compose.nest ~outer:mfi ~inner:decompression], with the id-space
+    precondition already guaranteed by {!Mfi.rsid_base} sitting above
+    the tag space. *)
+
+val for_compressed :
+  ?variant:Mfi.variant ->
+  Compress.result ->
+  Dise_core.Prodset.t
+(** Build the full composite for a compression result: MFI productions
+    resolved against the compressed image, nested over the result's
+    decompression productions. *)
+
+val rt_entry_growth :
+  plain:Dise_core.Prodset.t -> composed:Dise_core.Prodset.t -> float
+(** Ratio of total replacement-sequence instructions (RT working-set
+    entries) after/before composition — the capacity pressure of
+    Figure 8's bottom panel. *)

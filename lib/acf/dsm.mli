@@ -1,0 +1,42 @@
+(** Fine-grain distributed shared memory checks (Section 3.1).
+
+    Software DSM built on virtual memory is limited to page
+    granularity; Shasta-style systems instead instrument every memory
+    operation to test a per-block {e state table}. As the paper notes,
+    the checks are structurally the fault-isolation checks, so a
+    DISE-capable machine looks like hardware-supported fine-grain DSM
+    with no custom hardware.
+
+    This module implements the access-check ACF over a shadow state
+    table: one byte per [block_bytes]-sized block of the data segment,
+    nonzero meaning {e present} (locally valid). Loads and stores to
+    absent blocks transfer control to the miss handler before
+    executing. A host-side "protocol" ({!mark_present} /
+    {!mark_absent}) stands in for the coherence machinery, which is
+    outside the paper's scope. *)
+
+val rsid : int
+(** 4134. *)
+
+val block_bytes : int
+(** Sharing granularity (64 bytes). *)
+
+val productions : handler:int -> unit -> Dise_core.Prodset.t
+(** Check productions for loads and stores. The shadow table base is
+    expected in [$dr8]; [$dr4] is scratch. *)
+
+val productions_for : Dise_isa.Program.Image.t -> Dise_core.Prodset.t
+(** Handler resolved from the image's [__error] symbol. *)
+
+val install :
+  Dise_machine.Machine.t -> shadow_base:int -> data_base:int -> unit
+(** Point [$dr8] at [shadow_base - data_base/block_bytes] so the check
+    sequence can index the table directly from the block number. *)
+
+val mark_present :
+  Dise_machine.Machine.t -> shadow_base:int -> data_base:int ->
+  addr:int -> len:int -> unit
+
+val mark_absent :
+  Dise_machine.Machine.t -> shadow_base:int -> data_base:int ->
+  addr:int -> len:int -> unit

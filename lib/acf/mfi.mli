@@ -1,0 +1,60 @@
+(** Memory fault isolation as a transparent DISE ACF (Section 3.1).
+
+    Two formulations from the paper's evaluation:
+
+    - [Dise4] mirrors the four-instruction check of the software
+      (binary-rewriting) implementation: copy the address register to a
+      dedicated register, extract its segment, compare, trap;
+    - [Dise3] exploits DISE's control-flow model — jumps cannot land in
+      the middle of a replacement sequence, so the defensive copy is
+      unnecessary — saving one instruction per check (Figure 1).
+
+    Checks are generated for loads and stores against the data-segment
+    register [$dr2], and (optionally) for indirect jumps against the
+    code-segment register [$dr3]. [$dr0]/[$dr1] are scratch. Sequence
+    ids start at {!rsid_base}, above the 11-bit codeword tag space so
+    MFI composes with aware ACFs without id collisions. *)
+
+type variant = Dise3 | Dise4
+
+val rsid_base : int
+(** 4096. *)
+
+val productions :
+  ?variant:variant ->
+  ?check_jumps:bool ->
+  error:int ->
+  unit ->
+  Dise_core.Prodset.t
+(** [productions ~error ()] builds the production set; [error] is the
+    absolute address of the fault handler. Default variant [Dise3],
+    [check_jumps] defaults to false (the evaluation isolates memory, as
+    in Figure 6; jump checks are available for completeness). *)
+
+val productions_for :
+  ?variant:variant ->
+  ?check_jumps:bool ->
+  Dise_isa.Program.Image.t ->
+  Dise_core.Prodset.t
+(** Like {!productions}, resolving the error handler from the image's
+    [__error] symbol (raises [Invalid_argument] if absent). *)
+
+val install : Dise_machine.Machine.t -> data_seg:int -> code_seg:int -> unit
+(** Initialize the dedicated registers through the controller path:
+    [$dr2] := data segment id, [$dr3] := code segment id. *)
+
+val check_length : variant -> int
+(** Added instructions per check (3 or 4). *)
+
+val sandbox_productions : unit -> Dise_core.Prodset.t
+(** The sandboxing flavour of fault isolation as a DISE ACF: instead of
+    checking and trapping, force every access's segment bits to the
+    legal segment. The replacement {e rebuilds} the memory operation
+    from trigger directives (base register swapped for the sandboxed
+    address in [$dr0], data register and opcode taken from the
+    trigger), so no handler is needed and stray accesses are contained,
+    not reported. Sequence ids start at {!rsid_base}[+8]. *)
+
+val install_sandbox : Dise_machine.Machine.t -> data_seg:int -> unit
+(** Initialize the sandbox constants: [$dr4] := offset mask,
+    [$dr5] := segment base. *)

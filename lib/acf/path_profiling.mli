@@ -1,0 +1,53 @@
+(** Path profiling as a transparent ACF — the "bit tracing"
+    implementation the paper sketches (Section 3.1, after Corliss et
+    al.'s DISE path profiler).
+
+    Each conditional branch is expanded into a sequence that appends
+    the branch's {e outcome bit} to a path history register before the
+    branch executes. The outcome is computed inside the replacement
+    sequence with a DISE-internal branch on the trigger's own condition
+    register — two-level control in earnest:
+
+    {v
+    @0: d<op> T.RS, @3        ; the trigger's own condition
+    @1: sll $dr9, #1, $dr9    ; fall-through: append 0
+    @2: djmp @5
+    @3: sll $dr9, #1, $dr9    ; taken: append 1
+    @4: lda $dr9, 1($dr9)
+    @5: T.INSN
+    v}
+
+    At acyclic-path endpoints (function returns), a second production
+    records the (endpoint PC, history) pair into a buffer pointed to by
+    [$dr6] and clears the history. A post-execution pass
+    ({!paths}) aggregates the records into per-path counts — the
+    offline reconstruction step of the paper's scheme. Histories are
+    truncated at {!history_bits} outcomes (lossy, as the paper permits:
+    profile consumers do not need complete information). *)
+
+val rsid_base : int
+(** 4140: one sequence per conditional-branch opcode, plus the endpoint
+    sequence. *)
+
+val history_bits : int
+(** Outcomes retained per path tag (28: history stays a non-negative
+    30-bit value). *)
+
+val productions : unit -> Dise_core.Prodset.t
+(** Productions for every conditional-branch opcode and for returns
+    ([jr ra]). Uses [$dr9] (path history), [$dr4] (scratch), [$dr6]
+    (record buffer). *)
+
+val install : Dise_machine.Machine.t -> buffer:int -> unit
+
+type path = {
+  endpoint : int;   (** PC of the return that ended the path *)
+  history : int;    (** branch-outcome bits, oldest first *)
+  length : int;     (** number of outcome bits (capped) *)
+  count : int;
+}
+
+val paths : Dise_machine.Machine.t -> buffer:int -> path list
+(** Reconstructed paths, hottest first. *)
+
+val pp_path : Format.formatter -> path -> unit

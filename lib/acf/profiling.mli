@@ -1,0 +1,22 @@
+(** Branch profiling as a transparent ACF (Section 3.1's "other
+    transparent ACFs").
+
+    A production on conditional branches records the trigger's PC —
+    using the [T.PC] replacement-immediate directive the paper calls
+    out as useful for profiling — into a buffer pointed to by [$dr6]
+    ([$dr4] scratch). A post-execution pass aggregates the records into
+    per-branch execution counts, the "bit tracing plus offline
+    reconstruction" structure of the paper's path profiler, simplified
+    to branch granularity. *)
+
+val rsid : int
+(** 4130. *)
+
+val productions : unit -> Dise_core.Prodset.t
+
+val install : Dise_machine.Machine.t -> buffer:int -> unit
+
+val counts : Dise_machine.Machine.t -> buffer:int -> (int * int) list
+(** [(branch_pc, executions)] sorted by descending count. *)
+
+val hottest : Dise_machine.Machine.t -> buffer:int -> n:int -> (int * int) list

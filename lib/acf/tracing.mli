@@ -1,0 +1,16 @@
+(** Store-address tracing (Figure 5's second ACF): a transparent
+    production that writes every store's effective address into a
+    memory buffer pointed to by the dedicated register [$dr5], using
+    [$dr4] as scratch. Each trace entry advances the pointer by four
+    bytes, so trace length can be recovered from [$dr5]. *)
+
+val rsid : int
+(** 4128 — disjoint from codeword tags and {!Mfi.rsid_base}. *)
+
+val productions : unit -> Dise_core.Prodset.t
+
+val install : Dise_machine.Machine.t -> buffer:int -> unit
+(** Point [$dr5] at the trace buffer. *)
+
+val trace : Dise_machine.Machine.t -> buffer:int -> int list
+(** Addresses recorded so far, oldest first. *)

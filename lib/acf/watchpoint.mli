@@ -1,0 +1,25 @@
+(** Code assertions / reference monitoring (Section 3.1): a memory
+    watchpoint enforced at full speed by inlining the check into every
+    store's replacement sequence — no debugger single-stepping.
+
+    The watched address lives in [$dr7]; a store whose effective
+    address equals it transfers control to the handler before the
+    store executes (the DISE control model makes the check
+    unbypassable). *)
+
+val rsid : int
+(** 4132. *)
+
+val productions : handler:int -> unit -> Dise_core.Prodset.t
+
+val productions_for :
+  Dise_isa.Program.Image.t -> Dise_core.Prodset.t
+(** Handler resolved from the image's [__error] symbol. *)
+
+val install : Dise_machine.Machine.t -> addr:int -> unit
+(** Watch the given address. *)
+
+val disarm : Dise_machine.Machine.t -> unit
+(** Set the watch to an unmatchable address (odd, so no word store can
+    hit it). Inactive assertions cost only their replacement
+    instructions; removing the production entirely costs nothing. *)

@@ -1,0 +1,60 @@
+module I = Dise_isa.Insn
+module Machine = Dise_machine.Machine
+
+exception Expansion_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Expansion_error s)) fmt
+
+type t = {
+  prodset : Prodset.t;
+  dispatch : Production.t list array;  (* by opcode key, precedence order *)
+  cache : (int, Machine.expansion option) Hashtbl.t;  (* by trigger PC *)
+  mutable performed : int;
+}
+
+let create prodset =
+  let dispatch =
+    Array.init I.num_keys (fun key -> Prodset.patterns_for_key prodset key)
+  in
+  { prodset; dispatch; cache = Hashtbl.create 4096; performed = 0 }
+
+let prodset t = t.prodset
+
+let compute t ~pc insn =
+  let rec first = function
+    | [] -> None
+    | p :: rest ->
+      if Pattern.matches p.Production.pattern insn then Some p else first rest
+  in
+  match first t.dispatch.(I.key insn) with
+  | None -> None
+  | Some p -> (
+    let rsid = Production.rsid_of p insn in
+    match Prodset.sequence t.prodset rsid with
+    | None ->
+      fail "production %s names unbound sequence R%d"
+        (if p.Production.name = "" then "<anon>" else p.Production.name)
+        rsid
+    | Some spec -> (
+      match Replacement.instantiate spec ~trigger:insn ~pc with
+      | seq -> Some { Machine.rsid; seq }
+      | exception Replacement.Instantiation_error msg ->
+        fail "instantiating R%d for trigger at 0x%x: %s" rsid pc msg))
+
+let expand t ~pc insn =
+  let result =
+    match Hashtbl.find_opt t.cache pc with
+    | Some r -> r
+    | None ->
+      let r = compute t ~pc insn in
+      Hashtbl.replace t.cache pc r;
+      r
+  in
+  (match result with Some _ -> t.performed <- t.performed + 1 | None -> ());
+  result
+
+let expander t ~pc insn = expand t ~pc insn
+let expansions_performed t = t.performed
+let distinct_triggers t =
+  Hashtbl.fold (fun _ v acc -> match v with Some _ -> acc + 1 | None -> acc)
+    t.cache 0

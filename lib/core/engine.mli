@@ -1,0 +1,36 @@
+(** The DISE engine: applies a production set to the fetch stream.
+
+    [expand] is the performance-critical path (it inspects every
+    fetched instruction), so the engine compiles the production set
+    into a per-opcode dispatch table at construction and memoizes
+    expansions by PC (a static instruction always instantiates to the
+    same sequence, because directives only read trigger bits and the
+    trigger PC).
+
+    The engine performs {e functional} expansion only; PT/RT capacity
+    effects are modelled separately by {!Controller} from the
+    expansion events. *)
+
+type t
+
+exception Expansion_error of string
+(** A production matched but its sequence id is unbound, or
+    instantiation failed. *)
+
+val create : Prodset.t -> t
+
+val prodset : t -> Prodset.t
+
+val expand : t -> pc:int -> Dise_isa.Insn.t -> Dise_machine.Machine.expansion option
+(** [None] when no production matches. An identity production yields
+    [Some] with the trigger as the single element (it is still an
+    expansion, and is costed as one). *)
+
+val expander : t -> Dise_machine.Machine.expander
+(** The closure to plug into {!Dise_machine.Machine.create}. *)
+
+val expansions_performed : t -> int
+(** Total expansions returned (cache hits included). *)
+
+val distinct_triggers : t -> int
+(** Number of distinct static trigger PCs seen so far. *)

@@ -1,0 +1,45 @@
+(** Textual production language.
+
+    The external, directive-annotated representation of productions
+    that users hand to the DISE controller. The syntax follows the
+    paper's figures:
+
+    {v
+    ; memory fault isolation (Figure 1)
+    P1: T.OPCLASS == store -> R1
+    P2: T.OPCLASS == load -> R1
+    R1: srl T.RS, #26, $dr1
+        xor $dr1, $dr2, $dr1
+        bne $dr1, error
+        T.INSN
+    v}
+
+    Pattern conditions (combined with [&&]): [T.OPCLASS == <class>],
+    [T.OP == <mnemonic>] (immediate ALU forms take an [i] suffix:
+    [addi], [srli], ...; codewords are [cw0]..[cw3]), [T.RS == <reg>],
+    [T.RT ==], [T.RD ==], [T.IMM == <n>], [T.IMM < 0], [T.IMM >= 0].
+    A production's right-hand side is a sequence name [R<n>] or [TAG]
+    (aware ACFs: the sequence id comes from the codeword tag).
+
+    Replacement operands may be literals ([r4], [$dr1], [#26]),
+    trigger fields ([T.RS], [T.RT], [T.RD], [#T.IMM], [#T.PC]),
+    codeword parameters ([T.P1].. as registers, [#T.P1], [#T.P1P2] as
+    immediates), or [T.INSN] for the whole trigger. Branch targets may
+    be labels (resolved later against an image), [0x] addresses, or
+    [T.PC+T.P1] / [T.PC+T.P1P2] parameterized offsets. *)
+
+exception Parse_error of int * string
+(** 1-based line number and message. *)
+
+val parse : string -> Prodset.t
+(** Parse a production-set source. Sequence names [R<n>] bind sequence
+    id [n]. *)
+
+val parse_rinsn : string -> Replacement.rinsn
+(** Parse a single replacement instruction. *)
+
+val production_to_string : Production.t -> string
+val sequence_to_string : int * Replacement.t -> string
+
+val to_string : Prodset.t -> string
+(** Render a production set back to (re-parseable) source. *)

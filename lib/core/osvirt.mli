@@ -1,0 +1,76 @@
+(** OS-kernel virtualization of DISE state (Section 2.3).
+
+    The kernel makes the production facility multiprogramming-
+    transparent and safe:
+
+    - {e per-process production sets}: a process's user ACF operates on
+      that process only; it is deactivated when the process is switched
+      out. Kernel-installed (inspected and approved) ACFs apply to
+      every process.
+    - {e save/restore}: the dedicated registers are hardware state;
+      the kernel saves them on switch-out and restores them on
+      switch-in. The PT/RT are demand-loaded caches: a switch merely
+      invalidates residency (via {!Controller.context_switch}) and the
+      controller faults entries back in.
+    - {e inspection}: user production sets are admitted only if
+      {!Safety.check} reports no errors against the kernel's reserved
+      dedicated registers.
+
+    The scheduler here is a minimal round-robin over processes, enough
+    to observe isolation and switch costs; it is a modelling substrate,
+    not an OS. *)
+
+type pid = int
+
+type t
+
+exception Rejected of Safety.finding list
+(** A submitted production set failed inspection. *)
+
+val create :
+  ?controller_cfg:Controller.config ->
+  ?reserved_dedicated:int list ->
+  unit ->
+  t
+(** [reserved_dedicated] (default [[2; 3]], the fault-isolation segment
+    registers) are writable only by kernel ACFs. *)
+
+val install_kernel_acf :
+  t -> name:string -> ?regs:(int * int) list -> Prodset.t -> unit
+(** Install a system-wide (transparent) ACF. Applied to every process
+    (current and future). [regs] are dedicated-register initializations
+    the ACF needs (e.g. the fault-isolation segment ids), applied to
+    every process's saved register set. Raises {!Rejected} on safety
+    errors (reserved-register writes are permitted: the kernel owns
+    them). *)
+
+val spawn :
+  t ->
+  name:string ->
+  ?acf:Prodset.t ->
+  ?dise_regs:(int * int) list ->
+  Dise_isa.Program.Image.t ->
+  pid
+(** Create a process from an image, with an optional user ACF
+    (inspected; raises {!Rejected} on errors) and initial dedicated-
+    register values (e.g. trace buffer pointers). *)
+
+val machine : t -> pid -> Dise_machine.Machine.t
+
+val switch_to : t -> pid -> unit
+(** Save the current process's dedicated registers and DISEPC, restore
+    the target's, deactivate/activate user production sets, and
+    invalidate PT/RT residency. *)
+
+val run_slice : t -> pid -> steps:int -> [ `Ran of int | `Halted ]
+(** Switch to the process and execute up to [steps] dynamic
+    instructions. *)
+
+val round_robin : ?slice:int -> ?max_slices:int -> t -> unit
+(** Run all live processes to completion, [slice] (default 10_000)
+    instructions at a time. Raises [Failure] if [max_slices] (default
+    10_000) elapse first. *)
+
+val switches : t -> int
+val controller : t -> Controller.t
+val live : t -> pid list

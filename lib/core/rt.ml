@@ -1,0 +1,128 @@
+type way = {
+  mutable tag : int;  (* (rsid lsl 12) lor block index; -1 = invalid *)
+  mutable lru : int;
+}
+
+type t = {
+  perfect : bool;
+  n_sets : int;
+  assoc : int;
+  entries_per_block : int;
+  sets : way array array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable resident : int;
+}
+
+let create ?(entries_per_block = 1) ~entries ~assoc () =
+  if entries <= 0 || assoc <= 0 || entries_per_block <= 0 then
+    invalid_arg "Rt.create: non-positive parameter";
+  if entries mod (assoc * entries_per_block) <> 0 then
+    invalid_arg "Rt.create: entries not divisible by assoc * block";
+  let n_sets = entries / (assoc * entries_per_block) in
+  {
+    perfect = false;
+    n_sets;
+    assoc;
+    entries_per_block;
+    sets =
+      Array.init n_sets (fun _ ->
+          Array.init assoc (fun _ -> { tag = -1; lru = 0 }));
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+    resident = 0;
+  }
+
+let perfect () =
+  {
+    perfect = true;
+    n_sets = 0;
+    assoc = 0;
+    entries_per_block = 1;
+    sets = [||];
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+    resident = 0;
+  }
+
+let block_tag ~rsid ~blk = (rsid lsl 12) lor blk
+
+(* A multiplicative hash spreads sequence ids across sets. The index
+   is taken from the product's high bits: [n_sets] is typically a power
+   of two, and a low-bits modulus would discard the sequence-id part of
+   the tag (which lives above bit 12). *)
+let set_index t tag =
+  let h = tag * 0x9E3779B1 land max_int in
+  (h lsr 16) mod t.n_sets
+
+let probe t tag =
+  let set = t.sets.(set_index t tag) in
+  let rec go i = if i >= t.assoc then None
+    else if set.(i).tag = tag then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let fill t tag =
+  let set = t.sets.(set_index t tag) in
+  (* Reuse an invalid way, else evict LRU. *)
+  let victim = ref set.(0) in
+  Array.iter
+    (fun w ->
+      if w.tag = -1 && !victim.tag <> -1 then victim := w
+      else if w.tag <> -1 && !victim.tag <> -1 && w.lru < !victim.lru then
+        victim := w)
+    set;
+  if !victim.tag = -1 then t.resident <- t.resident + 1;
+  !victim.tag <- tag;
+  !victim.lru <- t.clock
+
+let blocks_of_len t len =
+  (len + t.entries_per_block - 1) / t.entries_per_block
+
+let access t ~rsid ~len =
+  t.accesses <- t.accesses + 1;
+  if t.perfect then `Hit
+  else begin
+    t.clock <- t.clock + 1;
+    let blocks = blocks_of_len t (max 1 len) in
+    let all_hit = ref true in
+    for blk = 0 to blocks - 1 do
+      match probe t (block_tag ~rsid ~blk) with
+      | Some w -> w.lru <- t.clock
+      | None -> all_hit := false
+    done;
+    if !all_hit then `Hit
+    else begin
+      t.misses <- t.misses + 1;
+      for blk = 0 to blocks - 1 do
+        let tag = block_tag ~rsid ~blk in
+        match probe t tag with
+        | Some w -> w.lru <- t.clock
+        | None -> fill t tag
+      done;
+      `Miss
+    end
+  end
+
+let invalidate t =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w ->
+          w.tag <- -1;
+          w.lru <- 0)
+        set)
+    t.sets;
+  t.resident <- 0
+
+let accesses t = t.accesses
+let misses t = t.misses
+let occupancy t = t.resident
+let capacity_blocks t = t.n_sets * t.assoc
+let is_perfect t = t.perfect
+let miss_rate t =
+  if t.accesses = 0 then 0. else float_of_int t.misses /. float_of_int t.accesses

@@ -1,0 +1,44 @@
+(** Static safety analysis of production sets.
+
+    The paper's system architecture routes user ACFs through the OS
+    kernel for "inspection and approval" before they may touch other
+    processes, and lists safety-analysis tooling as future work; this
+    module implements the analyzable core. Productions are declarative
+    rules over a closed instruction language, so several useful
+    properties are decidable:
+
+    - every [Direct] production's sequence id is bound, and every
+      bound sequence is non-empty;
+    - DISE-internal control stays inside its sequence;
+    - parameter directives ([T.P1]..) appear only under patterns that
+      can only match codewords;
+    - trigger-field directives ([T.RS], [T.IMM], ...) are not used
+      under patterns that can only match instructions lacking the
+      field;
+    - reserved dedicated registers (e.g. the kernel fault-isolation
+      ACF's segment registers) are not written;
+    - (policy) [halt] inside a replacement sequence is flagged.
+
+    Field-directive checking is conservative: a use that {e may} fault
+    at runtime (pattern admits both field-bearing and field-free
+    triggers) is a warning, a use that {e must} fault is an error. *)
+
+type severity =
+  | Error    (** will fault or misbehave at runtime *)
+  | Warning  (** may fault, or violates policy *)
+
+type finding = {
+  severity : severity;
+  production : string;  (** name, or "R<id>" for sequence-level findings *)
+  message : string;
+}
+
+val check :
+  ?reserved_dedicated:int list ->
+  ?allow_halt:bool ->
+  Prodset.t ->
+  finding list
+(** Analyze a production set. An empty result means approved. *)
+
+val errors : finding list -> finding list
+val pp_finding : Format.formatter -> finding -> unit

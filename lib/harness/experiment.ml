@@ -1,0 +1,131 @@
+module Machine = Dise_machine.Machine
+module Engine = Dise_core.Engine
+module Prodset = Dise_core.Prodset
+module Controller = Dise_core.Controller
+module Config = Dise_uarch.Config
+module Pipeline = Dise_uarch.Pipeline
+module Stats = Dise_uarch.Stats
+module Suite = Dise_workload.Suite
+module Codegen = Dise_workload.Codegen
+module Mfi = Dise_acf.Mfi
+module Rewrite = Dise_acf.Rewrite
+module Compress = Dise_acf.Compress
+
+type spec = {
+  dyn_target : int;
+  machine : Config.t;
+  controller : Controller.config option;
+}
+
+let default_spec =
+  { dyn_target = 300_000; machine = Config.default; controller = None }
+
+let max_steps = 100_000_000
+
+let run_machine spec ?prodset m =
+  let controller =
+    match spec.controller, prodset with
+    | Some cfg, Some ps -> Some (Controller.create cfg ps)
+    | Some cfg, None -> Some (Controller.create cfg Prodset.empty)
+    | None, _ -> None
+  in
+  Pipeline.run ~max_steps ?controller spec.machine m
+
+let check_clean name m =
+  if Machine.exit_code m <> 0 then
+    failwith
+      (Printf.sprintf "experiment %s: workload trapped (exit %d)" name
+         (Machine.exit_code m))
+
+let baseline spec (entry : Suite.entry) =
+  let m = Machine.create entry.Suite.image in
+  let stats = run_machine spec m in
+  check_clean "baseline" m;
+  stats
+
+let with_engine image prodset =
+  let engine = Engine.create prodset in
+  Machine.create ~expander:(Engine.expander engine) image
+
+let install_mfi m =
+  Mfi.install m ~data_seg:Codegen.data_segment_id
+    ~code_seg:Codegen.code_segment_id
+
+let mfi_dise ?variant spec (entry : Suite.entry) =
+  let prodset = Mfi.productions_for ?variant entry.Suite.image in
+  let m = with_engine entry.Suite.image prodset in
+  install_mfi m;
+  let stats = run_machine spec ~prodset m in
+  check_clean "mfi_dise" m;
+  stats
+
+let rewritten_cache : (string * int, Dise_isa.Program.t) Hashtbl.t =
+  Hashtbl.create 16
+
+let rewritten_program (entry : Suite.entry) =
+  let key = (entry.Suite.profile.Dise_workload.Profile.name,
+             Dise_isa.Program.size entry.Suite.gen.Codegen.program)
+  in
+  match Hashtbl.find_opt rewritten_cache key with
+  | Some p -> p
+  | None ->
+    let p =
+      Rewrite.rewrite ~data_seg:Codegen.data_segment_id
+        ~code_seg:Codegen.code_segment_id entry.Suite.gen.Codegen.program
+    in
+    Hashtbl.replace rewritten_cache key p;
+    p
+
+let mfi_rewrite ?variant spec (entry : Suite.entry) =
+  let prog =
+    match variant with
+    | None | Some Rewrite.Segment_matching -> rewritten_program entry
+    | Some v ->
+      Rewrite.rewrite ~variant:v ~data_seg:Codegen.data_segment_id
+        ~code_seg:Codegen.code_segment_id entry.Suite.gen.Codegen.program
+  in
+  let image = Dise_isa.Program.layout ~base:Codegen.code_base prog in
+  let m = Machine.create image in
+  let stats = run_machine spec m in
+  check_clean "mfi_rewrite" m;
+  stats
+
+let compress_cache : (string, Compress.result) Hashtbl.t = Hashtbl.create 64
+
+let compress_result ~scheme ?(rewritten = false) (entry : Suite.entry) =
+  let key =
+    Printf.sprintf "%s/%s/%b/%d"
+      entry.Suite.profile.Dise_workload.Profile.name
+      scheme.Compress.name rewritten entry.Suite.gen.Codegen.total_insns
+  in
+  match Hashtbl.find_opt compress_cache key with
+  | Some r -> r
+  | None ->
+    let prog =
+      if rewritten then rewritten_program entry
+      else entry.Suite.gen.Codegen.program
+    in
+    let r = Compress.compress ~scheme prog in
+    Hashtbl.replace compress_cache key r;
+    r
+
+let decompress_run ~scheme ?(mfi = `None) ?(rewritten = false) spec
+    (entry : Suite.entry) =
+  let result = compress_result ~scheme ~rewritten entry in
+  let prodset =
+    match mfi with
+    | `None -> result.Compress.prodset
+    | `Composed -> Dise_acf.Acf_compose.for_compressed result
+  in
+  let m = with_engine result.Compress.image prodset in
+  (match mfi with `Composed -> install_mfi m | `None -> ());
+  let stats = run_machine spec ~prodset m in
+  check_clean "decompress" m;
+  stats
+
+let relative stats ~baseline =
+  float_of_int stats.Stats.cycles /. float_of_int baseline.Stats.cycles
+
+let clear_cache () =
+  Hashtbl.reset compress_cache;
+  Hashtbl.reset rewritten_cache

@@ -1,0 +1,61 @@
+(** Experiment drivers: one function per (workload × ACF × machine)
+    configuration, each returning the timing model's statistics.
+
+    Compression results are cached per (workload, scheme, rewritten)
+    because the greedy compressor is by far the most expensive step and
+    several panels reuse the same compressed binaries. *)
+
+type spec = {
+  dyn_target : int;
+  machine : Dise_uarch.Config.t;
+  controller : Dise_core.Controller.config option;
+      (** [None]: DISE is free (no PT/RT modelling) *)
+}
+
+val default_spec : spec
+(** 300K dynamic instructions, the paper's default machine, free
+    DISE. *)
+
+val baseline : spec -> Dise_workload.Suite.entry -> Dise_uarch.Stats.t
+(** ACF-free run. *)
+
+val mfi_dise :
+  ?variant:Dise_acf.Mfi.variant ->
+  spec ->
+  Dise_workload.Suite.entry ->
+  Dise_uarch.Stats.t
+(** DISE memory fault isolation (legal segments installed, so the run
+    completes without trapping). *)
+
+val mfi_rewrite :
+  ?variant:Dise_acf.Rewrite.variant ->
+  spec ->
+  Dise_workload.Suite.entry ->
+  Dise_uarch.Stats.t
+(** Binary-rewriting fault isolation. *)
+
+val compress_result :
+  scheme:Dise_acf.Compress.scheme ->
+  ?rewritten:bool ->
+  Dise_workload.Suite.entry ->
+  Dise_acf.Compress.result
+(** Compress the workload's program (optionally after applying the
+    rewriting MFI transformation first, Figure 8's software combos).
+    Cached. *)
+
+val decompress_run :
+  scheme:Dise_acf.Compress.scheme ->
+  ?mfi:[ `None | `Composed ] ->
+  ?rewritten:bool ->
+  spec ->
+  Dise_workload.Suite.entry ->
+  Dise_uarch.Stats.t
+(** Run a compressed binary under DISE decompression. [`Composed]
+    nests DISE fault isolation over the decompression productions (the
+    DISE+DISE point of Figure 8); [rewritten] compresses the
+    software-fault-isolated binary instead (the rewriting+X combos). *)
+
+val relative : Dise_uarch.Stats.t -> baseline:Dise_uarch.Stats.t -> float
+(** Execution-time ratio (cycles / baseline cycles). *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,274 @@
+module Config = Dise_uarch.Config
+module Controller = Dise_core.Controller
+module Stats = Dise_uarch.Stats
+module Suite = Dise_workload.Suite
+module Profile = Dise_workload.Profile
+module Compress = Dise_acf.Compress
+module Mfi = Dise_acf.Mfi
+module E = Experiment
+
+type series = {
+  label : string;
+  values : (string * float) list;
+}
+
+type figure = {
+  id : string;
+  title : string;
+  ylabel : string;
+  series : series list;
+}
+
+type opts = {
+  dyn_target : int;
+  benchmarks : string list;
+  progress : string -> unit;
+}
+
+let default_opts =
+  { dyn_target = 300_000; benchmarks = Profile.names; progress = ignore }
+
+let quick_opts =
+  {
+    dyn_target = 120_000;
+    benchmarks = [ "bzip2"; "gzip"; "mcf"; "parser" ];
+    progress = ignore;
+  }
+
+let entries opts =
+  List.map
+    (fun name ->
+      match Profile.find name with
+      | Some p -> Suite.get ~dyn_target:opts.dyn_target p
+      | None -> invalid_arg ("unknown benchmark " ^ name))
+    opts.benchmarks
+
+let spec ?controller ?(machine = Config.default) opts =
+  { E.dyn_target = opts.dyn_target; machine; controller }
+
+(* Build one series by mapping a per-entry function over the suite. *)
+let series opts label f =
+  {
+    label;
+    values =
+      List.map
+        (fun (e : Suite.entry) ->
+          opts.progress
+            (Printf.sprintf "%s / %s" label
+               e.Suite.profile.Profile.name);
+          (e.Suite.profile.Profile.name, f e))
+        (entries opts);
+  }
+
+(* --- Figure 6: memory fault isolation -------------------------------- *)
+
+let fig6_top opts =
+  let base = spec opts in
+  let rel f e = E.relative (f e) ~baseline:(E.baseline base e) in
+  let with_decode d = spec ~machine:(Config.with_dise_decode d Config.default) opts in
+  {
+    id = "fig6-top";
+    title = "Figure 6 (top): memory fault isolation, 4-wide, 32KB I$";
+    ylabel = "execution time relative to no-MFI";
+    series =
+      [
+        series opts "rewrite" (rel (E.mfi_rewrite base));
+        series opts "DISE4" (rel (E.mfi_dise ~variant:Mfi.Dise4 base));
+        series opts "#stall"
+          (rel (E.mfi_dise ~variant:Mfi.Dise3 (with_decode Config.Stall_per_expansion)));
+        series opts "+pipe"
+          (rel (E.mfi_dise ~variant:Mfi.Dise3 (with_decode Config.Extra_stage)));
+        series opts "DISE3" (rel (E.mfi_dise ~variant:Mfi.Dise3 base));
+      ];
+  }
+
+let cache_points = [ (Some 8, "8K"); (Some 32, "32K"); (Some 128, "128K"); (None, "inf") ]
+
+let fig6_cache opts =
+  let mk (size, tag) =
+    let machine = Config.with_icache_kb size Config.default in
+    let sp = spec ~machine opts in
+    let rel f e = E.relative (f e) ~baseline:(E.baseline sp e) in
+    [
+      series opts (Printf.sprintf "DISE3@%s" tag)
+        (rel (E.mfi_dise ~variant:Mfi.Dise3 sp));
+      series opts (Printf.sprintf "rewrite@%s" tag) (rel (E.mfi_rewrite sp));
+    ]
+  in
+  {
+    id = "fig6-cache";
+    title = "Figure 6 (middle): MFI vs I-cache size, 4-wide";
+    ylabel = "execution time relative to no-MFI at same I$";
+    series = List.concat_map mk cache_points;
+  }
+
+let fig6_width opts =
+  let mk w =
+    let machine = Config.with_width w Config.default in
+    let sp = spec ~machine opts in
+    let rel f e = E.relative (f e) ~baseline:(E.baseline sp e) in
+    [
+      series opts (Printf.sprintf "DISE3@%dw" w)
+        (rel (E.mfi_dise ~variant:Mfi.Dise3 sp));
+      series opts (Printf.sprintf "rewrite@%dw" w) (rel (E.mfi_rewrite sp));
+    ]
+  in
+  {
+    id = "fig6-width";
+    title = "Figure 6 (bottom): MFI vs processor width, 32KB I$";
+    ylabel = "execution time relative to no-MFI at same width";
+    series = List.concat_map mk [ 2; 4; 8 ];
+  }
+
+(* --- Figure 7: dynamic code decompression ----------------------------- *)
+
+let fig7_ratio opts =
+  let mk scheme =
+    [
+      series opts (scheme.Compress.name ^ " text")
+        (fun e ->
+          Compress.compression_ratio (E.compress_result ~scheme e));
+      series opts (scheme.Compress.name ^ " +dict")
+        (fun e -> Compress.total_ratio (E.compress_result ~scheme e));
+    ]
+  in
+  {
+    id = "fig7-ratio";
+    title = "Figure 7 (top): static compression by scheme";
+    ylabel = "size relative to uncompressed text";
+    series = List.concat_map mk Compress.fig7_schemes;
+  }
+
+let fig7_perf opts =
+  (* All values normalized to the uncompressed run on the default 32KB
+     machine. Perfect RT (free DISE). *)
+  let base32 = spec opts in
+  let mk (size, tag) =
+    let machine = Config.with_icache_kb size Config.default in
+    let sp = spec ~machine opts in
+    [
+      series opts (Printf.sprintf "uncomp@%s" tag)
+        (fun e ->
+          E.relative (E.baseline sp e) ~baseline:(E.baseline base32 e));
+      series opts (Printf.sprintf "DISE@%s" tag)
+        (fun e ->
+          E.relative
+            (E.decompress_run ~scheme:Compress.full_dise sp e)
+            ~baseline:(E.baseline base32 e));
+    ]
+  in
+  {
+    id = "fig7-perf";
+    title = "Figure 7 (middle): decompression performance vs I$ size";
+    ylabel = "execution time relative to uncompressed, 32KB I$";
+    series = List.concat_map mk cache_points;
+  }
+
+let rt_configs =
+  [
+    (512, 1, "512-DM");
+    (512, 2, "512-2way");
+    (2048, 1, "2K-DM");
+    (2048, 2, "2K-2way");
+  ]
+
+let fig7_rt opts =
+  let base32 = spec opts in
+  let mk (entries_, assoc, tag) =
+    let controller =
+      { Controller.default_config with rt_entries = entries_; rt_assoc = assoc }
+    in
+    series opts (Printf.sprintf "RT %s" tag) (fun e ->
+        E.relative
+          (E.decompress_run ~scheme:Compress.full_dise
+             (spec ~controller opts) e)
+          ~baseline:(E.baseline base32 e))
+  in
+  {
+    id = "fig7-rt";
+    title = "Figure 7 (bottom): decompression vs RT configuration, 32KB I$";
+    ylabel = "execution time relative to uncompressed, 32KB I$";
+    series =
+      List.map mk rt_configs
+      @ [
+          series opts "RT perfect" (fun e ->
+              E.relative
+                (E.decompress_run ~scheme:Compress.full_dise (spec opts) e)
+                ~baseline:(E.baseline (spec opts) e));
+        ];
+  }
+
+(* --- Figure 8: composing decompression and fault isolation ------------ *)
+
+let fig8_combo opts =
+  let base32 = spec opts in
+  let mk (size, tag) =
+    let machine = Config.with_icache_kb size Config.default in
+    let sp = spec ~machine opts in
+    let norm stats e = E.relative stats ~baseline:(E.baseline base32 e) in
+    [
+      series opts (Printf.sprintf "rw+dedic@%s" tag)
+        (fun e ->
+          norm
+            (E.decompress_run ~scheme:Compress.dedicated ~rewritten:true sp e)
+            e);
+      series opts (Printf.sprintf "rw+DISE@%s" tag)
+        (fun e ->
+          norm
+            (E.decompress_run ~scheme:Compress.full_dise ~rewritten:true sp e)
+            e);
+      series opts (Printf.sprintf "DISE+DISE@%s" tag)
+        (fun e ->
+          norm
+            (E.decompress_run ~scheme:Compress.full_dise ~mfi:`Composed sp e)
+            e);
+    ]
+  in
+  {
+    id = "fig8-combo";
+    title = "Figure 8 (top): composed MFI+decompression vs I$ size";
+    ylabel = "execution time relative to unmodified, 32KB I$";
+    series = List.concat_map mk cache_points;
+  }
+
+let fig8_rt opts =
+  let base32 = spec opts in
+  let mk ~latency (entries_, assoc, tag) =
+    let controller =
+      {
+        Controller.default_config with
+        rt_entries = entries_;
+        rt_assoc = assoc;
+        composing = latency > Controller.default_config.Controller.miss_penalty;
+        compose_penalty = latency;
+      }
+    in
+    series opts (Printf.sprintf "%s miss=%d" tag latency) (fun e ->
+        E.relative
+          (E.decompress_run ~scheme:Compress.full_dise ~mfi:`Composed
+             (spec ~controller opts) e)
+          ~baseline:(E.baseline base32 e))
+  in
+  {
+    id = "fig8-rt";
+    title =
+      "Figure 8 (bottom): composition vs RT configuration and miss latency";
+    ylabel = "execution time relative to unmodified, 32KB I$";
+    series =
+      List.map (mk ~latency:30) rt_configs
+      @ List.map (mk ~latency:150) rt_configs;
+  }
+
+let all =
+  [
+    ("fig6-top", fig6_top);
+    ("fig6-cache", fig6_cache);
+    ("fig6-width", fig6_width);
+    ("fig7-ratio", fig7_ratio);
+    ("fig7-perf", fig7_perf);
+    ("fig7-rt", fig7_rt);
+    ("fig8-combo", fig8_combo);
+    ("fig8-rt", fig8_rt);
+  ]
+
+let by_id id = List.assoc_opt id all

@@ -1,0 +1,70 @@
+(** Reproduction drivers for every evaluation panel (Figures 6, 7, 8).
+
+    Each driver runs the required configurations over the workload
+    suite and returns a {!figure}: one labelled series per bar/line of
+    the paper's panel, one value per benchmark. Values are normalized
+    execution times or size ratios exactly as in the paper (noted per
+    driver). *)
+
+type series = {
+  label : string;
+  values : (string * float) list;  (** benchmark name -> value *)
+}
+
+type figure = {
+  id : string;
+  title : string;
+  ylabel : string;
+  series : series list;
+}
+
+type opts = {
+  dyn_target : int;        (** dynamic length per run (default 300K) *)
+  benchmarks : string list; (** subset of {!Dise_workload.Profile.names} *)
+  progress : string -> unit; (** progress callback *)
+}
+
+val default_opts : opts
+val quick_opts : opts
+(** Four representative benchmarks at 120K dynamic instructions. *)
+
+val fig6_top : opts -> figure
+(** MFI execution time normalized to the MFI-free run: rewriting,
+    DISE4/#stall/+pipe/DISE3. *)
+
+val fig6_cache : opts -> figure
+(** DISE3 vs rewriting across I-cache sizes (8K/32K/128K/perfect),
+    each normalized to the MFI-free run at the same cache size. *)
+
+val fig6_width : opts -> figure
+(** DISE3 vs rewriting across widths (2/4/8), 32KB I-cache, normalized
+    per width. *)
+
+val fig7_ratio : opts -> figure
+(** Static compression: text and text+dictionary ratios for the six
+    schemes (dedicated / −1insn / −2byteCW / +8byteDE / +3param /
+    DISE), normalized to uncompressed text size. *)
+
+val fig7_perf : opts -> figure
+(** DISE decompression execution time across I-cache sizes with a
+    perfect RT, normalized to the uncompressed 32KB run. *)
+
+val fig7_rt : opts -> figure
+(** Decompression under realistic RTs (512/2K × direct-mapped/2-way,
+    30-cycle miss) vs perfect, normalized to the uncompressed 32KB
+    run. *)
+
+val fig8_combo : opts -> figure
+(** Composed fault isolation + decompression across I-cache sizes:
+    rewriting+dedicated, rewriting+DISE, DISE+DISE (perfect RT),
+    normalized to the unmodified 32KB run. *)
+
+val fig8_rt : opts -> figure
+(** DISE+DISE composition under realistic RTs with 30- vs 150-cycle
+    (composing) miss handlers, 32KB I-cache, normalized to the
+    unmodified 32KB run. *)
+
+val all : (string * (opts -> figure)) list
+(** Panel id -> driver, in paper order. *)
+
+val by_id : string -> (opts -> figure) option

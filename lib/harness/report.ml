@@ -1,0 +1,72 @@
+let benchmarks_of (fig : Figures.figure) =
+  match fig.Figures.series with
+  | [] -> []
+  | s :: _ -> List.map fst s.Figures.values
+
+let value_of (s : Figures.series) bench =
+  match List.assoc_opt bench s.Figures.values with
+  | Some v -> v
+  | None -> nan
+
+let geomean (s : Figures.series) =
+  let vals = List.map snd s.Figures.values in
+  match vals with
+  | [] -> nan
+  | _ ->
+    exp (List.fold_left (fun acc v -> acc +. log v) 0. vals
+         /. float_of_int (List.length vals))
+
+let render ppf (fig : Figures.figure) =
+  let benches = benchmarks_of fig in
+  let col_width =
+    List.fold_left
+      (fun acc (s : Figures.series) -> max acc (String.length s.Figures.label))
+      6 fig.Figures.series
+    + 2
+  in
+  let bench_width =
+    List.fold_left (fun acc b -> max acc (String.length b)) 7 benches + 2
+  in
+  Format.fprintf ppf "%s@." fig.Figures.title;
+  Format.fprintf ppf "  (%s)@." fig.Figures.ylabel;
+  (* header *)
+  Format.fprintf ppf "%-*s" bench_width "";
+  List.iter
+    (fun (s : Figures.series) ->
+      Format.fprintf ppf "%*s" col_width s.Figures.label)
+    fig.Figures.series;
+  Format.pp_print_newline ppf ();
+  List.iter
+    (fun bench ->
+      Format.fprintf ppf "%-*s" bench_width bench;
+      List.iter
+        (fun s -> Format.fprintf ppf "%*.3f" col_width (value_of s bench))
+        fig.Figures.series;
+      Format.pp_print_newline ppf ())
+    benches;
+  Format.fprintf ppf "%-*s" bench_width "geomean";
+  List.iter
+    (fun s -> Format.fprintf ppf "%*.3f" col_width (geomean s))
+    fig.Figures.series;
+  Format.pp_print_newline ppf ()
+
+let to_csv (fig : Figures.figure) =
+  let benches = benchmarks_of fig in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "benchmark";
+  List.iter
+    (fun (s : Figures.series) ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf s.Figures.label)
+    fig.Figures.series;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun bench ->
+      Buffer.add_string buf bench;
+      List.iter
+        (fun s ->
+          Buffer.add_string buf (Printf.sprintf ",%.4f" (value_of s bench)))
+        fig.Figures.series;
+      Buffer.add_char buf '\n')
+    benches;
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Rendering of figure data: aligned text tables (benchmarks as rows,
+    series as columns) and CSV. *)
+
+val render : Format.formatter -> Figures.figure -> unit
+val to_csv : Figures.figure -> string
+
+val geomean : Figures.series -> float
+(** Geometric mean over the series' values (the natural summary for
+    normalized execution times). *)

@@ -1,0 +1,172 @@
+exception Parse_error of int * string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error (0, s))) fmt
+
+let strip_comment line =
+  let cut_at idx = String.sub line 0 idx in
+  let semi = String.index_opt line ';' in
+  let slash =
+    let rec find i =
+      if i + 1 >= String.length line then None
+      else if line.[i] = '/' && line.[i + 1] = '/' then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  match semi, slash with
+  | Some a, Some b -> cut_at (min a b)
+  | Some a, None | None, Some a -> cut_at a
+  | None, None -> line
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '$' || c = '.'
+
+(* Split an operand string on commas at depth zero (no nesting in this
+   syntax, so a plain split suffices), trimming whitespace. *)
+let split_operands s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let parse_number s =
+  match int_of_string_opt s with Some v -> v | None -> fail "bad number %S" s
+
+let parse_reg s =
+  match Reg.of_string s with
+  | Some r -> r
+  | None -> fail "bad register %S" s
+
+let parse_imm s =
+  if String.length s > 0 && s.[0] = '#' then
+    parse_number (String.sub s 1 (String.length s - 1))
+  else fail "expected #immediate, got %S" s
+
+let parse_target s =
+  if String.length s > 1 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+    Insn.Abs (parse_number s)
+  else if String.length s > 0 && is_ident_char s.[0] then Insn.Lab s
+  else fail "bad target %S" s
+
+(* "imm(reg)" *)
+let parse_mem_operand s =
+  match String.index_opt s '(' with
+  | None -> fail "expected imm(reg), got %S" s
+  | Some i ->
+    if String.length s = 0 || s.[String.length s - 1] <> ')' then
+      fail "expected imm(reg), got %S" s
+    else
+      let imm_str = String.trim (String.sub s 0 i) in
+      let reg_str = String.sub s (i + 1) (String.length s - i - 2) in
+      let imm = if imm_str = "" then 0 else parse_number imm_str in
+      (imm, parse_reg (String.trim reg_str))
+
+let parse_disepc s =
+  if String.length s > 1 && s.[0] = '@' then
+    parse_number (String.sub s 1 (String.length s - 1))
+  else fail "expected @disepc, got %S" s
+
+let parse_insn_fields mnemonic operands =
+  let ops = split_operands operands in
+  let arity n =
+    if List.length ops <> n then
+      fail "%s expects %d operands, got %d" mnemonic n (List.length ops)
+  in
+  match Opcode.rop_of_string mnemonic with
+  | Some op -> (
+    arity 3;
+    match ops with
+    | [ a; b; c ] ->
+      let rs = parse_reg a and rd = parse_reg c in
+      if String.length b > 0 && b.[0] = '#' then
+        Insn.Ropi (op, rs, parse_imm b, rd)
+      else Insn.Rop (op, rs, parse_reg b, rd)
+    | _ -> assert false)
+  | None -> (
+    match Opcode.mop_of_string mnemonic with
+    | Some op -> (
+      arity 2;
+      match ops with
+      | [ data; memop ] ->
+        let off, base = parse_mem_operand memop in
+        Insn.Mem (op, base, off, parse_reg data)
+      | _ -> assert false)
+    | None -> (
+      match Opcode.bop_of_string mnemonic with
+      | Some op -> (
+        arity 2;
+        match ops with
+        | [ r; t ] -> Insn.Br (op, parse_reg r, parse_target t)
+        | _ -> assert false)
+      | None -> (
+        match mnemonic, ops with
+        | "lda", [ rd; memop ] ->
+          let off, base = parse_mem_operand memop in
+          Insn.Lda (base, off, parse_reg rd)
+        | "lui", [ imm; rd ] -> Insn.Lui (parse_imm imm, parse_reg rd)
+        | "jmp", [ t ] -> Insn.Jmp (parse_target t)
+        | "jal", [ t ] -> Insn.Jal (parse_target t)
+        | "jr", [ r ] -> Insn.Jr (parse_reg r)
+        | "jalr", [ rs; rd ] -> Insn.Jalr (parse_reg rs, parse_reg rd)
+        | "djmp", [ t ] -> Insn.Djmp (parse_disepc t)
+        | "nop", [] -> Insn.Nop
+        | "halt", [] -> Insn.Halt
+        | _ when String.length mnemonic > 1 && mnemonic.[0] = 'd' -> (
+          let inner = String.sub mnemonic 1 (String.length mnemonic - 1) in
+          match Opcode.bop_of_string inner, ops with
+          | Some op, [ r; t ] -> Insn.Dbr (op, parse_reg r, parse_disepc t)
+          | Some _, _ -> fail "%s expects 2 operands" mnemonic
+          | None, _ -> fail "unknown mnemonic %S" mnemonic)
+        | _ when String.length mnemonic = 3 && String.sub mnemonic 0 2 = "cw"
+          -> (
+          let opnum = Char.code mnemonic.[2] - Char.code '0' in
+          match ops with
+          | [ p1; p2; p3; tagfield ] ->
+            let tag =
+              match String.index_opt tagfield '=' with
+              | Some i ->
+                parse_number
+                  (String.sub tagfield (i + 1)
+                     (String.length tagfield - i - 1))
+              | None -> parse_number tagfield
+            in
+            Insn.codeword ~op:opnum ~p1:(parse_number p1)
+              ~p2:(parse_number p2) ~p3:(parse_number p3) ~tag
+          | _ -> fail "%s expects p1, p2, p3, tag" mnemonic)
+        | _ -> fail "unknown mnemonic %S" mnemonic)))
+
+let parse_line line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then None
+  else if line.[String.length line - 1] = ':' then
+    let l = String.trim (String.sub line 0 (String.length line - 1)) in
+    if l = "" || not (String.for_all is_ident_char l) then
+      fail "bad label %S" l
+    else Some (Program.Label l)
+  else
+    let mnemonic, rest =
+      match String.index_opt line ' ' with
+      | None -> (line, "")
+      | Some i ->
+        ( String.sub line 0 i,
+          String.sub line (i + 1) (String.length line - i - 1) )
+    in
+    Some (Program.Ins (parse_insn_fields (String.lowercase_ascii mnemonic) rest))
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  List.concat
+    (List.mapi
+       (fun idx line ->
+         match parse_line line with
+         | Some item -> [ item ]
+         | None -> []
+         | exception Parse_error (0, msg) ->
+           raise (Parse_error (idx + 1, msg)))
+       lines)
+
+let parse_insn s =
+  match parse_line s with
+  | Some (Program.Ins i) -> [ i ] |> List.hd
+  | Some (Program.Label _) -> fail "expected instruction, got label"
+  | None -> fail "expected instruction, got blank line"

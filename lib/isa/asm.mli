@@ -1,0 +1,33 @@
+(** Text assembler.
+
+    Parses the surface syntax used throughout the paper's figures:
+
+    {v
+    main:
+      lda r1, 8(r2)        ; rd, imm(base)
+      srl r1, #26, r4      ; rs, #imm, rd
+      ldq r5, 0(r1)
+      xor r4, r6, r4
+      bne r4, error
+      jal helper
+      jr ra
+      halt
+    v}
+
+    Comments start with [;] or [//]. Numbers may be decimal or [0x]
+    hexadecimal. Branch/jump targets are labels or absolute [0x]
+    addresses. DISE-internal branches write a DISEPC target as [@n]
+    ([dbne r1, @3]); codewords as [cw0 1, 2, 3, tag=17]. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_line : string -> Program.item option
+(** Parse one line; [None] for blank/comment-only lines. Raises
+    [Parse_error] with line 0. *)
+
+val parse : string -> Program.t
+(** Parse a whole source text. Raises {!Parse_error}. *)
+
+val parse_insn : string -> Insn.t
+(** Parse a single instruction (no label). Raises {!Parse_error}. *)

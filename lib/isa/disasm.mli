@@ -1,0 +1,14 @@
+(** Disassembly / image pretty-printing. *)
+
+val pp_image : Format.formatter -> Program.Image.t -> unit
+(** Print every instruction with its address, interleaving label
+    definitions from the symbol table and rendering resolved branch
+    targets symbolically where a label matches. *)
+
+val pp_range :
+  Format.formatter -> Program.Image.t -> lo:int -> hi:int -> unit
+(** Like {!pp_image}, restricted to instruction indices [lo, hi). *)
+
+val insn_at : Program.Image.t -> int -> string
+(** One-line rendering of the instruction at a byte address, or
+    ["<no insn>"]. *)

@@ -1,0 +1,118 @@
+type item =
+  | Label of string
+  | Ins of Insn.t
+
+type t = item list
+
+exception Layout_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Layout_error s)) fmt
+
+module Image = struct
+  type t = {
+    base : int;
+    insns : Insn.t array;
+    addrs : int array;
+    sizes : int array;
+    symtab : (string, int) Hashtbl.t;
+    by_addr : (int, int) Hashtbl.t;
+    text_bytes : int;
+  }
+
+  let base t = t.base
+  let length t = Array.length t.insns
+  let text_bytes t = t.text_bytes
+  let get t i = t.insns.(i)
+  let addr_of_index t i = t.addrs.(i)
+  let size_of_index t i = t.sizes.(i)
+  let index_of_addr t addr = Hashtbl.find_opt t.by_addr addr
+
+  let fetch t addr =
+    match index_of_addr t addr with
+    | Some i -> Some t.insns.(i)
+    | None -> None
+
+  let symbol t name = Hashtbl.find_opt t.symtab name
+
+  let symbols t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.symtab []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+  let end_addr t = t.base + t.text_bytes
+
+  let iter f t =
+    Array.iteri (fun i insn -> f ~addr:t.addrs.(i) insn) t.insns
+end
+
+let default_size _ = 4
+
+let layout ?(base = 0x100000) ?(size_of = default_size) (prog : t) =
+  let symtab = Hashtbl.create 64 in
+  (* Pass 1: assign addresses. *)
+  let addr = ref base in
+  let insns = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Label l ->
+        if Hashtbl.mem symtab l then fail "duplicate label %s" l;
+        Hashtbl.add symtab l !addr
+      | Ins i ->
+        let sz = size_of i in
+        insns := (i, !addr, sz) :: !insns;
+        addr := !addr + sz;
+        incr n)
+    prog;
+  let text_bytes = !addr - base in
+  let triples = Array.of_list (List.rev !insns) in
+  let resolve = function
+    | Insn.Abs a -> Insn.Abs a
+    | Insn.Lab l -> (
+      match Hashtbl.find_opt symtab l with
+      | Some a -> Insn.Abs a
+      | None -> fail "undefined label %s" l)
+  in
+  let insns = Array.map (fun (i, _, _) -> Insn.map_target resolve i) triples in
+  let addrs = Array.map (fun (_, a, _) -> a) triples in
+  let sizes = Array.map (fun (_, _, s) -> s) triples in
+  let by_addr = Hashtbl.create (Array.length insns * 2) in
+  Array.iteri (fun i a -> Hashtbl.replace by_addr a i) addrs;
+  { Image.base; insns; addrs; sizes; symtab; by_addr; text_bytes }
+
+let insns prog =
+  List.filter_map (function Ins i -> Some i | Label _ -> None) prog
+
+let size prog = List.length (insns prog)
+let concat = List.concat
+
+let pp ppf prog =
+  List.iter
+    (fun item ->
+      match item with
+      | Label l -> Format.fprintf ppf "%s:@." l
+      | Ins i -> Format.fprintf ppf "  %a@." Insn.pp i)
+    prog
+
+module Builder = struct
+  type program = t
+
+  type t = {
+    mutable rev_items : item list;
+    mutable counter : int;
+    prefix : string;
+  }
+
+  let create ?(prefix = "") () = { rev_items = []; counter = 0; prefix }
+  let add b item = b.rev_items <- item :: b.rev_items
+  let label b l = add b (Label l)
+  let ins b i = add b (Ins i)
+  let append b prog = List.iter (add b) prog
+
+  let fresh_label b stem =
+    b.counter <- b.counter + 1;
+    if b.prefix = "" then Printf.sprintf "%s_%d" stem b.counter
+    else Printf.sprintf "%s_%s%d" stem b.prefix b.counter
+
+  let to_program b = List.rev b.rev_items
+end

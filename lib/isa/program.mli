@@ -1,0 +1,92 @@
+(** Symbolic programs and their layout into images.
+
+    A {!t} is an ordered list of labels and instructions with symbolic
+    control-transfer targets. Binary-rewriting ACFs (e.g. software
+    fault isolation) and the compressor operate at this level, where
+    inserting or deleting instructions cannot break branches; {!layout}
+    then assigns byte addresses and resolves every target.
+
+    Layout takes a [size_of] function because compressed images are not
+    uniform: the dedicated decompressor modelled in the evaluation uses
+    2-byte codewords, while everything else occupies 4 bytes. *)
+
+type item =
+  | Label of string
+  | Ins of Insn.t
+
+type t = item list
+
+exception Layout_error of string
+
+module Image : sig
+  (** A laid-out program: instructions with assigned byte addresses and
+      all targets resolved to absolute form. *)
+
+  type t
+
+  val base : t -> int
+  val length : t -> int
+  (** Number of instructions. *)
+
+  val text_bytes : t -> int
+  (** Total static text size in bytes. *)
+
+  val get : t -> int -> Insn.t
+  (** Instruction by index. *)
+
+  val addr_of_index : t -> int -> int
+  val size_of_index : t -> int -> int
+
+  val index_of_addr : t -> int -> int option
+  (** Index of the instruction starting at the given byte address. *)
+
+  val fetch : t -> int -> Insn.t option
+  (** Instruction at a byte address, if one starts there. *)
+
+  val symbol : t -> string -> int option
+  (** Address of a label. *)
+
+  val symbols : t -> (string * int) list
+
+  val end_addr : t -> int
+  (** First byte address past the text. *)
+
+  val iter : (addr:int -> Insn.t -> unit) -> t -> unit
+end
+
+val layout : ?base:int -> ?size_of:(Insn.t -> int) -> t -> Image.t
+(** Assign addresses starting at [base] (default [0x100000]) using
+    [size_of] (default: 4 bytes for everything) and resolve all label
+    targets. Raises {!Layout_error} on undefined or duplicate labels. *)
+
+val insns : t -> Insn.t list
+(** The instructions, without labels. *)
+
+val size : t -> int
+(** Number of instructions. *)
+
+val concat : t list -> t
+
+val pp : Format.formatter -> t -> unit
+
+module Builder : sig
+  (** Imperative accumulation of program items, used by the workload
+      generator and the rewriting tools. *)
+
+  type program = t
+  type t
+
+  (** [create ?prefix ()] makes an empty builder. [prefix] namespaces
+      {!fresh_label} results, letting several builders contribute to
+      one program without label collisions. *)
+  val create : ?prefix:string -> unit -> t
+  val label : t -> string -> unit
+  val ins : t -> Insn.t -> unit
+  val add : t -> item -> unit
+  val append : t -> program -> unit
+  val fresh_label : t -> string -> string
+  (** [fresh_label b stem] returns a label name unique within this
+      builder, derived from [stem], without emitting it. *)
+
+  val to_program : t -> program
+end

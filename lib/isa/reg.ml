@@ -1,0 +1,67 @@
+type t =
+  | R of int
+  | D of int
+
+let num_arch = 32
+let num_dedicated = 16
+
+let r n =
+  if n < 0 || n >= num_arch then invalid_arg "Reg.r: out of range";
+  R n
+
+let d n =
+  if n < 0 || n >= num_dedicated then invalid_arg "Reg.d: out of range";
+  D n
+
+let zero = R 0
+let sp = R 29
+let ra = R 31
+
+let is_arch = function R _ -> true | D _ -> false
+let is_dedicated = function D _ -> true | R _ -> false
+
+let index = function
+  | R n -> n
+  | D n -> num_arch + n
+
+let equal a b =
+  match a, b with
+  | R x, R y | D x, D y -> x = y
+  | R _, D _ | D _, R _ -> false
+
+let compare a b = Stdlib.compare (index a) (index b)
+
+let to_string = function
+  | R 0 -> "zero"
+  | R 29 -> "sp"
+  | R 31 -> "ra"
+  | R n -> Printf.sprintf "r%d" n
+  | D n -> Printf.sprintf "$dr%d" n
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_string s =
+  let parse_int prefix =
+    let p = String.length prefix in
+    if String.length s > p && String.sub s 0 p = prefix then
+      int_of_string_opt (String.sub s p (String.length s - p))
+    else None
+  in
+  match s with
+  | "zero" -> Some zero
+  | "sp" -> Some sp
+  | "ra" -> Some ra
+  | _ -> (
+    let arch =
+      match parse_int "$r" with Some n -> Some n | None -> parse_int "r"
+    in
+    match arch with
+    | Some n when n >= 0 && n < num_arch -> Some (R n)
+    | Some _ -> None
+    | None -> (
+      let ded =
+        match parse_int "$dr" with Some n -> Some n | None -> parse_int "dr"
+      in
+      match ded with
+      | Some n when n >= 0 && n < num_dedicated -> Some (D n)
+      | Some _ | None -> None))

@@ -1,0 +1,52 @@
+(** Register names.
+
+    The ISA exposes 32 architectural general-purpose registers. DISE
+    replacement sequences may additionally name {e dedicated} registers
+    that are invisible to (and unencodable by) application code; they
+    live in a separate namespace managed by the DISE controller. *)
+
+type t =
+  | R of int  (** architectural register, 0..31; [R 0] is hardwired zero *)
+  | D of int  (** DISE dedicated register, 0..15 *)
+
+val num_arch : int
+(** Number of architectural registers (32). *)
+
+val num_dedicated : int
+(** Number of DISE dedicated registers (16). *)
+
+val r : int -> t
+(** [r n] is architectural register [n]. Raises [Invalid_argument] if
+    [n] is outside [0, num_arch). *)
+
+val d : int -> t
+(** [d n] is dedicated register [n]. Raises [Invalid_argument] if [n]
+    is outside [0, num_dedicated). *)
+
+val zero : t
+(** The hardwired-zero register [R 0]. *)
+
+val sp : t
+(** Stack pointer by convention ([R 29]). *)
+
+val ra : t
+(** Return-address / link register by convention ([R 31]). *)
+
+val is_arch : t -> bool
+(** [is_arch r] is true iff [r] is an architectural register. *)
+
+val is_dedicated : t -> bool
+(** [is_dedicated r] is true iff [r] is a DISE dedicated register. *)
+
+val index : t -> int
+(** Flat index into a combined register file: architectural registers
+    map to [0..31], dedicated registers to [32..47]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Parses ["r4"], ["$r4"], ["sp"], ["ra"], ["zero"], ["$dr2"],
+    ["dr2"]. Returns [None] on anything else. *)

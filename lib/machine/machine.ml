@@ -1,0 +1,289 @@
+module I = Dise_isa.Insn
+module Op = Dise_isa.Opcode
+module Reg = Dise_isa.Reg
+module Image = Dise_isa.Program.Image
+
+type expansion = {
+  rsid : int;
+  seq : I.t array;
+}
+
+type expander = pc:int -> I.t -> expansion option
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+module Event = struct
+  type origin =
+    | App
+    | Rep of { rsid : int; offset : int; len : int }
+
+  type branch = {
+    taken : bool;
+    target : int;
+    dise_internal : bool;
+  }
+
+  type t = {
+    pc : int;
+    insn : I.t;
+    origin : origin;
+    expansion_start : bool;
+    mem_addr : int option;
+    branch : branch option;
+    fetched_new_pc : bool;
+  }
+end
+
+type t = {
+  image : Image.t;
+  mem : Memory.t;
+  regs : Regfile.t;
+  expander : expander;
+  mutable pc : int;
+  mutable disepc : int;
+  mutable cur : expansion option;
+  mutable cur_size : int;  (* byte size of the current application insn *)
+  mutable halted : bool;
+  mutable executed : int;
+  mutable app_fetched : int;
+  mutable expansions : int;
+}
+
+let no_expander ~pc:_ _ = None
+
+let default_sp = 0x07FFFF00
+
+let create ?(expander = no_expander) ?(entry = "main") image =
+  let pc =
+    match Image.symbol image entry with
+    | Some a -> a
+    | None -> Image.base image
+  in
+  let regs = Regfile.create () in
+  Regfile.set regs Reg.sp default_sp;
+  {
+    image;
+    mem = Memory.create ();
+    regs;
+    expander;
+    pc;
+    disepc = 0;
+    cur = None;
+    cur_size = 4;
+    halted = false;
+    executed = 0;
+    app_fetched = 0;
+    expansions = 0;
+  }
+
+let image t = t.image
+let memory t = t.mem
+let regs t = t.regs
+let pc t = t.pc
+let disepc t = t.disepc
+let halted t = t.halted
+let executed t = t.executed
+let app_fetched t = t.app_fetched
+let expansions t = t.expansions
+let set_dise_reg t n v = Regfile.set t.regs (Reg.d n) v
+let set_reg t r v = Regfile.set t.regs r v
+let exit_code t = Regfile.get t.regs (Reg.r 2)
+
+(* Result of executing one instruction. *)
+type flow =
+  | Next
+  | App_goto of int
+  | Dise_goto of int
+  | Stop
+
+let target_addr = function
+  | I.Abs a -> a
+  | I.Lab l -> fail "unresolved label %s at runtime" l
+
+(* Execute [insn]; [in_seq] tells whether we are inside a replacement
+   sequence (DISE-internal control is only legal there). The return
+   address for calls is the application-level fall-through, i.e. the
+   address after the (possibly expanded) trigger. *)
+let exec_one t insn ~in_seq =
+  let get r = Regfile.get t.regs r in
+  let set r v = Regfile.set t.regs r v in
+  let return_addr = t.pc + t.cur_size in
+  match insn with
+  | I.Rop (op, a, b, c) ->
+    set c (Op.eval_rop op (get a) (get b));
+    (Next, None, None)
+  | I.Ropi (op, a, v, c) ->
+    set c (Op.eval_rop op (get a) v);
+    (Next, None, None)
+  | I.Lda (base, off, rd) ->
+    set rd (get base + off);
+    (Next, None, None)
+  | I.Lui (v, rd) ->
+    set rd (v lsl 16);
+    (Next, None, None)
+  | I.Mem (mop, base, off, data) -> (
+    let addr = Op.mask32 (get base + off) in
+    match mop with
+    | Op.Ldq ->
+      set data (Memory.read_s32 t.mem addr);
+      (Next, Some addr, None)
+    | Op.Ldbu ->
+      set data (Memory.read_u8 t.mem addr);
+      (Next, Some addr, None)
+    | Op.Stq ->
+      Memory.write_u32 t.mem addr (Op.mask32 (get data));
+      (Next, Some addr, None)
+    | Op.Stb ->
+      Memory.write_u8 t.mem addr (get data);
+      (Next, Some addr, None))
+  | I.Br (bop, r, tgt) ->
+    let target = target_addr tgt in
+    let taken = Op.eval_bop bop (get r) in
+    let flow = if taken then App_goto target else Next in
+    (flow, None, Some { Event.taken; target; dise_internal = false })
+  | I.Jmp tgt ->
+    let target = target_addr tgt in
+    (App_goto target, None,
+     Some { Event.taken = true; target; dise_internal = false })
+  | I.Jal tgt ->
+    let target = target_addr tgt in
+    set Reg.ra return_addr;
+    (App_goto target, None,
+     Some { Event.taken = true; target; dise_internal = false })
+  | I.Jr r ->
+    let target = Op.mask32 (get r) in
+    (App_goto target, None,
+     Some { Event.taken = true; target; dise_internal = false })
+  | I.Jalr (r, rd) ->
+    let target = Op.mask32 (get r) in
+    set rd return_addr;
+    (App_goto target, None,
+     Some { Event.taken = true; target; dise_internal = false })
+  | I.Dbr (bop, r, off) ->
+    if not in_seq then fail "DISE branch outside replacement sequence";
+    let taken = Op.eval_bop bop (get r) in
+    let flow = if taken then Dise_goto off else Next in
+    (flow, None, Some { Event.taken; target = off; dise_internal = true })
+  | I.Djmp off ->
+    if not in_seq then fail "DISE jump outside replacement sequence";
+    (Dise_goto off, None,
+     Some { Event.taken = true; target = off; dise_internal = true })
+  | I.Codeword _ ->
+    if in_seq then fail "codeword inside replacement sequence (recursion)"
+    else fail "codeword at 0x%x matched no production" t.pc
+  | I.Nop -> (Next, None, None)
+  | I.Halt -> (Stop, None, None)
+
+let advance_app t = t.pc <- t.pc + t.cur_size
+
+let finish_sequence t =
+  t.cur <- None;
+  t.disepc <- 0;
+  advance_app t
+
+(* Execute the replacement instruction at the current DISEPC. *)
+let step_in_sequence t (e : expansion) ~expansion_start =
+  let len = Array.length e.seq in
+  let offset = t.disepc in
+  let insn = e.seq.(offset) in
+  let flow, mem_addr, branch = exec_one t insn ~in_seq:true in
+  let ev =
+    {
+      Event.pc = t.pc;
+      insn;
+      origin = Event.Rep { rsid = e.rsid; offset; len };
+      expansion_start;
+      mem_addr;
+      branch;
+      fetched_new_pc = expansion_start;
+    }
+  in
+  (match flow with
+  | Next ->
+    t.disepc <- offset + 1;
+    if t.disepc >= len then finish_sequence t
+  | App_goto target ->
+    t.cur <- None;
+    t.disepc <- 0;
+    t.pc <- target
+  | Dise_goto d ->
+    if d < 0 || d > len then
+      fail "DISE transfer to offset %d outside sequence of length %d" d len;
+    t.disepc <- d;
+    if d = len then finish_sequence t
+  | Stop -> t.halted <- true);
+  t.executed <- t.executed + 1;
+  ev
+
+let interrupt t =
+  let saved = (t.pc, t.disepc) in
+  t.cur <- None;
+  saved
+
+let resume t ~pc ~disepc =
+  t.pc <- pc;
+  t.disepc <- disepc;
+  t.cur <- None;
+  t.halted <- false
+
+let step t =
+  if t.halted then None
+  else
+    match t.cur with
+    | Some e when t.disepc < Array.length e.seq ->
+      Some (step_in_sequence t e ~expansion_start:false)
+    | Some _ | None -> (
+      (* Application-level fetch. *)
+      match Image.index_of_addr t.image t.pc with
+      | None -> fail "PC 0x%x outside text" t.pc
+      | Some idx -> (
+        let insn = Image.get t.image idx in
+        t.cur_size <- Image.size_of_index t.image idx;
+        t.app_fetched <- t.app_fetched + 1;
+        match t.expander ~pc:t.pc insn with
+        | Some e ->
+          if Array.length e.seq = 0 then
+            fail "empty replacement sequence for 0x%x" t.pc;
+          t.expansions <- t.expansions + 1;
+          t.cur <- Some e;
+          (* A restored DISEPC (interrupt resumption) skips the first
+             instructions of the sequence; normally it is 0. *)
+          if t.disepc >= Array.length e.seq then t.disepc <- 0;
+          Some (step_in_sequence t e ~expansion_start:true)
+        | None ->
+          t.disepc <- 0;
+          let flow, mem_addr, branch = exec_one t insn ~in_seq:false in
+          let ev =
+            {
+              Event.pc = t.pc;
+              insn;
+              origin = Event.App;
+              expansion_start = false;
+              mem_addr;
+              branch;
+              fetched_new_pc = true;
+            }
+          in
+          (match flow with
+          | Next -> advance_app t
+          | App_goto target -> t.pc <- target
+          | Dise_goto _ -> assert false
+          | Stop -> t.halted <- true);
+          t.executed <- t.executed + 1;
+          Some ev))
+
+let run_events ?(max_steps = 100_000_000) t f =
+  let rec go () =
+    if t.executed > max_steps then
+      fail "exceeded %d steps without halting" max_steps;
+    match step t with
+    | Some ev ->
+      f ev;
+      go ()
+    | None -> t.executed
+  in
+  go ()
+
+let run ?max_steps t = run_events ?max_steps t (fun _ -> ())

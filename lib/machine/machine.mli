@@ -1,0 +1,120 @@
+(** Functional emulator with DISE expansion semantics.
+
+    The machine fetches application instructions by PC, offers each to
+    an {e expander} (the DISE engine, injected as a closure so this
+    library stays independent of the engine's implementation), and
+    executes either the instruction itself or its replacement sequence.
+
+    Replacement-sequence semantics follow the paper's two-level control
+    model. Every dynamic instruction carries a [PC:DISEPC] pair; an
+    application instruction has DISEPC 0. Within a sequence:
+
+    - DISE-internal branches ([Dbr]/[Djmp]) modify the DISEPC only;
+    - a taken application-level control transfer squashes the rest of
+      the sequence (a non-trigger replacement branch is effectively
+      predicted not-taken, exactly the behaviour the paper's fault
+      isolation production relies on);
+    - a sequence that runs to completion falls through to the next
+      application PC;
+    - codewords may not appear inside replacement sequences (no
+      recursive expansion).
+
+    Each {!step} returns an {!Event.t} describing the executed dynamic
+    instruction; the trace-driven timing model consumes these. *)
+
+type expansion = {
+  rsid : int;             (** replacement sequence identifier *)
+  seq : Dise_isa.Insn.t array;  (** fully instantiated sequence *)
+}
+
+type expander = pc:int -> Dise_isa.Insn.t -> expansion option
+
+exception Runtime_error of string
+
+module Event : sig
+  type origin =
+    | App  (** an ordinary application instruction *)
+    | Rep of { rsid : int; offset : int; len : int }
+        (** replacement instruction [offset] of a [len]-long sequence *)
+
+  type branch = {
+    taken : bool;
+    target : int;        (** PC target, or DISEPC for internal branches *)
+    dise_internal : bool;
+  }
+
+  type t = {
+    pc : int;
+    insn : Dise_isa.Insn.t;
+    origin : origin;
+    expansion_start : bool;
+        (** true on the first instruction of an expansion: the cycle in
+            which the engine recognized a trigger *)
+    mem_addr : int option;
+    branch : branch option;
+    fetched_new_pc : bool;
+        (** true when this event consumed a fresh application fetch
+            (the I-cache is touched); replacement instructions after
+            the first come from the RT and do not access the I-cache *)
+  }
+end
+
+type t
+
+val create :
+  ?expander:expander -> ?entry:string -> Dise_isa.Program.Image.t -> t
+(** [create image] builds a machine with PC at label [entry] (default
+    ["main"], falling back to the image base), an empty memory, and a
+    zeroed register file with [sp] pointing at [0x07FFFF00]. *)
+
+val image : t -> Dise_isa.Program.Image.t
+val memory : t -> Memory.t
+val regs : t -> Regfile.t
+val pc : t -> int
+val disepc : t -> int
+val halted : t -> bool
+
+val executed : t -> int
+(** Dynamic instructions executed (application + replacement). *)
+
+val app_fetched : t -> int
+(** Application-level instructions fetched (each trigger counts once,
+    however long its replacement sequence). *)
+
+val expansions : t -> int
+(** Number of expansions performed. *)
+
+val set_dise_reg : t -> int -> int -> unit
+(** Controller-mediated write to a dedicated register. *)
+
+val set_reg : t -> Dise_isa.Reg.t -> int -> unit
+
+val interrupt : t -> int * int
+(** Take a precise interrupt at the current PC:DISEPC boundary
+    (Section 2.2): abandon the in-flight replacement sequence and
+    return the [(pc, disepc)] pair the OS would save. Execution state
+    (registers, memory) is already precise — every {!step} retires one
+    whole instruction. *)
+
+val resume : t -> pc:int -> disepc:int -> unit
+(** Return from a handler to a saved [(pc, disepc)] pair. Fetch
+    restarts at [pc]; the engine recognizes the DISEPC annotation and
+    re-expands the replacement sequence, skipping its first [disepc]
+    instructions. *)
+
+val step : t -> Event.t option
+(** Execute one dynamic instruction. [None] once halted. Raises
+    {!Runtime_error} when the PC leaves the text or an illegal
+    situation arises (codeword with no production, codeword inside a
+    replacement sequence, memory fault). *)
+
+val run : ?max_steps:int -> t -> int
+(** Step until halt (or [max_steps], default 100 million; raises
+    {!Runtime_error} if exceeded). Returns executed-instruction
+    count. *)
+
+val run_events : ?max_steps:int -> t -> (Event.t -> unit) -> int
+(** Like {!run} but streams every event to the callback. *)
+
+val exit_code : t -> int
+(** Value of r2 at halt, the program's exit-convention register. *)

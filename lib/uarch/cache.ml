@@ -1,0 +1,98 @@
+type way = {
+  mutable tag : int;  (* -1 = invalid *)
+  mutable lru : int;
+}
+
+type t = {
+  size_bytes : int;
+  line_bytes : int;
+  line_shift : int;
+  n_sets : int;
+  assoc : int;
+  sets : way array array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 n
+
+let create ~size_bytes ~assoc ~line_bytes =
+  if size_bytes <= 0 || assoc <= 0 || line_bytes <= 0 then
+    invalid_arg "Cache.create: non-positive parameter";
+  if line_bytes land (line_bytes - 1) <> 0 then
+    invalid_arg "Cache.create: line size must be a power of two";
+  if size_bytes mod (assoc * line_bytes) <> 0 then
+    invalid_arg "Cache.create: size not divisible by assoc * line";
+  let n_sets = size_bytes / (assoc * line_bytes) in
+  {
+    size_bytes;
+    line_bytes;
+    line_shift = log2 line_bytes;
+    n_sets;
+    assoc;
+    sets =
+      Array.init n_sets (fun _ ->
+          Array.init assoc (fun _ -> { tag = -1; lru = 0 }));
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let set_and_tag t addr =
+  let line = addr lsr t.line_shift in
+  (t.sets.(line mod t.n_sets), line)
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let set, tag = set_and_tag t addr in
+  let rec find i = if i >= t.assoc then None
+    else if set.(i).tag = tag then Some set.(i)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some w ->
+    w.lru <- t.clock;
+    `Hit
+  | None ->
+    t.misses <- t.misses + 1;
+    let victim = ref set.(0) in
+    Array.iter
+      (fun w ->
+        if w.tag = -1 && !victim.tag <> -1 then victim := w
+        else if w.tag <> -1 && !victim.tag <> -1 && w.lru < !victim.lru then
+          victim := w)
+      set;
+    !victim.tag <- tag;
+    !victim.lru <- t.clock;
+    `Miss
+
+let probe t addr =
+  let set, tag = set_and_tag t addr in
+  Array.exists (fun w -> w.tag = tag) set
+
+let line_bytes t = t.line_bytes
+let size_bytes t = t.size_bytes
+let accesses t = t.accesses
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0.
+  else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0
+
+let invalidate t =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w ->
+          w.tag <- -1;
+          w.lru <- 0)
+        set)
+    t.sets

@@ -1,0 +1,23 @@
+(** Generic set-associative cache model (LRU), used for the I-cache,
+    D-cache, and the unified L2. Tracks line presence only — the
+    timing model charges latencies from hit/miss outcomes. *)
+
+type t
+
+val create : size_bytes:int -> assoc:int -> line_bytes:int -> t
+(** Raises [Invalid_argument] unless sizes are positive and
+    [size_bytes] is divisible by [assoc * line_bytes]. *)
+
+val access : t -> int -> [ `Hit | `Miss ]
+(** Touch the line containing the byte address; allocates on miss. *)
+
+val probe : t -> int -> bool
+(** Presence check without LRU update or allocation. *)
+
+val line_bytes : t -> int
+val size_bytes : t -> int
+val accesses : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+val reset_stats : t -> unit
+val invalidate : t -> unit

@@ -1,0 +1,67 @@
+type cache_cfg = {
+  size_bytes : int;
+  assoc : int;
+  line_bytes : int;
+}
+
+type dise_decode =
+  | Free
+  | Stall_per_expansion
+  | Extra_stage
+
+type t = {
+  width : int;
+  depth : int;
+  rob_size : int;
+  icache : cache_cfg option;
+  dcache : cache_cfg option;
+  l2 : cache_cfg option;
+  l1_latency : int;
+  l2_latency : int;
+  mem_latency : int;
+  mul_latency : int;
+  dise_decode : dise_decode;
+  perfect_branch_pred : bool;
+}
+
+let kb n = n * 1024
+
+let default =
+  {
+    width = 4;
+    depth = 12;
+    rob_size = 128;
+    icache = Some { size_bytes = kb 32; assoc = 2; line_bytes = 64 };
+    dcache = Some { size_bytes = kb 32; assoc = 2; line_bytes = 64 };
+    l2 = Some { size_bytes = kb 1024; assoc = 8; line_bytes = 64 };
+    l1_latency = 2;
+    l2_latency = 10;
+    mem_latency = 100;
+    mul_latency = 3;
+    dise_decode = Free;
+    perfect_branch_pred = false;
+  }
+
+let with_icache_kb size t =
+  match size with
+  | None -> { t with icache = None }
+  | Some n -> { t with icache = Some { size_bytes = kb n; assoc = 2; line_bytes = 64 } }
+
+let with_width w t = { t with width = w }
+let with_dise_decode d t = { t with dise_decode = d }
+
+let pp_cache ppf = function
+  | None -> Format.pp_print_string ppf "perfect"
+  | Some c ->
+    Format.fprintf ppf "%dKB/%d-way/%dB" (c.size_bytes / 1024) c.assoc
+      c.line_bytes
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d-wide depth=%d rob=%d I$=%a D$=%a L2=%a dise=%s bp=%s" t.width t.depth
+    t.rob_size pp_cache t.icache pp_cache t.dcache pp_cache t.l2
+    (match t.dise_decode with
+    | Free -> "free"
+    | Stall_per_expansion -> "stall"
+    | Extra_stage -> "+pipe")
+    (if t.perfect_branch_pred then "perfect" else "gshare")

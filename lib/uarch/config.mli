@@ -1,0 +1,48 @@
+(** Machine configurations for the timing model.
+
+    The default mirrors the paper's simulated machine: a MIPS
+    R10000-like 4-way superscalar, 12-stage pipeline, 128-entry
+    reorder buffer, 32KB 2-way instruction and data caches, and a
+    unified 1MB 8-way L2. The DISE decode option selects between the
+    three engine placements of Section 2.2 / Figure 6: a free
+    implementation, a one-cycle stall per expansion (PT/RT in
+    parallel), or an extra decode stage (PT/RT in series, +1 cycle of
+    misprediction penalty for everything). *)
+
+type cache_cfg = {
+  size_bytes : int;
+  assoc : int;
+  line_bytes : int;
+}
+
+type dise_decode =
+  | Free              (** no cost per expansion *)
+  | Stall_per_expansion  (** +1 cycle on every expansion start *)
+  | Extra_stage       (** +1 pipeline stage: larger mispredict penalty *)
+
+type t = {
+  width : int;              (** fetch/issue/retire width *)
+  depth : int;              (** front-end depth: mispredict redirect penalty *)
+  rob_size : int;
+  icache : cache_cfg option;    (** [None] = perfect *)
+  dcache : cache_cfg option;
+  l2 : cache_cfg option;
+  l1_latency : int;         (** load-to-use on a D-cache hit *)
+  l2_latency : int;         (** additional cycles on an L1 miss, L2 hit *)
+  mem_latency : int;        (** additional cycles on an L2 miss *)
+  mul_latency : int;
+  dise_decode : dise_decode;
+  perfect_branch_pred : bool;
+}
+
+val default : t
+(** The paper's baseline machine. *)
+
+val with_icache_kb : int option -> t -> t
+(** Resize the I-cache ([None] = perfect), keeping 2-way/64B lines —
+    the Figure 6/7 cache sweeps. *)
+
+val with_width : int -> t -> t
+val with_dise_decode : dise_decode -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,308 @@
+module I = Dise_isa.Insn
+module Op = Dise_isa.Opcode
+module Reg = Dise_isa.Reg
+module Machine = Dise_machine.Machine
+module Event = Dise_machine.Machine.Event
+module Controller = Dise_core.Controller
+
+type t = {
+  cfg : Config.t;
+  icache : Cache.t option;
+  dcache : Cache.t option;
+  l2 : Cache.t option;
+  bp : Branch_pred.t;
+  controller : Controller.t option;
+  stats : Stats.t;
+  reg_ready : int array;
+  rob : int array;  (* ring buffer of retire timestamps *)
+  issue_ring : int array;  (* last [width] issue timestamps *)
+  mutable issue_head : int;
+  mutable serial_stalls : int;
+  mutable seq : int;
+  mutable fetch_cycle : int;
+  mutable fetch_count : int;
+  mutable last_line : int;
+  mutable last_l2_ifetch_line : int;
+  mutable last_retire : int;
+  mutable finished : bool;
+}
+
+let make_cache = function
+  | None -> None
+  | Some { Config.size_bytes; assoc; line_bytes } ->
+    Some (Cache.create ~size_bytes ~assoc ~line_bytes)
+
+let create ?controller (cfg : Config.t) =
+  {
+    cfg;
+    icache = make_cache cfg.icache;
+    dcache = make_cache cfg.dcache;
+    l2 = make_cache cfg.l2;
+    bp =
+      (if cfg.perfect_branch_pred then Branch_pred.perfect ()
+       else Branch_pred.create ());
+    controller;
+    stats = Stats.create ();
+    reg_ready = Array.make (Reg.num_arch + Reg.num_dedicated) 0;
+    rob = Array.make (max cfg.rob_size cfg.width) 0;
+    issue_ring = Array.make (max 1 cfg.width) 0;
+    issue_head = 0;
+    serial_stalls = 0;
+    seq = 0;
+    fetch_cycle = 0;
+    fetch_count = 0;
+    last_line = -1;
+    last_l2_ifetch_line = min_int;
+    last_retire = 0;
+    finished = false;
+  }
+
+(* Penalty of an L1 miss: the L2 access, plus memory on an L2 miss.
+   [prefetched] marks L2 misses whose latency a next-line prefetcher
+   would have hidden (sequential instruction streaming): they cost only
+   the L2 access. *)
+let l1_miss_penalty ?(prefetched = false) t addr =
+  match t.l2 with
+  | None -> t.cfg.l2_latency
+  | Some l2 -> (
+    t.stats.Stats.l2_accesses <- t.stats.Stats.l2_accesses + 1;
+    match Cache.access l2 addr with
+    | `Hit -> t.cfg.l2_latency
+    | `Miss ->
+      t.stats.Stats.l2_misses <- t.stats.Stats.l2_misses + 1;
+      if prefetched then t.cfg.l2_latency
+      else t.cfg.l2_latency + t.cfg.mem_latency)
+
+let redirect_depth t =
+  t.cfg.depth + (match t.cfg.dise_decode with Config.Extra_stage -> 1 | _ -> 0)
+
+(* Restart fetch after a pipeline redirect resolving at [cycle]. *)
+let redirect t cycle =
+  t.fetch_cycle <- max t.fetch_cycle (cycle + redirect_depth t);
+  t.fetch_count <- 0;
+  t.last_line <- -1
+
+(* End the current fetch group (taken branch or stall). *)
+let break_group t extra =
+  t.fetch_cycle <- t.fetch_cycle + 1 + extra;
+  t.fetch_count <- 0
+
+(* A serializing stall (DISE decode stall, PT/RT miss flush): the whole
+   pipeline stops or is flushed, so the cycles cannot be hidden behind
+   front-end slack, ROB back-pressure, or spare issue slots the way an
+   ordinary fetch bubble can. Every timestamp in this model is relative
+   and all microarchitectural state (caches, predictor) is
+   timing-independent, so a whole-timeline offset accounts for these
+   stalls exactly: accumulate them and add the total to the final cycle
+   count. *)
+let serialize_stall t cycles =
+  if cycles > 0 then begin
+    t.serial_stalls <- t.serial_stalls + cycles;
+    t.fetch_count <- 0
+  end
+
+let latency_of t (ev : Event.t) =
+  match ev.insn with
+  | I.Rop (Op.Mul, _, _, _) | I.Ropi (Op.Mul, _, _, _) -> t.cfg.mul_latency
+  | I.Mem ((Op.Ldq | Op.Ldbu), _, _, _) -> (
+    t.stats.Stats.dcache_accesses <- t.stats.Stats.dcache_accesses + 1;
+    match t.dcache with
+    | None -> t.cfg.l1_latency
+    | Some dc -> (
+      let addr = match ev.mem_addr with Some a -> a | None -> 0 in
+      match Cache.access dc addr with
+      | `Hit -> t.cfg.l1_latency
+      | `Miss ->
+        t.stats.Stats.dcache_misses <- t.stats.Stats.dcache_misses + 1;
+        t.cfg.l1_latency + l1_miss_penalty t addr))
+  | I.Mem ((Op.Stq | Op.Stb), _, _, _) ->
+    (* Stores retire through a store buffer; charge 1 cycle but track
+       the footprint. *)
+    t.stats.Stats.dcache_accesses <- t.stats.Stats.dcache_accesses + 1;
+    (match t.dcache with
+    | None -> ()
+    | Some dc -> (
+      let addr = match ev.mem_addr with Some a -> a | None -> 0 in
+      match Cache.access dc addr with
+      | `Hit -> ()
+      | `Miss ->
+        t.stats.Stats.dcache_misses <- t.stats.Stats.dcache_misses + 1;
+        ignore (l1_miss_penalty t addr)));
+    1
+  | _ -> 1
+
+let branch_kind insn =
+  match insn with
+  | I.Br _ -> Some Branch_pred.Cond
+  | I.Jmp _ -> Some Branch_pred.Direct
+  | I.Jr r when Reg.equal r Reg.ra -> Some Branch_pred.Return
+  | I.Jr _ -> Some Branch_pred.Indirect
+  | I.Jal _ | I.Jalr _ -> None  (* handled as calls *)
+  | _ -> None
+
+let is_call = function I.Jal _ | I.Jalr _ -> true | _ -> false
+
+let consume t (ev : Event.t) =
+  let cfg = t.cfg in
+  let stats = t.stats in
+  (* ---- fetch ---- *)
+  if t.fetch_count >= cfg.width then begin
+    t.fetch_cycle <- t.fetch_cycle + 1;
+    t.fetch_count <- 0
+  end;
+  if ev.fetched_new_pc then begin
+    stats.Stats.app_instrs <- stats.Stats.app_instrs + 1;
+    (match t.icache with
+    | None -> ()
+    | Some ic ->
+      let line = ev.pc / Cache.line_bytes ic in
+      if line <> t.last_line then begin
+        t.last_line <- line;
+        stats.Stats.icache_accesses <- stats.Stats.icache_accesses + 1;
+        match Cache.access ic ev.pc with
+        | `Hit -> ()
+        | `Miss ->
+          stats.Stats.icache_misses <- stats.Stats.icache_misses + 1;
+          let prefetched = line = t.last_l2_ifetch_line + 1 in
+          t.last_l2_ifetch_line <- line;
+          (* Instruction misses starve the whole core: the decoupling
+             queue drains in a couple of cycles, so unlike data misses
+             the latency is essentially exposed. *)
+          serialize_stall t (l1_miss_penalty ~prefetched t ev.pc)
+      end);
+    (* PT inspection happens on every application fetch. *)
+    match t.controller with
+    | None -> ()
+    | Some c ->
+      let stall = Controller.on_fetch c ~key:(I.key ev.insn) in
+      if stall > 0 then begin
+        stats.Stats.dise_stall_cycles <- stats.Stats.dise_stall_cycles + stall;
+        serialize_stall t stall
+      end
+  end
+  else stats.Stats.rep_instrs <- stats.Stats.rep_instrs + 1;
+  (match ev.origin with
+  | Event.Rep { offset = 0; rsid; len; _ } when ev.expansion_start ->
+    stats.Stats.expansions <- stats.Stats.expansions + 1;
+    (match t.controller with
+    | None -> ()
+    | Some c ->
+      stats.Stats.rt_accesses <- stats.Stats.rt_accesses + 1;
+      let stall = Controller.on_expansion c ~rsid ~len in
+      if stall > 0 then begin
+        stats.Stats.rt_misses <- stats.Stats.rt_misses + 1;
+        stats.Stats.dise_stall_cycles <- stats.Stats.dise_stall_cycles + stall;
+        serialize_stall t stall
+      end);
+    (match cfg.dise_decode with
+    | Config.Stall_per_expansion ->
+      stats.Stats.dise_stall_cycles <- stats.Stats.dise_stall_cycles + 1;
+      serialize_stall t 1
+    | Config.Free | Config.Extra_stage -> ())
+  | _ -> ());
+  let fetch = t.fetch_cycle in
+  t.fetch_count <- t.fetch_count + 1;
+  (* ---- dispatch: ROB back-pressure ---- *)
+  let rob_len = Array.length t.rob in
+  let fetch =
+    if t.seq >= cfg.rob_size then
+      (* cannot dispatch until the entry rob_size ago has retired *)
+      max fetch (t.rob.((t.seq - cfg.rob_size) mod rob_len))
+    else fetch
+  in
+  t.fetch_cycle <- max t.fetch_cycle fetch;
+  (* ---- issue / execute ---- *)
+  let src_ready =
+    List.fold_left
+      (fun acc r -> max acc t.reg_ready.(Reg.index r))
+      0 (I.uses ev.insn)
+  in
+  (* Issue bandwidth: at most [width] instructions may begin execution
+     per cycle; the [width]-th previous issue bounds this one. *)
+  let bandwidth_ready = t.issue_ring.(t.issue_head) + 1 in
+  let start = max (max fetch src_ready) bandwidth_ready in
+  t.issue_ring.(t.issue_head) <- start;
+  t.issue_head <- (t.issue_head + 1) mod Array.length t.issue_ring;
+  let lat = latency_of t ev in
+  let complete = start + lat in
+  List.iter
+    (fun r -> t.reg_ready.(Reg.index r) <- complete)
+    (I.defs ev.insn);
+  (* ---- control flow ---- *)
+  (match ev.branch with
+  | None -> ()
+  | Some b ->
+    if b.Event.dise_internal then begin
+      (* A taken DISE branch is interpreted as a misprediction. *)
+      if b.Event.taken then begin
+        stats.Stats.dise_branch_redirects <-
+          stats.Stats.dise_branch_redirects + 1;
+        redirect t complete
+      end
+    end
+    else begin
+      stats.Stats.branches <- stats.Stats.branches + 1;
+      let predicted_normally =
+        match ev.origin with
+        | Event.App -> true
+        | Event.Rep { offset; len; _ } ->
+          (* Only the trigger (last element) was seen by the fetch-side
+             predictor; prediction of other replacement branches is
+             suppressed. *)
+          offset = len - 1
+      in
+      if predicted_normally then begin
+        let fallthrough = ev.pc + 4 in
+        let outcome =
+          if is_call ev.insn then
+            Branch_pred.on_call t.bp ~pc:ev.pc ~target:b.Event.target
+              ~fallthrough
+              ~indirect:(match ev.insn with I.Jalr _ -> true | _ -> false)
+          else
+            match branch_kind ev.insn with
+            | Some kind ->
+              Branch_pred.on_branch t.bp ~pc:ev.pc ~kind ~taken:b.Event.taken
+                ~target:b.Event.target ~fallthrough
+            | None -> `Correct
+        in
+        match outcome with
+        | `Mispredict ->
+          stats.Stats.mispredicts <- stats.Stats.mispredicts + 1;
+          redirect t complete
+        | `Correct -> if b.Event.taken then break_group t 0
+      end
+      else if b.Event.taken then begin
+        (* Effectively predicted not-taken: a taken replacement branch
+           redirects (this is the fault-isolation trap path). *)
+        stats.Stats.rep_branch_redirects <- stats.Stats.rep_branch_redirects + 1;
+        redirect t complete
+      end
+    end);
+  (* ---- retire ---- *)
+  let in_order = if t.seq > 0 then t.rob.((t.seq - 1) mod rob_len) else 0 in
+  let bandwidth =
+    if t.seq >= cfg.width then t.rob.((t.seq - cfg.width) mod rob_len) + 1
+    else 0
+  in
+  let retire = max complete (max in_order bandwidth) in
+  t.rob.(t.seq mod rob_len) <- retire;
+  t.last_retire <- retire;
+  t.seq <- t.seq + 1;
+  stats.Stats.retired <- stats.Stats.retired + 1
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    t.stats.Stats.cycles <- t.last_retire + t.serial_stalls;
+    (match t.controller with
+    | Some c ->
+      let cs = Controller.stats c in
+      t.stats.Stats.pt_misses <- cs.Controller.pt_misses
+    | None -> ())
+  end;
+  t.stats
+
+let run ?max_steps ?controller cfg machine =
+  let p = create ?controller cfg in
+  ignore (Machine.run_events ?max_steps machine (fun ev -> consume p ev));
+  finish p

@@ -1,0 +1,50 @@
+(** Trace-driven superscalar timing model.
+
+    Consumes the dynamic (post-DISE) instruction stream produced by the
+    functional machine and computes per-instruction timestamps through
+    a classic one-pass scoreboard approximation of an out-of-order
+    core:
+
+    - fetch: [width] instructions per cycle, a taken branch ends the
+      group; application fetches access the I-cache (replacement
+      instructions are fed by the RT and do not); I-cache misses stall
+      fetch for the L2/memory latency;
+    - DISE: PT/RT miss stalls from the {!Dise_core.Controller} are
+      charged at fetch, as is the optional one-cycle stall per
+      expansion; the extra-stage option deepens every redirect;
+    - dispatch: bounded by ROB occupancy (an instruction cannot enter
+      until the instruction [rob_size] before it has retired);
+    - issue: an instruction starts when its source registers are ready,
+      its fetch has happened, and an issue slot is free ([width] issues
+      per cycle); latencies are 1 cycle for ALU ops and
+      correctly-predicted branches, [mul_latency] for multiplies, and
+      D-cache-determined latency for loads;
+    - control: conditional/indirect application branches are predicted
+      (gshare/BTB/RAS); non-trigger replacement branches are treated as
+      predicted not-taken and taken DISE-internal branches as
+      mispredictions, per Section 2.2; every redirect restarts fetch
+      [depth] cycles after the branch resolves;
+    - retire: in order, [width] per cycle.
+
+    Absolute cycle counts are approximations; the harness reports
+    execution times normalized to a baseline run, as the paper does. *)
+
+type t
+
+val create :
+  ?controller:Dise_core.Controller.t -> Config.t -> t
+
+val consume : t -> Dise_machine.Machine.Event.t -> unit
+
+val finish : t -> Stats.t
+(** Close the run and return the populated statistics (cycle count =
+    retire time of the last instruction). Idempotent. *)
+
+val run :
+  ?max_steps:int ->
+  ?controller:Dise_core.Controller.t ->
+  Config.t ->
+  Dise_machine.Machine.t ->
+  Stats.t
+(** Convenience driver: step the machine to completion, feeding every
+    event through a fresh pipeline. *)

@@ -1,0 +1,57 @@
+type t = {
+  mutable cycles : int;
+  mutable retired : int;
+  mutable app_instrs : int;
+  mutable rep_instrs : int;
+  mutable expansions : int;
+  mutable icache_accesses : int;
+  mutable icache_misses : int;
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  mutable l2_accesses : int;
+  mutable l2_misses : int;
+  mutable branches : int;
+  mutable mispredicts : int;
+  mutable dise_branch_redirects : int;
+  mutable rep_branch_redirects : int;
+  mutable dise_stall_cycles : int;
+  mutable pt_misses : int;
+  mutable rt_misses : int;
+  mutable rt_accesses : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    retired = 0;
+    app_instrs = 0;
+    rep_instrs = 0;
+    expansions = 0;
+    icache_accesses = 0;
+    icache_misses = 0;
+    dcache_accesses = 0;
+    dcache_misses = 0;
+    l2_accesses = 0;
+    l2_misses = 0;
+    branches = 0;
+    mispredicts = 0;
+    dise_branch_redirects = 0;
+    rep_branch_redirects = 0;
+    dise_stall_cycles = 0;
+    pt_misses = 0;
+    rt_misses = 0;
+    rt_accesses = 0;
+  }
+
+let ipc t = if t.cycles = 0 then 0. else float_of_int t.retired /. float_of_int t.cycles
+
+let pp ppf t =
+  Format.fprintf ppf
+    "cycles=%d retired=%d (app=%d rep=%d) ipc=%.2f exp=%d i$miss=%d/%d \
+     d$miss=%d/%d l2miss=%d/%d br=%d misp=%d dise-redir=%d+%d stalls=%d \
+     rt=%d/%d"
+    t.cycles t.retired t.app_instrs t.rep_instrs (ipc t) t.expansions
+    t.icache_misses t.icache_accesses t.dcache_misses t.dcache_accesses
+    t.l2_misses t.l2_accesses t.branches t.mispredicts
+    t.dise_branch_redirects t.rep_branch_redirects t.dise_stall_cycles
+    t.rt_misses t.rt_accesses

@@ -1,0 +1,28 @@
+(** Counters collected by one timing-simulation run. *)
+
+type t = {
+  mutable cycles : int;
+  mutable retired : int;       (** all dynamic instructions (app + replacement) *)
+  mutable app_instrs : int;    (** application-level fetches *)
+  mutable rep_instrs : int;    (** replacement instructions beyond the trigger *)
+  mutable expansions : int;
+  mutable icache_accesses : int;
+  mutable icache_misses : int;
+  mutable dcache_accesses : int;
+  mutable dcache_misses : int;
+  mutable l2_accesses : int;
+  mutable l2_misses : int;
+  mutable branches : int;
+  mutable mispredicts : int;
+  mutable dise_branch_redirects : int;  (** taken DISE-internal branches *)
+  mutable rep_branch_redirects : int;
+      (** taken non-trigger replacement branches (predicted not-taken) *)
+  mutable dise_stall_cycles : int;  (** PT/RT miss + per-expansion stalls *)
+  mutable pt_misses : int;
+  mutable rt_misses : int;
+  mutable rt_accesses : int;
+}
+
+val create : unit -> t
+val ipc : t -> float
+val pp : Format.formatter -> t -> unit

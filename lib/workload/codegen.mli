@@ -1,0 +1,57 @@
+(** Synthetic program generator.
+
+    Produces a complete, runnable program from a {!Profile.t}:
+
+    - [main] initializes the generator registers (data base pointer,
+      index mask, a register-resident LCG) and a small seeded region of
+      the data segment, then drives an outer loop calling every hot
+      function;
+    - hot functions are loops over basic blocks drawn from a
+      per-program pool of block idioms (ALU, load, store, data-
+      dependent skip-branches, leaf calls); pool size controls static
+      redundancy and hence compressibility;
+    - leaf functions are small straight-line callees;
+    - cold functions are generated from the same pool but never called,
+      padding the static image like real binaries' unexecuted code;
+    - an [__error] handler (exit code 77) is included for fault-
+      isolation ACFs to target.
+
+    Load/store addresses are always [data_base + (lcg & mask)], so the
+    program is memory-safe and every address lies in the data segment —
+    fault isolation checks pass unless an ACF or experiment deliberately
+    corrupts a pointer. Registers r23..r25 are never touched, modelling
+    the registers a binary-rewriting tool scavenges.
+
+    Generation is deterministic in the profile (including its seed). *)
+
+val data_base : int
+(** 0x04000000 — start of the data segment. *)
+
+val code_base : int
+(** 0x00100000 — start of the text segment. *)
+
+val data_segment_id : int
+(** [data_base lsr 26]: the legal data segment identifier for MFI. *)
+
+val code_segment_id : int
+
+val error_label : string
+(** ["__error"], the fault handler planted in every generated
+    program. *)
+
+val error_exit_code : int
+(** 77: the exit code the handler leaves in r2. *)
+
+type t = {
+  program : Dise_isa.Program.t;
+  hot_insns : int;      (** static instructions in hot functions *)
+  total_insns : int;
+  est_dynamic : int;    (** rough dynamic-length estimate *)
+}
+
+val generate : ?dyn_target:int -> Profile.t -> t
+(** [dyn_target] (default 300_000) scales the outer loop so a full run
+    executes roughly that many application instructions. *)
+
+val layout : t -> Dise_isa.Program.Image.t
+(** Standard layout at {!code_base} with 4-byte instructions. *)

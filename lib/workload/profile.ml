@@ -1,0 +1,60 @@
+type t = {
+  name : string;
+  seed : int;
+  hot_kb : int;
+  cold_kb : int;
+  data_kb : int;
+  load_w : float;
+  store_w : float;
+  branch_w : float;
+  call_w : float;
+  random_branch : float;
+  idiom_pool : int;
+}
+
+let mk name seed ~hot ~cold ~data ~ld ~st ~br ~call ~rnd ~pool =
+  {
+    name;
+    seed;
+    hot_kb = hot;
+    cold_kb = cold;
+    data_kb = data;
+    load_w = ld;
+    store_w = st;
+    branch_w = br;
+    call_w = call;
+    random_branch = rnd;
+    idiom_pool = pool;
+  }
+
+(* Working-set calibration: crafty, gzip and vpr exceed a 32KB I-cache;
+   eon, gcc, perlbmk and vortex sit between 8 and 32KB; the rest fit in
+   8KB or nearly so. mcf is the data-bound pointer-chaser. *)
+let spec2000 =
+  [
+    mk "bzip2"   101 ~hot:6  ~cold:24  ~data:256  ~ld:0.26 ~st:0.10 ~br:0.13 ~call:0.02 ~rnd:0.18 ~pool:24;
+    mk "crafty"  102 ~hot:48 ~cold:120 ~data:128  ~ld:0.28 ~st:0.08 ~br:0.14 ~call:0.04 ~rnd:0.30 ~pool:60;
+    mk "eon"     103 ~hot:20 ~cold:160 ~data:96   ~ld:0.27 ~st:0.14 ~br:0.10 ~call:0.08 ~rnd:0.12 ~pool:40;
+    mk "gap"     104 ~hot:14 ~cold:180 ~data:384  ~ld:0.26 ~st:0.11 ~br:0.12 ~call:0.05 ~rnd:0.20 ~pool:48;
+    mk "gcc"     105 ~hot:28 ~cold:240 ~data:256  ~ld:0.25 ~st:0.12 ~br:0.16 ~call:0.06 ~rnd:0.35 ~pool:80;
+    mk "gzip"    106 ~hot:40 ~cold:36  ~data:192  ~ld:0.24 ~st:0.10 ~br:0.13 ~call:0.02 ~rnd:0.15 ~pool:20;
+    mk "mcf"     107 ~hot:4  ~cold:16  ~data:4096 ~ld:0.34 ~st:0.09 ~br:0.14 ~call:0.02 ~rnd:0.25 ~pool:16;
+    mk "parser"  108 ~hot:10 ~cold:60  ~data:192  ~ld:0.27 ~st:0.10 ~br:0.15 ~call:0.05 ~rnd:0.28 ~pool:36;
+    mk "perlbmk" 109 ~hot:24 ~cold:200 ~data:160  ~ld:0.28 ~st:0.13 ~br:0.14 ~call:0.07 ~rnd:0.25 ~pool:64;
+    mk "twolf"   110 ~hot:9  ~cold:80  ~data:128  ~ld:0.27 ~st:0.09 ~br:0.14 ~call:0.03 ~rnd:0.26 ~pool:32;
+    mk "vortex"  111 ~hot:28 ~cold:220 ~data:512  ~ld:0.29 ~st:0.15 ~br:0.11 ~call:0.07 ~rnd:0.14 ~pool:56;
+    mk "vpr"     112 ~hot:44 ~cold:60  ~data:160  ~ld:0.26 ~st:0.10 ~br:0.13 ~call:0.03 ~rnd:0.22 ~pool:44;
+  ]
+
+let find name = List.find_opt (fun p -> p.name = name) spec2000
+let names = List.map (fun p -> p.name) spec2000
+
+let tiny =
+  mk "tiny" 999 ~hot:2 ~cold:4 ~data:16 ~ld:0.25 ~st:0.10 ~br:0.14 ~call:0.04
+    ~rnd:0.2 ~pool:10
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: hot=%dKB cold=%dKB data=%dKB ld=%.2f st=%.2f br=%.2f rnd=%.2f pool=%d"
+    t.name t.hot_kb t.cold_kb t.data_kb t.load_w t.store_w t.branch_w
+    t.random_branch t.idiom_pool

@@ -1,0 +1,52 @@
+(** Workload profiles.
+
+    SPEC2000 integer binaries are not available in this environment, so
+    the evaluation runs on synthetic programs generated from per-
+    benchmark profiles. Each profile fixes the characteristics that the
+    paper's experiments actually discriminate on:
+
+    - [hot_kb]: static size of the hot loop code — the instruction
+      working set, which determines I-cache behaviour (the paper notes
+      crafty, gzip and vpr exceed 32KB; about half the suite exceeds
+      8KB);
+    - [cold_kb]: additional cold code, which inflates the static
+      compression corpus the way real binaries' unexecuted code does;
+    - [data_kb]: data working set driving D-cache behaviour;
+    - [load_w]/[store_w]/[branch_w]: instruction-mix weights (fault
+      isolation expands loads and stores — about 30% of dynamic
+      instructions overall);
+    - [random_branch]: fraction of conditional branches that are
+      data-dependent coin flips rather than predictable loop bounds;
+    - [idiom_pool]: number of distinct basic-block skeletons the
+      generator draws from — smaller pools mean more repeated code and
+      better compressibility;
+    - [call_w]: weight of call-block emission (function call density).
+
+    The numbers are calibrated so the suite spans the paper's relevant
+    regimes, not to clone any particular binary. *)
+
+type t = {
+  name : string;
+  seed : int;
+  hot_kb : int;
+  cold_kb : int;
+  data_kb : int;
+  load_w : float;
+  store_w : float;
+  branch_w : float;
+  call_w : float;
+  random_branch : float;
+  idiom_pool : int;
+}
+
+val spec2000 : t list
+(** The twelve SPEC2000-integer-named profiles, in the paper's
+    alphabetical order. *)
+
+val find : string -> t option
+val names : string list
+
+val tiny : t
+(** A miniature profile for tests: sub-second generation and runs. *)
+
+val pp : Format.formatter -> t -> unit

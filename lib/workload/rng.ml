@@ -1,0 +1,45 @@
+type t = { mutable state : int }
+
+let gamma = 0x1E3779B97F4A7C15
+let mix1 = 0x2F58476D1CE4E5B9
+let mix2 = 0x14D049BB133111EB
+
+let create seed = { state = seed lxor gamma }
+
+(* splitmix64-style mixing, with constants truncated to OCaml's native
+   int so the state stays non-negative; we expose 62 bits. *)
+let next t =
+  t.state <- (t.state + gamma) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * mix1 land max_int in
+  let z = (z lxor (z lsr 27)) * mix2 land max_int in
+  (z lxor (z lsr 31)) land 0x3FFFFFFFFFFFFFFF
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = next t land 1 = 1
+
+let float t = float_of_int (next t) *. 0x1p-62
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. choices in
+  if total <= 0. then invalid_arg "Rng.weighted: no positive weight";
+  let x = float t *. total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.weighted: empty"
+    | [ (_, v) ] -> v
+    | (w, v) :: rest -> if x < acc +. w then v else go (acc +. w) rest
+  in
+  go 0. choices
+
+let split t = create (next t)

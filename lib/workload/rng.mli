@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The workload generator must produce byte-identical programs for a
+    given profile across runs and platforms, so it uses its own tiny
+    generator rather than [Random]. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val next : t -> int
+(** Next 62-bit non-negative value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val weighted : t -> (float * 'a) list -> 'a
+(** Pick by relative weight; weights must be non-negative and not all
+    zero. *)
+
+val split : t -> t
+(** An independent generator derived from this one's stream. *)

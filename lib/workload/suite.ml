@@ -1,0 +1,21 @@
+type entry = {
+  profile : Profile.t;
+  gen : Codegen.t;
+  image : Dise_isa.Program.Image.t;
+}
+
+let cache : (string * int, entry) Hashtbl.t = Hashtbl.create 16
+
+let get ?(dyn_target = 300_000) profile =
+  let key = (profile.Profile.name, dyn_target) in
+  match Hashtbl.find_opt cache key with
+  | Some e -> e
+  | None ->
+    let gen = Codegen.generate ~dyn_target profile in
+    let e = { profile; gen; image = Codegen.layout gen } in
+    Hashtbl.replace cache key e;
+    e
+
+let all ?dyn_target () = List.map (get ?dyn_target) Profile.spec2000
+
+let clear_cache () = Hashtbl.reset cache

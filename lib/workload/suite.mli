@@ -1,0 +1,17 @@
+(** The benchmark suite: generated workloads, cached per (profile,
+    dynamic-target) so the many experiment configurations of one bench
+    run reuse identical programs. *)
+
+type entry = {
+  profile : Profile.t;
+  gen : Codegen.t;
+  image : Dise_isa.Program.Image.t;
+}
+
+val get : ?dyn_target:int -> Profile.t -> entry
+(** Generate (or fetch from cache) the workload for a profile. *)
+
+val all : ?dyn_target:int -> unit -> entry list
+(** All twelve SPEC2000-named workloads. *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,77 @@
+(* Shared QCheck generators for the property tests. *)
+
+open Dise_isa
+
+let reg_gen = QCheck.Gen.map Reg.r (QCheck.Gen.int_bound 31)
+let imm16_gen = QCheck.Gen.int_range (-32768) 32767
+
+(* Any encodable instruction (branch targets valid around [pc]). *)
+let insn_gen ~pc =
+  let open QCheck.Gen in
+  oneof
+    [
+      map3
+        (fun op a (b, c) -> Insn.Rop (op, a, b, c))
+        (oneofl Opcode.all_rops) reg_gen (pair reg_gen reg_gen);
+      map3
+        (fun op a (v, c) -> Insn.Ropi (op, a, v, c))
+        (oneofl Opcode.all_rops) reg_gen (pair imm16_gen reg_gen);
+      map3 (fun a v c -> Insn.Lda (a, v, c)) reg_gen imm16_gen reg_gen;
+      map2 (fun v c -> Insn.Lui (v, c)) imm16_gen reg_gen;
+      map3
+        (fun op a (v, c) -> Insn.Mem (op, a, v, c))
+        (oneofl Opcode.all_mops) reg_gen (pair imm16_gen reg_gen);
+      map3
+        (fun op r off -> Insn.Br (op, r, Insn.Abs (pc + 4 + (off * 2))))
+        (oneofl Opcode.all_bops) reg_gen imm16_gen;
+      map (fun t -> Insn.Jmp (Insn.Abs (t * 4))) (int_bound 0xFFFF);
+      map (fun t -> Insn.Jal (Insn.Abs (t * 4))) (int_bound 0xFFFF);
+      map (fun r -> Insn.Jr r) reg_gen;
+      map2 (fun a b -> Insn.Jalr (a, b)) reg_gen reg_gen;
+      map2
+        (fun (op, r) off -> Insn.Dbr (op, r, off))
+        (pair (oneofl Opcode.all_bops) reg_gen)
+        (int_bound 100);
+      map
+        (fun (op, (p1, (p2, (p3, tag)))) -> Insn.codeword ~op ~p1 ~p2 ~p3 ~tag)
+        (pair (int_bound 3)
+           (pair (int_bound 31)
+              (pair (int_bound 31) (pair (int_bound 31) (int_bound 2047)))));
+      return Insn.Nop;
+      return Insn.Halt;
+    ]
+
+let arbitrary_insn ~pc = QCheck.make ~print:Insn.to_string (insn_gen ~pc)
+
+(* Straight-line ALU instructions over registers r1..r7 (always safe to
+   execute: no memory, no control). *)
+let alu_insn_gen =
+  let open QCheck.Gen in
+  let small_reg = map (fun n -> Reg.r (1 + n)) (int_bound 6) in
+  let safe_rops =
+    [ Opcode.Add; Opcode.Sub; Opcode.Mul; Opcode.And_; Opcode.Or_;
+      Opcode.Xor; Opcode.Slt; Opcode.Sltu; Opcode.Cmpeq; Opcode.Cmplt;
+      Opcode.Cmple ]
+  in
+  oneof
+    [
+      map3
+        (fun op a (b, c) -> Insn.Rop (op, a, b, c))
+        (oneofl safe_rops) small_reg (pair small_reg small_reg);
+      map3
+        (fun op a (v, c) -> Insn.Ropi (op, a, v, c))
+        (oneofl safe_rops) small_reg (pair imm16_gen small_reg);
+      map3
+        (fun op a (v, c) -> Insn.Ropi (op, a, v, c))
+        (oneofl [ Opcode.Sll; Opcode.Srl; Opcode.Sra ])
+        small_reg
+        (pair (int_bound 31) small_reg);
+      map2 (fun v c -> Insn.Lui (v, c)) imm16_gen small_reg;
+    ]
+
+let alu_program_gen = QCheck.Gen.(list_size (int_range 1 40) alu_insn_gen)
+
+let arbitrary_alu_program =
+  QCheck.make
+    ~print:(fun l -> String.concat "\n" (List.map Insn.to_string l))
+    alu_program_gen

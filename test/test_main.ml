@@ -1,0 +1,15 @@
+(* Test runner: one alcotest suite per library area. *)
+
+let () =
+  Alcotest.run "dise"
+    [
+      ("isa", Test_isa.suite);
+      ("machine", Test_machine.suite);
+      ("core", Test_core_dise.suite);
+      ("uarch", Test_uarch.suite);
+      ("workload", Test_workload.suite);
+      ("acf", Test_acf.suite);
+      ("harness", Test_harness.suite);
+      ("os", Test_os.suite);
+      ("props", Test_props.suite);
+    ]
