@@ -8,7 +8,9 @@
      dune exec bench/main.exe                 # everything, full suite
      dune exec bench/main.exe -- --quick      # 4 benchmarks, shorter runs
      dune exec bench/main.exe -- fig6-top fig7-ratio
-     dune exec bench/main.exe -- --no-micro   # skip Bechamel section *)
+     dune exec bench/main.exe -- --no-micro   # skip Bechamel section
+     dune exec bench/main.exe -- --jobs 4     # 4 worker domains per panel
+     dune exec bench/main.exe -- --json out.json  # machine-readable results *)
 
 module H = Dise_harness
 module W = Dise_workload
@@ -16,11 +18,26 @@ module A = Dise_acf
 module Core = Dise_core
 module I = Dise_isa.Insn
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick] [--no-micro] [--dyn N] [--jobs N] [--json \
+     FILE] [panel-id ...]";
+  exit 2
+
 let parse_args () =
   let quick = ref false in
   let micro = ref true in
   let dyn = ref 300_000 in
+  let jobs = ref (H.Pool.default_jobs ()) in
+  let json = ref None in
   let panels = ref [] in
+  let int_arg name n =
+    match int_of_string_opt n with
+    | Some v -> v
+    | None ->
+      Format.eprintf "%s expects an integer, got %S@." name n;
+      usage ()
+  in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -30,19 +47,82 @@ let parse_args () =
       micro := false;
       go rest
     | "--dyn" :: n :: rest ->
-      dyn := int_of_string n;
+      dyn := int_arg "--dyn" n;
       go rest
+    | "--jobs" :: n :: rest ->
+      jobs := int_arg "--jobs" n;
+      go rest
+    | "--json" :: file :: rest ->
+      json := Some file;
+      go rest
+    | ("--dyn" | "--jobs" | "--json") :: [] -> usage ()
     | id :: rest ->
       panels := id :: !panels;
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !micro, !dyn, List.rev !panels)
+  (!quick, !micro, !dyn, !jobs, !json, List.rev !panels)
 
-let run_panels ~quick ~dyn ids =
+(* --- JSON output (BENCH_*.json trajectory format) ---------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_results ~quick ~dyn ~jobs ~total results =
+  let b = Buffer.create 4096 in
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"suite\": %s,\n" (str (if quick then "quick" else "full")));
+  Buffer.add_string b (Printf.sprintf "  \"dyn_target\": %d,\n" dyn);
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string b (Printf.sprintf "  \"total_elapsed_s\": %.3f,\n" total);
+  Buffer.add_string b "  \"panels\": [\n";
+  List.iteri
+    (fun i (id, elapsed, (fig : H.Figures.figure)) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (Printf.sprintf "    { \"id\": %s,\n" (str id));
+      Buffer.add_string b
+        (Printf.sprintf "      \"elapsed_s\": %.3f,\n" elapsed);
+      Buffer.add_string b
+        (Printf.sprintf "      \"title\": %s,\n" (str fig.H.Figures.title));
+      Buffer.add_string b "      \"series\": [\n";
+      List.iteri
+        (fun j (s : H.Figures.series) ->
+          if j > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b
+            (Printf.sprintf "        { \"label\": %s, \"values\": {"
+               (str s.H.Figures.label));
+          List.iteri
+            (fun k (bench, v) ->
+              if k > 0 then Buffer.add_string b ", ";
+              Buffer.add_string b
+                (Printf.sprintf "%s: %.17g" (str bench) v))
+            s.H.Figures.values;
+          Buffer.add_string b "} }")
+        fig.H.Figures.series;
+      Buffer.add_string b "\n      ] }")
+    results;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let run_panels ~quick ~dyn ~jobs ids =
   let opts =
-    if quick then H.Figures.quick_opts
-    else { H.Figures.default_opts with H.Figures.dyn_target = dyn }
+    if quick then { H.Figures.quick_opts with H.Figures.jobs }
+    else { H.Figures.default_opts with H.Figures.dyn_target = dyn; jobs }
   in
   let lookup id =
     match H.Figures.by_id id with
@@ -59,13 +139,15 @@ let run_panels ~quick ~dyn ids =
     | [] -> H.Figures.all @ H.Ablate.all
     | ids -> List.map lookup ids
   in
-  List.iter
+  List.map
     (fun (id, f) ->
       let t0 = Unix.gettimeofday () in
       Format.eprintf "running %s...@." id;
       let fig = f opts in
+      let elapsed = Unix.gettimeofday () -. t0 in
       Format.printf "@.%a" H.Report.render fig;
-      Format.printf "(elapsed %.1fs)@." (Unix.gettimeofday () -. t0))
+      Format.printf "(elapsed %.1fs)@." elapsed;
+      (id, elapsed, fig))
     panels
 
 (* --- Bechamel microbenchmarks of the engine primitives ----------------- *)
@@ -103,6 +185,19 @@ let microbenches () =
     Test.make ~name:"engine.expand (no match)"
       (Staged.stage (fun () -> Core.Engine.expand engine ~pc:0x100000 alu))
   in
+  (* Same expansion path against a dense image, exercising the flat
+     per-index memo instead of the hashtable. *)
+  let dense_entry = W.Suite.get ~dyn_target:20_000 W.Profile.tiny in
+  let dense_engine =
+    Core.Engine.create ~image:dense_entry.W.Suite.image mfi_set
+  in
+  let dense_img = dense_entry.W.Suite.image in
+  let dense_base = Dise_isa.Program.Image.base dense_img in
+  let bench_expand_dense =
+    Test.make ~name:"engine.expand (dense memo)"
+      (Staged.stage (fun () ->
+           Core.Engine.expand dense_engine ~pc:dense_base store))
+  in
   let bench_pattern =
     let p = Core.Pattern.stores in
     Test.make ~name:"pattern.matches"
@@ -139,8 +234,9 @@ let microbenches () =
   in
   let tests =
     Test.make_grouped ~name:"dise"
-      [ bench_expand_hit; bench_expand_cold; bench_nomatch; bench_pattern;
-        bench_rt; bench_cache; bench_emulate; bench_compress ]
+      [ bench_expand_hit; bench_expand_cold; bench_expand_dense;
+        bench_nomatch; bench_pattern; bench_rt; bench_cache; bench_emulate;
+        bench_compress ]
   in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -160,10 +256,21 @@ let microbenches () =
     results
 
 let () =
-  let quick, micro, dyn, panels = parse_args () in
-  Format.printf "DISE evaluation harness (%s suite, %d dynamic instructions)@."
+  let quick, micro, dyn, jobs, json, panels = parse_args () in
+  Format.printf
+    "DISE evaluation harness (%s suite, %d dynamic instructions, %d jobs)@."
     (if quick then "quick" else "full")
-    (if quick then 120_000 else dyn);
-  run_panels ~quick ~dyn panels;
+    (if quick then 120_000 else dyn)
+    jobs;
+  let t0 = Unix.gettimeofday () in
+  let results = run_panels ~quick ~dyn ~jobs panels in
+  let total = Unix.gettimeofday () -. t0 in
+  (match json with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (json_of_results ~quick ~dyn ~jobs ~total results);
+    close_out oc;
+    Format.eprintf "wrote %s@." file);
   if micro then microbenches ();
   Format.printf "@.done.@."

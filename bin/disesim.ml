@@ -201,15 +201,21 @@ let figures_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR"
            ~doc:"Also write one CSV per panel into $(docv).")
   in
-  let run ids quick dyn csv =
+  let jobs_arg =
+    Arg.(value & opt int (H.Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains per panel (default: available cores). \
+                   Results are identical for every $(docv); 1 is serial.")
+  in
+  let run ids quick dyn csv jobs =
     let opts =
       if quick then H.Figures.quick_opts
       else { H.Figures.default_opts with H.Figures.dyn_target = dyn }
     in
     let opts =
       { opts with
-        H.Figures.progress =
-          (fun msg -> Format.eprintf "  [%s]@." msg) }
+        H.Figures.jobs;
+        progress = (fun msg -> Format.eprintf "  [%s]@." msg) }
     in
     let lookup id =
       match H.Figures.by_id id with
@@ -241,7 +247,7 @@ let figures_cmd =
       panels
   in
   Cmd.v (Cmd.info "figures" ~doc)
-    Term.(const run $ ids_arg $ quick_arg $ dyn_arg $ csv_arg)
+    Term.(const run $ ids_arg $ quick_arg $ dyn_arg $ csv_arg $ jobs_arg)
 
 (* --- exec: assemble and run user programs -------------------------------- *)
 

@@ -1,22 +1,50 @@
 module I = Dise_isa.Insn
+module Image = Dise_isa.Program.Image
 module Machine = Dise_machine.Machine
 
 exception Expansion_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Expansion_error s)) fmt
 
+(* Expansion memo for a dense image: one slot per static instruction,
+   indexed by (pc - base) / 4, so the per-fetch lookup is two array
+   reads instead of a hashtable probe. [known] marks computed slots;
+   [slots] stores the shared option, so cache hits allocate nothing. *)
+type dense = {
+  dense_base : int;
+  known : Bytes.t;
+  slots : Machine.expansion option array;
+}
+
 type t = {
   prodset : Prodset.t;
   dispatch : Production.t list array;  (* by opcode key, precedence order *)
-  cache : (int, Machine.expansion option) Hashtbl.t;  (* by trigger PC *)
+  dense : dense option;
+  cache : (int * I.t, Machine.expansion option) Hashtbl.t;
+      (* sparse fallback, keyed by the (pc, instruction) pair: a PC in
+         a non-dense (codeword) image can be re-laid-out with a
+         different instruction, so PC alone is not a sound key — and
+         the opcode key alone cannot tell two loads apart *)
   mutable performed : int;
 }
 
-let create prodset =
+let create ?image prodset =
   let dispatch =
     Array.init I.num_keys (fun key -> Prodset.patterns_for_key prodset key)
   in
-  { prodset; dispatch; cache = Hashtbl.create 4096; performed = 0 }
+  let dense =
+    match image with
+    | Some img when Image.is_dense img ->
+      let n = Image.length img in
+      Some
+        {
+          dense_base = Image.base img;
+          known = Bytes.make n '\000';
+          slots = Array.make n None;
+        }
+    | Some _ | None -> None
+  in
+  { prodset; dispatch; dense; cache = Hashtbl.create 4096; performed = 0 }
 
 let prodset t = t.prodset
 
@@ -41,20 +69,50 @@ let compute t ~pc insn =
       | exception Replacement.Instantiation_error msg ->
         fail "instantiating R%d for trigger at 0x%x: %s" rsid pc msg))
 
+let sparse_lookup t ~pc insn =
+  let key = (pc, insn) in
+  match Hashtbl.find_opt t.cache key with
+  | Some r -> r
+  | None ->
+    let r = compute t ~pc insn in
+    Hashtbl.replace t.cache key r;
+    r
+
 let expand t ~pc insn =
   let result =
-    match Hashtbl.find_opt t.cache pc with
-    | Some r -> r
-    | None ->
-      let r = compute t ~pc insn in
-      Hashtbl.replace t.cache pc r;
-      r
+    match t.dense with
+    | Some d ->
+      let off = pc - d.dense_base in
+      let idx = off lsr 2 in
+      if off >= 0 && off land 3 = 0 && idx < Array.length d.slots then begin
+        if Bytes.unsafe_get d.known idx = '\001' then Array.unsafe_get d.slots idx
+        else begin
+          let r = compute t ~pc insn in
+          d.slots.(idx) <- r;
+          Bytes.set d.known idx '\001';
+          r
+        end
+      end
+      else
+        (* Off-image PC (e.g. a hand-built machine probing the engine
+           directly): fall back to the sparse memo. *)
+        sparse_lookup t ~pc insn
+    | None -> sparse_lookup t ~pc insn
   in
   (match result with Some _ -> t.performed <- t.performed + 1 | None -> ());
   result
 
 let expander t ~pc insn = expand t ~pc insn
 let expansions_performed t = t.performed
+
 let distinct_triggers t =
-  Hashtbl.fold (fun _ v acc -> match v with Some _ -> acc + 1 | None -> acc)
-    t.cache 0
+  let sparse =
+    Hashtbl.fold (fun _ v acc -> match v with Some _ -> acc + 1 | None -> acc)
+      t.cache 0
+  in
+  match t.dense with
+  | None -> sparse
+  | Some d ->
+    Array.fold_left
+      (fun acc v -> match v with Some _ -> acc + 1 | None -> acc)
+      sparse d.slots

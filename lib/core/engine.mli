@@ -3,9 +3,17 @@
     [expand] is the performance-critical path (it inspects every
     fetched instruction), so the engine compiles the production set
     into a per-opcode dispatch table at construction and memoizes
-    expansions by PC (a static instruction always instantiates to the
-    same sequence, because directives only read trigger bits and the
-    trigger PC).
+    expansions per static instruction (a static instruction always
+    instantiates to the same sequence, because directives only read
+    trigger bits and the trigger PC).
+
+    When built with a {e dense} image (every instruction 4 bytes —
+    see {!Dise_isa.Program.Image.is_dense}), the memo is a flat array
+    indexed by [(pc - base) / 4]: the per-fetch lookup is O(1) array
+    reads with no allocation. Otherwise a hashtable keyed by the
+    [(pc, instruction)] pair is used — PC alone would return a stale
+    expansion if a sparse codeword image were re-laid-out with a
+    different instruction at the same address.
 
     The engine performs {e functional} expansion only; PT/RT capacity
     effects are modelled separately by {!Controller} from the
@@ -17,7 +25,12 @@ exception Expansion_error of string
 (** A production matched but its sequence id is unbound, or
     instantiation failed. *)
 
-val create : Prodset.t -> t
+val create : ?image:Dise_isa.Program.Image.t -> Prodset.t -> t
+(** [create ~image prodset] compiles the production set; passing the
+    image the engine will expand against enables the dense per-index
+    expansion memo when the image is dense. Omitting it (or passing a
+    sparse image) selects the hashtable memo — results are identical,
+    only the lookup cost differs. *)
 
 val prodset : t -> Prodset.t
 

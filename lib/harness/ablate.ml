@@ -13,25 +13,10 @@ module Compress = Dise_acf.Compress
 module F = Figures
 module E = Experiment
 
-let entries (opts : F.opts) =
-  List.map
-    (fun name ->
-      match Profile.find name with
-      | Some p -> Suite.get ~dyn_target:opts.F.dyn_target p
-      | None -> invalid_arg ("unknown benchmark " ^ name))
-    opts.F.benchmarks
-
-let series (opts : F.opts) label f =
-  {
-    F.label;
-    values =
-      List.map
-        (fun (e : Suite.entry) ->
-          opts.F.progress
-            (Printf.sprintf "%s / %s" label e.Suite.profile.Profile.name);
-          (e.Suite.profile.Profile.name, f e))
-        (entries opts);
-  }
+(* Every ablation cell is an independent closure, so the panels share
+   {!Figures.series}/{!Figures.figure} and evaluate on the same worker
+   pool as the paper's own figures. *)
+let series = F.series
 
 (* --- dictionary parameterization budget -------------------------------- *)
 
@@ -51,12 +36,10 @@ let params opts =
         Compress.total_ratio
           (Compress.compress ~scheme e.Suite.gen.Codegen.program))
   in
-  {
-    F.id = "ablate-params";
-    title = "Ablation: codeword parameter fields (8-byte dictionary entries)";
-    ylabel = "text+dictionary relative to uncompressed";
-    series = List.map mk [ 0; 1; 2; 3 ];
-  }
+  F.figure opts ~id:"ablate-params"
+    ~title:"Ablation: codeword parameter fields (8-byte dictionary entries)"
+    ~ylabel:"text+dictionary relative to uncompressed"
+    (List.map mk [ 0; 1; 2; 3 ])
 
 (* --- dictionary entry length cap ---------------------------------------- *)
 
@@ -74,12 +57,10 @@ let max_len opts =
         Compress.total_ratio
           (Compress.compress ~scheme e.Suite.gen.Codegen.program))
   in
-  {
-    F.id = "ablate-maxlen";
-    title = "Ablation: dictionary entry length cap (full DISE scheme)";
-    ylabel = "text+dictionary relative to uncompressed";
-    series = List.map mk [ 2; 4; 8; 16 ];
-  }
+  F.figure opts ~id:"ablate-maxlen"
+    ~title:"Ablation: dictionary entry length cap (full DISE scheme)"
+    ~ylabel:"text+dictionary relative to uncompressed"
+    (List.map mk [ 2; 4; 8; 16 ])
 
 (* --- decode option vs expansion frequency -------------------------------- *)
 
@@ -100,7 +81,7 @@ let decode opts =
   in
   let run (e : Suite.entry) build_set dise_decode =
     let set = build_set e.Suite.image in
-    let engine = Engine.create set in
+    let engine = Engine.create ~image:e.Suite.image set in
     let m = Machine.create ~expander:(Engine.expander engine) e.Suite.image in
     A.Mfi.install m ~data_seg:Codegen.data_segment_id
       ~code_seg:Codegen.code_segment_id;
@@ -112,17 +93,19 @@ let decode opts =
     series opts
       (Printf.sprintf "%s/%s" acf_name dec_name)
       (fun e ->
-        let base = Pipeline.run Config.default (Machine.create e.Suite.image) in
+        let base =
+          E.baseline
+            { E.dyn_target = opts.F.dyn_target; machine = Config.default;
+              controller = None }
+            e
+        in
         let stats = run e build_set dec in
         float_of_int stats.Stats.cycles /. float_of_int base.Stats.cycles)
   in
-  {
-    F.id = "ablate-decode";
-    title = "Ablation: decode option vs expansion frequency";
-    ylabel = "execution time relative to no-ACF (free decode)";
-    series =
-      List.concat_map (fun acf -> List.map (mk acf) decodes) acfs;
-  }
+  F.figure opts ~id:"ablate-decode"
+    ~title:"Ablation: decode option vs expansion frequency"
+    ~ylabel:"execution time relative to no-ACF (free decode)"
+    (List.concat_map (fun acf -> List.map (mk acf) decodes) acfs)
 
 (* --- RT block coalescing -------------------------------------------------- *)
 
@@ -149,12 +132,10 @@ let rt_block opts =
           (E.decompress_run ~scheme:Compress.full_dise spec e)
           ~baseline:base)
   in
-  {
-    F.id = "ablate-rt-block";
-    title = "Ablation: RT block coalescing, 512-entry 2-way RT";
-    ylabel = "decompression time relative to uncompressed";
-    series = List.map mk [ 1; 2; 4 ];
-  }
+  F.figure opts ~id:"ablate-rt-block"
+    ~title:"Ablation: RT block coalescing, 512-entry 2-way RT"
+    ~ylabel:"decompression time relative to uncompressed"
+    (List.map mk [ 1; 2; 4 ])
 
 (* --- context-switch frequency ---------------------------------------------- *)
 
@@ -162,7 +143,7 @@ let context_switch opts =
   let run_with_switches (e : Suite.entry) interval =
     let result = E.compress_result ~scheme:Compress.full_dise e in
     let prodset = result.Compress.prodset in
-    let engine = Engine.create prodset in
+    let engine = Engine.create ~image:result.Compress.image prodset in
     let m =
       Machine.create ~expander:(Engine.expander engine) result.Compress.image
     in
@@ -189,17 +170,14 @@ let context_switch opts =
         let stats = run_with_switches e interval in
         float_of_int stats.Stats.cycles /. float_of_int base.Stats.cycles)
   in
-  {
-    F.id = "ablate-ctx";
-    title = "Ablation: context-switch frequency (decompression, 2K RT)";
-    ylabel = "execution time relative to uncompressed";
-    series =
-      [
-        mk "no switches" None;
-        mk "every 50K" (Some 50_000);
-        mk "every 10K" (Some 10_000);
-      ];
-  }
+  F.figure opts ~id:"ablate-ctx"
+    ~title:"Ablation: context-switch frequency (decompression, 2K RT)"
+    ~ylabel:"execution time relative to uncompressed"
+    [
+      mk "no switches" None;
+      mk "every 50K" (Some 50_000);
+      mk "every 10K" (Some 10_000);
+    ]
 
 let all =
   [

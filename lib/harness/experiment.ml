@@ -37,14 +37,14 @@ let check_clean name m =
       (Printf.sprintf "experiment %s: workload trapped (exit %d)" name
          (Machine.exit_code m))
 
-let baseline spec (entry : Suite.entry) =
+let run_baseline spec (entry : Suite.entry) =
   let m = Machine.create entry.Suite.image in
   let stats = run_machine spec m in
   check_clean "baseline" m;
   stats
 
 let with_engine image prodset =
-  let engine = Engine.create prodset in
+  let engine = Engine.create ~image prodset in
   Machine.create ~expander:(Engine.expander engine) image
 
 let install_mfi m =
@@ -59,22 +59,88 @@ let mfi_dise ?variant spec (entry : Suite.entry) =
   check_clean "mfi_dise" m;
   stats
 
-let rewritten_cache : (string * int, Dise_isa.Program.t) Hashtbl.t =
+(* The cross-cell caches below are shared by worker domains when the
+   harness runs cells in parallel (see {!Pool}); a mutex guards every
+   table access. A key is claimed as [Pending] before its (expensive —
+   the compressor, or a full baseline simulation) computation runs
+   outside the lock; concurrent requesters for the same key block on
+   the condition instead of duplicating the work, and every caller
+   shares the one physically-identical value, exactly as the serial
+   path would produce. Nested memoized computations (compression of a
+   rewritten binary memoizes the rewrite) are safe: the dependency
+   order is acyclic, so a waiter never blocks its own claimant. *)
+let cache_mutex = Mutex.create ()
+let cache_cond = Condition.create ()
+
+type 'v slot = Pending | Ready of 'v
+
+let with_cache_lock f =
+  Mutex.lock cache_mutex;
+  match f () with
+  | v ->
+    Mutex.unlock cache_mutex;
+    v
+  | exception e ->
+    Mutex.unlock cache_mutex;
+    raise e
+
+let memoize table key compute =
+  Mutex.lock cache_mutex;
+  let rec claim () =
+    match Hashtbl.find_opt table key with
+    | Some (Ready v) ->
+      Mutex.unlock cache_mutex;
+      `Hit v
+    | Some Pending ->
+      Condition.wait cache_cond cache_mutex;
+      claim ()
+    | None ->
+      Hashtbl.replace table key Pending;
+      Mutex.unlock cache_mutex;
+      `Compute
+  in
+  match claim () with
+  | `Hit v -> v
+  | `Compute -> (
+    match compute () with
+    | v ->
+      with_cache_lock (fun () ->
+          Hashtbl.replace table key (Ready v);
+          Condition.broadcast cache_cond);
+      v
+    | exception e ->
+      (* Drop the claim so a later caller can retry. *)
+      with_cache_lock (fun () ->
+          Hashtbl.remove table key;
+          Condition.broadcast cache_cond);
+      raise e)
+
+(* Many figure cells normalize against the same ACF-free run (e.g.
+   every series of a panel divides by the same per-benchmark baseline),
+   so baselines are memoized by the full spec plus workload identity.
+   [spec] is plain data (no closures), so structural hashing is sound;
+   baseline runs are deterministic, so sharing the Stats.t record
+   cannot change any figure value. *)
+let baseline_cache : (spec * string * int, Stats.t slot) Hashtbl.t =
+  Hashtbl.create 64
+
+let baseline spec (entry : Suite.entry) =
+  let key =
+    (spec, entry.Suite.profile.Dise_workload.Profile.name,
+     entry.Suite.gen.Codegen.total_insns)
+  in
+  memoize baseline_cache key (fun () -> run_baseline spec entry)
+
+let rewritten_cache : (string * int, Dise_isa.Program.t slot) Hashtbl.t =
   Hashtbl.create 16
 
 let rewritten_program (entry : Suite.entry) =
   let key = (entry.Suite.profile.Dise_workload.Profile.name,
              Dise_isa.Program.size entry.Suite.gen.Codegen.program)
   in
-  match Hashtbl.find_opt rewritten_cache key with
-  | Some p -> p
-  | None ->
-    let p =
+  memoize rewritten_cache key (fun () ->
       Rewrite.rewrite ~data_seg:Codegen.data_segment_id
-        ~code_seg:Codegen.code_segment_id entry.Suite.gen.Codegen.program
-    in
-    Hashtbl.replace rewritten_cache key p;
-    p
+        ~code_seg:Codegen.code_segment_id entry.Suite.gen.Codegen.program)
 
 let mfi_rewrite ?variant spec (entry : Suite.entry) =
   let prog =
@@ -90,7 +156,8 @@ let mfi_rewrite ?variant spec (entry : Suite.entry) =
   check_clean "mfi_rewrite" m;
   stats
 
-let compress_cache : (string, Compress.result) Hashtbl.t = Hashtbl.create 64
+let compress_cache : (string, Compress.result slot) Hashtbl.t =
+  Hashtbl.create 64
 
 let compress_result ~scheme ?(rewritten = false) (entry : Suite.entry) =
   let key =
@@ -98,16 +165,12 @@ let compress_result ~scheme ?(rewritten = false) (entry : Suite.entry) =
       entry.Suite.profile.Dise_workload.Profile.name
       scheme.Compress.name rewritten entry.Suite.gen.Codegen.total_insns
   in
-  match Hashtbl.find_opt compress_cache key with
-  | Some r -> r
-  | None ->
-    let prog =
-      if rewritten then rewritten_program entry
-      else entry.Suite.gen.Codegen.program
-    in
-    let r = Compress.compress ~scheme prog in
-    Hashtbl.replace compress_cache key r;
-    r
+  memoize compress_cache key (fun () ->
+      let prog =
+        if rewritten then rewritten_program entry
+        else entry.Suite.gen.Codegen.program
+      in
+      Compress.compress ~scheme prog)
 
 let decompress_run ~scheme ?(mfi = `None) ?(rewritten = false) spec
     (entry : Suite.entry) =
@@ -127,5 +190,7 @@ let relative stats ~baseline =
   float_of_int stats.Stats.cycles /. float_of_int baseline.Stats.cycles
 
 let clear_cache () =
-  Hashtbl.reset compress_cache;
-  Hashtbl.reset rewritten_cache
+  with_cache_lock (fun () ->
+      Hashtbl.reset compress_cache;
+      Hashtbl.reset rewritten_cache;
+      Hashtbl.reset baseline_cache)

@@ -17,7 +17,9 @@ val default_spec : spec
     DISE. *)
 
 val baseline : spec -> Dise_workload.Suite.entry -> Dise_uarch.Stats.t
-(** ACF-free run. *)
+(** ACF-free run. Memoized per (spec, workload): many figure cells
+    normalize against the same baseline, so it is simulated once and
+    the (deterministic, read-only) stats record is shared. *)
 
 val mfi_dise :
   ?variant:Dise_acf.Mfi.variant ->
@@ -59,3 +61,7 @@ val relative : Dise_uarch.Stats.t -> baseline:Dise_uarch.Stats.t -> float
 (** Execution-time ratio (cycles / baseline cycles). *)
 
 val clear_cache : unit -> unit
+(** Drop the cross-cell memo tables (compression results, rewritten
+    programs, baseline runs). The tables are mutex-protected and safe
+    to share across worker domains; clearing mid-figure only costs
+    recomputation, never correctness. *)

@@ -23,16 +23,19 @@ type opts = {
   dyn_target : int;
   benchmarks : string list;
   progress : string -> unit;
+  jobs : int;
 }
 
 let default_opts =
-  { dyn_target = 300_000; benchmarks = Profile.names; progress = ignore }
+  { dyn_target = 300_000; benchmarks = Profile.names; progress = ignore;
+    jobs = 1 }
 
 let quick_opts =
   {
     dyn_target = 120_000;
     benchmarks = [ "bzip2"; "gzip"; "mcf"; "parser" ];
     progress = ignore;
+    jobs = 1;
   }
 
 let entries opts =
@@ -46,19 +49,70 @@ let entries opts =
 let spec ?controller ?(machine = Config.default) opts =
   { E.dyn_target = opts.dyn_target; machine; controller }
 
-(* Build one series by mapping a per-entry function over the suite. *)
+(* A deferred series: one closure per (series × benchmark) cell. Cells
+   are independent — each builds its own machine/engine/controller —
+   so a figure can evaluate them on the worker pool. *)
+type dseries = {
+  d_label : string;
+  d_cells : (string * (unit -> float)) list;
+}
+
 let series opts label f =
   {
-    label;
-    values =
+    d_label = label;
+    d_cells =
       List.map
         (fun (e : Suite.entry) ->
-          opts.progress
-            (Printf.sprintf "%s / %s" label
-               e.Suite.profile.Profile.name);
-          (e.Suite.profile.Profile.name, f e))
+          (e.Suite.profile.Profile.name, fun () -> f e))
         (entries opts);
   }
+
+(* Progress callbacks may fire from worker domains; serialize them so
+   concurrent reporting does not interleave mid-line. *)
+let progress_mutex = Mutex.create ()
+
+let report_progress opts label bench =
+  if opts.progress != ignore then begin
+    Mutex.lock progress_mutex;
+    (try opts.progress (Printf.sprintf "%s / %s" label bench)
+     with e ->
+       Mutex.unlock progress_mutex;
+       raise e);
+    Mutex.unlock progress_mutex
+  end
+
+(* Flatten the deferred series of one figure into a task array, run it
+   on the pool, and reassemble values in submission order — the figure
+   is bit-identical whatever [opts.jobs] is. *)
+let figure opts ~id ~title ~ylabel dss =
+  let cells =
+    List.concat_map
+      (fun d -> List.map (fun (bench, th) -> (d.d_label, bench, th)) d.d_cells)
+      dss
+  in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun (label, bench, th) () ->
+           report_progress opts label bench;
+           th ())
+         cells)
+  in
+  let values = Pool.run ~jobs:opts.jobs tasks in
+  let i = ref 0 in
+  let take () =
+    let v = values.(!i) in
+    incr i;
+    v
+  in
+  let series =
+    List.map
+      (fun d ->
+        { label = d.d_label;
+          values = List.map (fun (bench, _) -> (bench, take ())) d.d_cells })
+      dss
+  in
+  { id; title; ylabel; series }
 
 (* --- Figure 6: memory fault isolation -------------------------------- *)
 
@@ -66,21 +120,18 @@ let fig6_top opts =
   let base = spec opts in
   let rel f e = E.relative (f e) ~baseline:(E.baseline base e) in
   let with_decode d = spec ~machine:(Config.with_dise_decode d Config.default) opts in
-  {
-    id = "fig6-top";
-    title = "Figure 6 (top): memory fault isolation, 4-wide, 32KB I$";
-    ylabel = "execution time relative to no-MFI";
-    series =
-      [
-        series opts "rewrite" (rel (E.mfi_rewrite base));
-        series opts "DISE4" (rel (E.mfi_dise ~variant:Mfi.Dise4 base));
-        series opts "#stall"
-          (rel (E.mfi_dise ~variant:Mfi.Dise3 (with_decode Config.Stall_per_expansion)));
-        series opts "+pipe"
-          (rel (E.mfi_dise ~variant:Mfi.Dise3 (with_decode Config.Extra_stage)));
-        series opts "DISE3" (rel (E.mfi_dise ~variant:Mfi.Dise3 base));
-      ];
-  }
+  figure opts ~id:"fig6-top"
+    ~title:"Figure 6 (top): memory fault isolation, 4-wide, 32KB I$"
+    ~ylabel:"execution time relative to no-MFI"
+    [
+      series opts "rewrite" (rel (E.mfi_rewrite base));
+      series opts "DISE4" (rel (E.mfi_dise ~variant:Mfi.Dise4 base));
+      series opts "#stall"
+        (rel (E.mfi_dise ~variant:Mfi.Dise3 (with_decode Config.Stall_per_expansion)));
+      series opts "+pipe"
+        (rel (E.mfi_dise ~variant:Mfi.Dise3 (with_decode Config.Extra_stage)));
+      series opts "DISE3" (rel (E.mfi_dise ~variant:Mfi.Dise3 base));
+    ]
 
 let cache_points = [ (Some 8, "8K"); (Some 32, "32K"); (Some 128, "128K"); (None, "inf") ]
 
@@ -95,12 +146,10 @@ let fig6_cache opts =
       series opts (Printf.sprintf "rewrite@%s" tag) (rel (E.mfi_rewrite sp));
     ]
   in
-  {
-    id = "fig6-cache";
-    title = "Figure 6 (middle): MFI vs I-cache size, 4-wide";
-    ylabel = "execution time relative to no-MFI at same I$";
-    series = List.concat_map mk cache_points;
-  }
+  figure opts ~id:"fig6-cache"
+    ~title:"Figure 6 (middle): MFI vs I-cache size, 4-wide"
+    ~ylabel:"execution time relative to no-MFI at same I$"
+    (List.concat_map mk cache_points)
 
 let fig6_width opts =
   let mk w =
@@ -113,12 +162,10 @@ let fig6_width opts =
       series opts (Printf.sprintf "rewrite@%dw" w) (rel (E.mfi_rewrite sp));
     ]
   in
-  {
-    id = "fig6-width";
-    title = "Figure 6 (bottom): MFI vs processor width, 32KB I$";
-    ylabel = "execution time relative to no-MFI at same width";
-    series = List.concat_map mk [ 2; 4; 8 ];
-  }
+  figure opts ~id:"fig6-width"
+    ~title:"Figure 6 (bottom): MFI vs processor width, 32KB I$"
+    ~ylabel:"execution time relative to no-MFI at same width"
+    (List.concat_map mk [ 2; 4; 8 ])
 
 (* --- Figure 7: dynamic code decompression ----------------------------- *)
 
@@ -132,12 +179,10 @@ let fig7_ratio opts =
         (fun e -> Compress.total_ratio (E.compress_result ~scheme e));
     ]
   in
-  {
-    id = "fig7-ratio";
-    title = "Figure 7 (top): static compression by scheme";
-    ylabel = "size relative to uncompressed text";
-    series = List.concat_map mk Compress.fig7_schemes;
-  }
+  figure opts ~id:"fig7-ratio"
+    ~title:"Figure 7 (top): static compression by scheme"
+    ~ylabel:"size relative to uncompressed text"
+    (List.concat_map mk Compress.fig7_schemes)
 
 let fig7_perf opts =
   (* All values normalized to the uncompressed run on the default 32KB
@@ -157,12 +202,10 @@ let fig7_perf opts =
             ~baseline:(E.baseline base32 e));
     ]
   in
-  {
-    id = "fig7-perf";
-    title = "Figure 7 (middle): decompression performance vs I$ size";
-    ylabel = "execution time relative to uncompressed, 32KB I$";
-    series = List.concat_map mk cache_points;
-  }
+  figure opts ~id:"fig7-perf"
+    ~title:"Figure 7 (middle): decompression performance vs I$ size"
+    ~ylabel:"execution time relative to uncompressed, 32KB I$"
+    (List.concat_map mk cache_points)
 
 let rt_configs =
   [
@@ -184,19 +227,16 @@ let fig7_rt opts =
              (spec ~controller opts) e)
           ~baseline:(E.baseline base32 e))
   in
-  {
-    id = "fig7-rt";
-    title = "Figure 7 (bottom): decompression vs RT configuration, 32KB I$";
-    ylabel = "execution time relative to uncompressed, 32KB I$";
-    series =
-      List.map mk rt_configs
-      @ [
-          series opts "RT perfect" (fun e ->
-              E.relative
-                (E.decompress_run ~scheme:Compress.full_dise (spec opts) e)
-                ~baseline:(E.baseline (spec opts) e));
-        ];
-  }
+  figure opts ~id:"fig7-rt"
+    ~title:"Figure 7 (bottom): decompression vs RT configuration, 32KB I$"
+    ~ylabel:"execution time relative to uncompressed, 32KB I$"
+    (List.map mk rt_configs
+     @ [
+         series opts "RT perfect" (fun e ->
+             E.relative
+               (E.decompress_run ~scheme:Compress.full_dise (spec opts) e)
+               ~baseline:(E.baseline (spec opts) e));
+       ])
 
 (* --- Figure 8: composing decompression and fault isolation ------------ *)
 
@@ -224,12 +264,10 @@ let fig8_combo opts =
             e);
     ]
   in
-  {
-    id = "fig8-combo";
-    title = "Figure 8 (top): composed MFI+decompression vs I$ size";
-    ylabel = "execution time relative to unmodified, 32KB I$";
-    series = List.concat_map mk cache_points;
-  }
+  figure opts ~id:"fig8-combo"
+    ~title:"Figure 8 (top): composed MFI+decompression vs I$ size"
+    ~ylabel:"execution time relative to unmodified, 32KB I$"
+    (List.concat_map mk cache_points)
 
 let fig8_rt opts =
   let base32 = spec opts in
@@ -249,15 +287,12 @@ let fig8_rt opts =
              (spec ~controller opts) e)
           ~baseline:(E.baseline base32 e))
   in
-  {
-    id = "fig8-rt";
-    title =
-      "Figure 8 (bottom): composition vs RT configuration and miss latency";
-    ylabel = "execution time relative to unmodified, 32KB I$";
-    series =
-      List.map (mk ~latency:30) rt_configs
-      @ List.map (mk ~latency:150) rt_configs;
-  }
+  figure opts ~id:"fig8-rt"
+    ~title:
+      "Figure 8 (bottom): composition vs RT configuration and miss latency"
+    ~ylabel:"execution time relative to unmodified, 32KB I$"
+    (List.map (mk ~latency:30) rt_configs
+     @ List.map (mk ~latency:150) rt_configs)
 
 let all =
   [

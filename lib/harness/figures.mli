@@ -21,12 +21,39 @@ type figure = {
 type opts = {
   dyn_target : int;        (** dynamic length per run (default 300K) *)
   benchmarks : string list; (** subset of {!Dise_workload.Profile.names} *)
-  progress : string -> unit; (** progress callback *)
+  progress : string -> unit;
+      (** progress callback; with [jobs > 1] it may be invoked from a
+          worker domain (calls are serialized by a mutex) *)
+  jobs : int;
+      (** worker domains used to evaluate the (series × benchmark)
+          cells of a figure; 1 = serial. Whatever the value, figures
+          are reassembled in submission order and are bit-identical to
+          a serial run. *)
 }
 
 val default_opts : opts
 val quick_opts : opts
 (** Four representative benchmarks at 120K dynamic instructions. *)
+
+type dseries
+(** A deferred series: one independent closure per benchmark cell,
+    evaluated through {!Pool} when the enclosing figure is built.
+    Shared with {!Ablate} so every panel parallelizes the same way. *)
+
+val series :
+  opts -> string -> (Dise_workload.Suite.entry -> float) -> dseries
+(** [series opts label f] defers [f] over [opts.benchmarks]. *)
+
+val figure :
+  opts ->
+  id:string ->
+  title:string ->
+  ylabel:string ->
+  dseries list ->
+  figure
+(** Evaluate every cell of the deferred series on the pool
+    ([opts.jobs] workers) and assemble the figure in submission
+    order. *)
 
 val fig6_top : opts -> figure
 (** MFI execution time normalized to the MFI-free run: rewriting,

@@ -1,0 +1,56 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Outcome of one task. Stored per-index so reassembly is positional;
+   an [option] wrapper distinguishes "never ran" (only possible if a
+   domain died, which join surfaces) from a recorded result. *)
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
+
+let run_serial tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n (tasks.(0) ()) in
+    for i = 1 to n - 1 do
+      results.(i) <- tasks.(i) ()
+    done;
+    results
+  end
+
+let run_parallel ~jobs (tasks : (unit -> 'a) array) =
+  let n = Array.length tasks in
+  let results : 'a outcome option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r =
+          try Ok (tasks.(i) ())
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some r;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join spawned;
+  (* Re-raise the lowest-indexed failure, deterministically. *)
+  for i = 0 to n - 1 do
+    match results.(i) with
+    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | Some (Ok _) -> ()
+    | None -> assert false (* every index < n was claimed and joined *)
+  done;
+  Array.init n (fun i ->
+      match results.(i) with Some (Ok v) -> v | _ -> assert false)
+
+let run ?jobs tasks =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  if jobs = 1 || Array.length tasks <= 1 then run_serial tasks
+  else run_parallel ~jobs tasks
+
+let map_list ?jobs f xs =
+  Array.to_list (run ?jobs (Array.of_list (List.map (fun x () -> f x) xs)))

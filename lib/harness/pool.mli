@@ -1,0 +1,39 @@
+(** Fixed-size domain worker pool with deterministic job→result mapping.
+
+    The harness's unit of work is one (series × benchmark) cell: an
+    independent closure that builds its own machine, engine, and
+    controller and returns a figure value. [run] evaluates an array of
+    such closures on up to [jobs] OCaml 5 domains and returns the
+    results {e in submission order}, so callers that assemble figures
+    from the result array produce output bit-identical to a serial
+    run.
+
+    Scheduling guarantees:
+
+    - tasks are {e started} in submission (index) order — a shared
+      atomic cursor hands task [i] out before task [i+1];
+    - [results.(i)] always holds the value of [tasks.(i)];
+    - with [jobs = 1] (or a single task) everything runs in the
+      calling domain, in order, with no domain spawned — exactly the
+      pre-pool serial behaviour;
+    - if any task raises, the exception of the lowest-indexed failing
+      task is re-raised (with its backtrace) after all domains have
+      been joined, so no work is left running.
+
+    Tasks must not share unsynchronized mutable state; the harness's
+    cross-cell caches ({!Experiment}, {!Dise_workload.Suite}) are
+    internally mutex-protected. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the CLI default for
+    [--jobs]. *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** [run ~jobs tasks] evaluates every task and returns the results in
+    submission order. [jobs] defaults to {!default_jobs}; values below
+    1 are clamped to 1. At most [jobs - 1] domains are spawned (the
+    calling domain is the remaining worker). *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list ~jobs f xs] is [List.map f xs] evaluated on the pool,
+    preserving order. *)

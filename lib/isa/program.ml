@@ -17,15 +17,45 @@ module Image = struct
     symtab : (string, int) Hashtbl.t;
     by_addr : (int, int) Hashtbl.t;
     text_bytes : int;
+    dense : bool;
+        (* every instruction is 4 bytes, so index = (addr - base) / 4 *)
   }
 
   let base t = t.base
   let length t = Array.length t.insns
   let text_bytes t = t.text_bytes
+  let is_dense t = t.dense
   let get t i = t.insns.(i)
   let addr_of_index t i = t.addrs.(i)
   let size_of_index t i = t.sizes.(i)
   let index_of_addr t addr = Hashtbl.find_opt t.by_addr addr
+
+  (* Allocation-free index lookup for the emulator's fetch path: -1
+     when [addr] is not an instruction boundary. Dense images resolve
+     with arithmetic; sparse (variable-size codeword) images binary-
+     search [addrs], which layout builds in increasing order. *)
+  let find_index t addr =
+    if t.dense then begin
+      let off = addr - t.base in
+      if off >= 0 && off < t.text_bytes && off land 3 = 0 then off lsr 2
+      else -1
+    end
+    else begin
+      let lo = ref 0 and hi = ref (Array.length t.addrs - 1) and found = ref (-1) in
+      while !lo <= !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        let a = Array.unsafe_get t.addrs mid in
+        if a = addr then begin
+          found := mid;
+          lo := !hi + 1
+        end
+        else if a < addr then lo := mid + 1
+        else hi := mid - 1
+      done;
+      !found
+    end
+
+  let raw_insns t = t.insns
 
   let fetch t addr =
     match index_of_addr t addr with
@@ -78,7 +108,11 @@ let layout ?(base = 0x100000) ?(size_of = default_size) (prog : t) =
   let sizes = Array.map (fun (_, _, s) -> s) triples in
   let by_addr = Hashtbl.create (Array.length insns * 2) in
   Array.iteri (fun i a -> Hashtbl.replace by_addr a i) addrs;
-  { Image.base; insns; addrs; sizes; symtab; by_addr; text_bytes }
+  let dense =
+    text_bytes = 4 * Array.length insns
+    && Array.for_all (fun s -> s = 4) sizes
+  in
+  { Image.base; insns; addrs; sizes; symtab; by_addr; text_bytes; dense }
 
 let insns prog =
   List.filter_map (function Ins i -> Some i | Label _ -> None) prog

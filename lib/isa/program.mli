@@ -40,6 +40,22 @@ module Image : sig
   val index_of_addr : t -> int -> int option
   (** Index of the instruction starting at the given byte address. *)
 
+  val is_dense : t -> bool
+  (** True when every instruction occupies 4 bytes, i.e. the index of
+      the instruction at [addr] is [(addr - base) / 4]. Uncompressed
+      images are dense; images with 2-byte codewords are not. *)
+
+  val find_index : t -> int -> int
+  (** Allocation-free {!index_of_addr}: the index of the instruction
+      starting at the given byte address, or [-1]. O(1) for dense
+      images, O(log n) (binary search) otherwise. This is the
+      emulator's per-fetch lookup. *)
+
+  val raw_insns : t -> Insn.t array
+  (** The underlying instruction array, indexed like {!get}. Shared,
+      not a copy — callers must not mutate it. Exposed so the emulator
+      can predecode without an extra copy. *)
+
   val fetch : t -> int -> Insn.t option
   (** Instruction at a byte address, if one starts there. *)
 

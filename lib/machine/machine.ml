@@ -38,6 +38,8 @@ end
 
 type t = {
   image : Image.t;
+  insns : I.t array;  (* predecoded text: [Image.raw_insns image] *)
+  dense : bool;       (* [Image.is_dense image]: size 4 everywhere *)
   mem : Memory.t;
   regs : Regfile.t;
   expander : expander;
@@ -49,7 +51,16 @@ type t = {
   mutable executed : int;
   mutable app_fetched : int;
   mutable expansions : int;
+  (* Scratch outputs of [exec_one], read once by the caller while it
+     builds the step's event: returning them would allocate a tuple on
+     every executed instruction. *)
+  mutable sc_mem : int;  (* effective address, or [no_mem] *)
+  mutable sc_branch : Event.branch option;
 }
+
+(* Sentinel for "no memory access"; addresses are 32-bit masked, so
+   [min_int] can never collide. *)
+let no_mem = min_int
 
 let no_expander ~pc:_ _ = None
 
@@ -65,6 +76,8 @@ let create ?(expander = no_expander) ?(entry = "main") image =
   Regfile.set regs Reg.sp default_sp;
   {
     image;
+    insns = Image.raw_insns image;
+    dense = Image.is_dense image;
     mem = Memory.create ();
     regs;
     expander;
@@ -76,6 +89,8 @@ let create ?(expander = no_expander) ?(entry = "main") image =
     executed = 0;
     app_fetched = 0;
     expansions = 0;
+    sc_mem = no_mem;
+    sc_branch = None;
   }
 
 let image t = t.image
@@ -105,76 +120,72 @@ let target_addr = function
 (* Execute [insn]; [in_seq] tells whether we are inside a replacement
    sequence (DISE-internal control is only legal there). The return
    address for calls is the application-level fall-through, i.e. the
-   address after the (possibly expanded) trigger. *)
+   address after the (possibly expanded) trigger. Memory address and
+   branch outcome are reported through [t.sc_mem]/[t.sc_branch]. *)
 let exec_one t insn ~in_seq =
   let get r = Regfile.get t.regs r in
   let set r v = Regfile.set t.regs r v in
-  let return_addr = t.pc + t.cur_size in
+  t.sc_mem <- no_mem;
+  t.sc_branch <- None;
   match insn with
   | I.Rop (op, a, b, c) ->
     set c (Op.eval_rop op (get a) (get b));
-    (Next, None, None)
+    Next
   | I.Ropi (op, a, v, c) ->
     set c (Op.eval_rop op (get a) v);
-    (Next, None, None)
+    Next
   | I.Lda (base, off, rd) ->
     set rd (get base + off);
-    (Next, None, None)
+    Next
   | I.Lui (v, rd) ->
     set rd (v lsl 16);
-    (Next, None, None)
-  | I.Mem (mop, base, off, data) -> (
+    Next
+  | I.Mem (mop, base, off, data) ->
     let addr = Op.mask32 (get base + off) in
-    match mop with
-    | Op.Ldq ->
-      set data (Memory.read_s32 t.mem addr);
-      (Next, Some addr, None)
-    | Op.Ldbu ->
-      set data (Memory.read_u8 t.mem addr);
-      (Next, Some addr, None)
-    | Op.Stq ->
-      Memory.write_u32 t.mem addr (Op.mask32 (get data));
-      (Next, Some addr, None)
-    | Op.Stb ->
-      Memory.write_u8 t.mem addr (get data);
-      (Next, Some addr, None))
+    t.sc_mem <- addr;
+    (match mop with
+    | Op.Ldq -> set data (Memory.read_s32 t.mem addr)
+    | Op.Ldbu -> set data (Memory.read_u8 t.mem addr)
+    | Op.Stq -> Memory.write_u32 t.mem addr (Op.mask32 (get data))
+    | Op.Stb -> Memory.write_u8 t.mem addr (get data));
+    Next
   | I.Br (bop, r, tgt) ->
     let target = target_addr tgt in
     let taken = Op.eval_bop bop (get r) in
-    let flow = if taken then App_goto target else Next in
-    (flow, None, Some { Event.taken; target; dise_internal = false })
+    t.sc_branch <- Some { Event.taken; target; dise_internal = false };
+    if taken then App_goto target else Next
   | I.Jmp tgt ->
     let target = target_addr tgt in
-    (App_goto target, None,
-     Some { Event.taken = true; target; dise_internal = false })
+    t.sc_branch <- Some { Event.taken = true; target; dise_internal = false };
+    App_goto target
   | I.Jal tgt ->
     let target = target_addr tgt in
-    set Reg.ra return_addr;
-    (App_goto target, None,
-     Some { Event.taken = true; target; dise_internal = false })
+    set Reg.ra (t.pc + t.cur_size);
+    t.sc_branch <- Some { Event.taken = true; target; dise_internal = false };
+    App_goto target
   | I.Jr r ->
     let target = Op.mask32 (get r) in
-    (App_goto target, None,
-     Some { Event.taken = true; target; dise_internal = false })
+    t.sc_branch <- Some { Event.taken = true; target; dise_internal = false };
+    App_goto target
   | I.Jalr (r, rd) ->
     let target = Op.mask32 (get r) in
-    set rd return_addr;
-    (App_goto target, None,
-     Some { Event.taken = true; target; dise_internal = false })
+    set rd (t.pc + t.cur_size);
+    t.sc_branch <- Some { Event.taken = true; target; dise_internal = false };
+    App_goto target
   | I.Dbr (bop, r, off) ->
     if not in_seq then fail "DISE branch outside replacement sequence";
     let taken = Op.eval_bop bop (get r) in
-    let flow = if taken then Dise_goto off else Next in
-    (flow, None, Some { Event.taken; target = off; dise_internal = true })
+    t.sc_branch <- Some { Event.taken; target = off; dise_internal = true };
+    if taken then Dise_goto off else Next
   | I.Djmp off ->
     if not in_seq then fail "DISE jump outside replacement sequence";
-    (Dise_goto off, None,
-     Some { Event.taken = true; target = off; dise_internal = true })
+    t.sc_branch <- Some { Event.taken = true; target = off; dise_internal = true };
+    Dise_goto off
   | I.Codeword _ ->
     if in_seq then fail "codeword inside replacement sequence (recursion)"
     else fail "codeword at 0x%x matched no production" t.pc
-  | I.Nop -> (Next, None, None)
-  | I.Halt -> (Stop, None, None)
+  | I.Nop -> Next
+  | I.Halt -> Stop
 
 let advance_app t = t.pc <- t.pc + t.cur_size
 
@@ -188,15 +199,15 @@ let step_in_sequence t (e : expansion) ~expansion_start =
   let len = Array.length e.seq in
   let offset = t.disepc in
   let insn = e.seq.(offset) in
-  let flow, mem_addr, branch = exec_one t insn ~in_seq:true in
+  let flow = exec_one t insn ~in_seq:true in
   let ev =
     {
       Event.pc = t.pc;
       insn;
       origin = Event.Rep { rsid = e.rsid; offset; len };
       expansion_start;
-      mem_addr;
-      branch;
+      mem_addr = (if t.sc_mem = no_mem then None else Some t.sc_mem);
+      branch = t.sc_branch;
       fetched_new_pc = expansion_start;
     }
   in
@@ -235,12 +246,13 @@ let step t =
     | Some e when t.disepc < Array.length e.seq ->
       Some (step_in_sequence t e ~expansion_start:false)
     | Some _ | None -> (
-      (* Application-level fetch. *)
-      match Image.index_of_addr t.image t.pc with
-      | None -> fail "PC 0x%x outside text" t.pc
-      | Some idx -> (
-        let insn = Image.get t.image idx in
-        t.cur_size <- Image.size_of_index t.image idx;
+      (* Application-level fetch: predecoded text, O(1) for dense
+         images (no per-step hashtable probe). *)
+      let idx = Image.find_index t.image t.pc in
+      if idx < 0 then fail "PC 0x%x outside text" t.pc
+      else begin
+        let insn = Array.unsafe_get t.insns idx in
+        t.cur_size <- (if t.dense then 4 else Image.size_of_index t.image idx);
         t.app_fetched <- t.app_fetched + 1;
         match t.expander ~pc:t.pc insn with
         | Some e ->
@@ -254,15 +266,15 @@ let step t =
           Some (step_in_sequence t e ~expansion_start:true)
         | None ->
           t.disepc <- 0;
-          let flow, mem_addr, branch = exec_one t insn ~in_seq:false in
+          let flow = exec_one t insn ~in_seq:false in
           let ev =
             {
               Event.pc = t.pc;
               insn;
               origin = Event.App;
               expansion_start = false;
-              mem_addr;
-              branch;
+              mem_addr = (if t.sc_mem = no_mem then None else Some t.sc_mem);
+              branch = t.sc_branch;
               fetched_new_pc = true;
             }
           in
@@ -272,11 +284,16 @@ let step t =
           | Dise_goto _ -> assert false
           | Stop -> t.halted <- true);
           t.executed <- t.executed + 1;
-          Some ev))
+          Some ev
+      end)
 
 let run_events ?(max_steps = 100_000_000) t f =
+  (* The halted check lets a program whose final instruction is exactly
+     the [max_steps]-th complete normally; a still-running machine
+     stops having executed exactly [max_steps] instructions, never
+     [max_steps + 1]. *)
   let rec go () =
-    if t.executed > max_steps then
+    if (not t.halted) && t.executed >= max_steps then
       fail "exceeded %d steps without halting" max_steps;
     match step t with
     | Some ev ->

@@ -109,9 +109,11 @@ val step : t -> Event.t option
     replacement sequence, memory fault). *)
 
 val run : ?max_steps:int -> t -> int
-(** Step until halt (or [max_steps], default 100 million; raises
-    {!Runtime_error} if exceeded). Returns executed-instruction
-    count. *)
+(** Step until halt (or [max_steps], default 100 million). Returns
+    executed-instruction count. Raises {!Runtime_error} once exactly
+    [max_steps] instructions have executed without reaching a halt —
+    never an instruction more; a program whose halting instruction is
+    the [max_steps]-th completes normally. *)
 
 val run_events : ?max_steps:int -> t -> (Event.t -> unit) -> int
 (** Like {!run} but streams every event to the callback. *)

@@ -4,17 +4,33 @@ let page_bits = 12
 let page_size = 1 lsl page_bits
 let page_mask = page_size - 1
 
-type t = { pages : (int, bytes) Hashtbl.t }
+type t = {
+  pages : (int, bytes) Hashtbl.t;
+  (* One-entry translation cache: accesses cluster heavily (stack,
+     current data structure), so most lookups skip the hashtable. *)
+  mutable last_key : int;
+  mutable last_page : bytes;
+}
 
-let create () = { pages = Hashtbl.create 64 }
+let no_page = Bytes.create 0
+
+let create () =
+  { pages = Hashtbl.create 64; last_key = -1; last_page = no_page }
 
 let page t addr =
   let key = addr lsr page_bits in
-  match Hashtbl.find_opt t.pages key with
-  | Some p -> p
-  | None ->
-    let p = Bytes.make page_size '\000' in
-    Hashtbl.replace t.pages key p;
+  if key = t.last_key then t.last_page
+  else
+    let p =
+      match Hashtbl.find_opt t.pages key with
+      | Some p -> p
+      | None ->
+        let p = Bytes.make page_size '\000' in
+        Hashtbl.replace t.pages key p;
+        p
+    in
+    t.last_key <- key;
+    t.last_page <- p;
     p
 
 let read_u8 t addr =

@@ -27,6 +27,8 @@ let create ~size_bytes ~assoc ~line_bytes =
   if size_bytes mod (assoc * line_bytes) <> 0 then
     invalid_arg "Cache.create: size not divisible by assoc * line";
   let n_sets = size_bytes / (assoc * line_bytes) in
+  if n_sets land (n_sets - 1) <> 0 then
+    invalid_arg "Cache.create: set count must be a power of two";
   {
     size_bytes;
     line_bytes;
@@ -41,14 +43,11 @@ let create ~size_bytes ~assoc ~line_bytes =
     misses = 0;
   }
 
-let set_and_tag t addr =
-  let line = addr lsr t.line_shift in
-  (t.sets.(line mod t.n_sets), line)
-
 let access t addr =
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
-  let set, tag = set_and_tag t addr in
+  let tag = addr lsr t.line_shift in
+  let set = t.sets.(tag land (t.n_sets - 1)) in
   let rec find i = if i >= t.assoc then None
     else if set.(i).tag = tag then Some set.(i)
     else find (i + 1)
@@ -71,10 +70,11 @@ let access t addr =
     `Miss
 
 let probe t addr =
-  let set, tag = set_and_tag t addr in
-  Array.exists (fun w -> w.tag = tag) set
+  let tag = addr lsr t.line_shift in
+  Array.exists (fun w -> w.tag = tag) t.sets.(tag land (t.n_sets - 1))
 
 let line_bytes t = t.line_bytes
+let line_of t addr = addr lsr t.line_shift
 let size_bytes t = t.size_bytes
 let accesses t = t.accesses
 let misses t = t.misses

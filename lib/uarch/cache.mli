@@ -5,8 +5,10 @@
 type t
 
 val create : size_bytes:int -> assoc:int -> line_bytes:int -> t
-(** Raises [Invalid_argument] unless sizes are positive and
-    [size_bytes] is divisible by [assoc * line_bytes]. *)
+(** Raises [Invalid_argument] unless sizes are positive,
+    [size_bytes] is divisible by [assoc * line_bytes], and both the
+    line size and the resulting set count are powers of two (so
+    indexing is mask-and-shift on the hot path). *)
 
 val access : t -> int -> [ `Hit | `Miss ]
 (** Touch the line containing the byte address; allocates on miss. *)
@@ -15,6 +17,11 @@ val probe : t -> int -> bool
 (** Presence check without LRU update or allocation. *)
 
 val line_bytes : t -> int
+
+val line_of : t -> int -> int
+(** Line number of a byte address ([addr lsr line_shift]) — division
+    avoided on the per-fetch path. *)
+
 val size_bytes : t -> int
 val accesses : t -> int
 val misses : t -> int

@@ -155,7 +155,7 @@ let consume t (ev : Event.t) =
     (match t.icache with
     | None -> ()
     | Some ic ->
-      let line = ev.pc / Cache.line_bytes ic in
+      let line = Cache.line_of ic ev.pc in
       if line <> t.last_line then begin
         t.last_line <- line;
         stats.Stats.icache_accesses <- stats.Stats.icache_accesses + 1;
@@ -213,9 +213,7 @@ let consume t (ev : Event.t) =
   t.fetch_cycle <- max t.fetch_cycle fetch;
   (* ---- issue / execute ---- *)
   let src_ready =
-    List.fold_left
-      (fun acc r -> max acc t.reg_ready.(Reg.index r))
-      0 (I.uses ev.insn)
+    I.fold_uses (fun acc r -> max acc t.reg_ready.(Reg.index r)) 0 ev.insn
   in
   (* Issue bandwidth: at most [width] instructions may begin execution
      per cycle; the [width]-th previous issue bounds this one. *)
@@ -225,9 +223,7 @@ let consume t (ev : Event.t) =
   t.issue_head <- (t.issue_head + 1) mod Array.length t.issue_ring;
   let lat = latency_of t ev in
   let complete = start + lat in
-  List.iter
-    (fun r -> t.reg_ready.(Reg.index r) <- complete)
-    (I.defs ev.insn);
+  I.iter_defs (fun r -> t.reg_ready.(Reg.index r) <- complete) ev.insn;
   (* ---- control flow ---- *)
   (match ev.branch with
   | None -> ()

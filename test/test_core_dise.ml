@@ -373,6 +373,43 @@ let test_engine_memoizes_by_pc () =
   check bool_ "same expansion object" true (a == b);
   check int_ "distinct triggers counted once" 1 (Engine.distinct_triggers engine)
 
+let test_engine_cache_keyed_by_insn () =
+  (* Regression: the sparse memo once keyed by PC alone, so a second
+     instruction at the same PC (re-laid-out codeword image, or a
+     hand-driven probe) got the first instruction's expansion. *)
+  let sp_loads = Pattern.with_rs Reg.sp Pattern.loads in
+  let set =
+    Prodset.empty
+    |> (fun s ->
+         Prodset.add s
+           (Production.make ~name:"ident" sp_loads (Production.Direct 1))
+           Replacement.identity)
+    |> fun s ->
+    Prodset.add s
+      (Production.make ~name:"count" Pattern.loads (Production.Direct 2))
+      [| Replacement.Ropi (Opcode.Add, Replacement.Rlit (Reg.d 0),
+                           Replacement.Ilit 1, Replacement.Rlit (Reg.d 0));
+         Replacement.Trigger |]
+  in
+  let engine = Engine.create set in
+  let sp_load = Insn.Mem (Opcode.Ldq, Reg.sp, 0, r2) in
+  let other_load = Insn.Mem (Opcode.Ldq, r1, 0, r2) in
+  let pc = 0x100 in
+  (match Engine.expand engine ~pc sp_load with
+  | Some { Machine.rsid = 1; _ } -> ()
+  | _ -> Alcotest.fail "sp load should hit the identity production");
+  (* Same PC, different instruction: must not reuse the memo entry. *)
+  (match Engine.expand engine ~pc other_load with
+  | Some { Machine.rsid = 2; seq } ->
+    check int_ "counting expansion, not stale identity" 2 (Array.length seq)
+  | Some { Machine.rsid; _ } ->
+    Alcotest.failf "stale expansion (rsid %d) returned for new insn" rsid
+  | None -> Alcotest.fail "other load should match counting production");
+  (* And the original pairing still hits its own entry. *)
+  match Engine.expand engine ~pc sp_load with
+  | Some { Machine.rsid = 1; seq } -> check int_ "identity intact" 1 (Array.length seq)
+  | _ -> Alcotest.fail "identity expansion lost"
+
 let test_engine_unbound_sequence () =
   let set =
     Prodset.add_production Prodset.empty
@@ -700,6 +737,8 @@ let suite =
     ("MFI traps when segment mismatched", `Quick, test_mfi_passes_when_legal);
     ("most specific pattern wins", `Quick, test_engine_most_specific_wins);
     ("engine memoizes by pc", `Quick, test_engine_memoizes_by_pc);
+    ("engine cache keyed by (pc, insn)", `Quick,
+     test_engine_cache_keyed_by_insn);
     ("engine unbound sequence", `Quick, test_engine_unbound_sequence);
     ("PT hits and misses", `Quick, test_pt_hits_and_misses);
     ("PT capacity eviction", `Quick, test_pt_capacity_eviction);

@@ -100,6 +100,7 @@ let micro_opts =
     Figures.dyn_target = 25_000;
     benchmarks = [ "bzip2"; "mcf" ];
     progress = ignore;
+    jobs = 1;
   }
 
 let test_fig6_top_structure () =
@@ -170,6 +171,61 @@ let test_report_render_and_csv () =
   (* geomean of 1 and 2 is sqrt 2 *)
   check bool_ "geomean value" true
     (abs_float (Report.geomean (List.hd fig.Figures.series) -. sqrt 2.) < 1e-9)
+
+(* --- worker pool -------------------------------------------------------- *)
+
+let test_pool_order_preserved () =
+  let tasks = Array.init 37 (fun i () -> i * i) in
+  List.iter
+    (fun jobs ->
+      let r = Pool.run ~jobs tasks in
+      check int_ "result count" 37 (Array.length r);
+      Array.iteri
+        (fun i v ->
+          check int_ (Printf.sprintf "slot %d (jobs=%d)" i jobs) (i * i) v)
+        r)
+    [ 1; 2; 4; 64 ]
+
+let test_pool_jobs_clamped () =
+  (* jobs <= 0 behaves like serial rather than erroring. *)
+  let r = Pool.run ~jobs:0 [| (fun () -> 7) |] in
+  check int_ "ran" 7 r.(0);
+  let r = Pool.run ~jobs:(-3) [| (fun () -> 8); (fun () -> 9) |] in
+  check int_ "ran 0" 8 r.(0);
+  check int_ "ran 1" 9 r.(1)
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      let tasks =
+        Array.init 8 (fun i () -> if i >= 5 then raise (Boom i) else i)
+      in
+      match Pool.run ~jobs tasks with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+        (* Lowest-indexed failure wins, independent of scheduling. *)
+        check int_ (Printf.sprintf "lowest failure (jobs=%d)" jobs) 5 i)
+    [ 1; 3 ]
+
+let test_pool_empty_and_map_list () =
+  check int_ "empty task array" 0 (Array.length (Pool.run ~jobs:4 [||]));
+  check bool_ "map_list" true
+    (Pool.map_list ~jobs:3 (fun x -> x + 1) [ 1; 2; 3 ] = [ 2; 3; 4 ])
+
+(* The tentpole guarantee: a figure built on 4 worker domains renders
+   bit-identically to the serial build. *)
+let test_parallel_figures_deterministic () =
+  Experiment.clear_cache ();
+  let serial = Figures.fig6_top { Figures.quick_opts with Figures.jobs = 1 } in
+  Experiment.clear_cache ();
+  let parallel = Figures.fig6_top { Figures.quick_opts with Figures.jobs = 4 } in
+  let render f = Format.asprintf "%a" Report.render f in
+  check Alcotest.string "rendered figures identical" (render serial)
+    (render parallel);
+  check Alcotest.string "csv identical" (Report.to_csv serial)
+    (Report.to_csv parallel)
 
 (* --- differential execution -------------------------------------------- *)
 
@@ -246,6 +302,12 @@ let suite =
     ("decompress composed", `Quick, test_decompress_composed);
     ("decompress rewritten", `Quick, test_decompress_rewritten);
     ("controller spec wired", `Quick, test_controller_spec_wired);
+    ("pool preserves order", `Quick, test_pool_order_preserved);
+    ("pool clamps jobs", `Quick, test_pool_jobs_clamped);
+    ("pool propagates exceptions", `Quick, test_pool_exception_propagates);
+    ("pool empty and map_list", `Quick, test_pool_empty_and_map_list);
+    ("parallel figures deterministic", `Slow,
+     test_parallel_figures_deterministic);
     ("fig6-top structure", `Slow, test_fig6_top_structure);
     ("fig7-ratio structure", `Slow, test_fig7_ratio_structure);
     ("figures registry", `Quick, test_figures_registry);

@@ -230,6 +230,24 @@ let test_max_steps () =
   | exception Machine.Runtime_error _ -> ()
   | _ -> Alcotest.fail "infinite loop should exceed max_steps"
 
+let test_max_steps_exact () =
+  (* The bound is exact: a still-running machine stops having executed
+     max_steps instructions, never max_steps + 1. *)
+  let img = Program.layout (Asm.parse "main:\n jmp main\n") in
+  let m = Machine.create img in
+  (match Machine.run ~max_steps:1000 m with
+  | exception Machine.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected Runtime_error");
+  check int_ "stopped at exactly max_steps" 1000 (Machine.executed m);
+  (* A program whose halting instruction is exactly the max_steps-th
+     completes normally. *)
+  let img2 =
+    Program.layout (Asm.parse "main:\n nop\n nop\n add zero, #7, r2\n halt\n")
+  in
+  let m2 = Machine.create img2 in
+  check int_ "4-insn program under max_steps=4" 4 (Machine.run ~max_steps:4 m2);
+  check int_ "completed with its exit code" 7 (Machine.exit_code m2)
+
 (* --- DISE expansion semantics --------------------------------------- *)
 
 (* A hand-rolled expander (no engine yet): expands every store into
@@ -479,6 +497,7 @@ let suite =
     ("exit code", `Quick, test_exit_code);
     ("pc escape detected", `Quick, test_pc_escape);
     ("max steps", `Quick, test_max_steps);
+    ("max steps exact bound", `Quick, test_max_steps_exact);
     ("expansion basic", `Quick, test_expansion_basic);
     ("replacement branch aborts sequence", `Quick,
      test_replacement_branch_aborts_sequence);
