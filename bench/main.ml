@@ -10,18 +10,21 @@
      dune exec bench/main.exe -- fig6-top fig7-ratio
      dune exec bench/main.exe -- --no-micro   # skip Bechamel section
      dune exec bench/main.exe -- --jobs 4     # 4 worker domains per panel
-     dune exec bench/main.exe -- --json out.json  # machine-readable results *)
+     dune exec bench/main.exe -- --json out.json  # machine-readable results
+     dune exec bench/main.exe -- --manifest run.jsonl  # per-cell telemetry
+     dune exec bench/main.exe -- --cpi-stack  # CPI-stack table per panel *)
 
 module H = Dise_harness
 module W = Dise_workload
 module A = Dise_acf
 module Core = Dise_core
+module T = Dise_telemetry
 module I = Dise_isa.Insn
 
 let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--no-micro] [--dyn N] [--jobs N] [--json \
-     FILE] [panel-id ...]";
+     FILE] [--manifest FILE] [--cpi-stack] [panel-id ...]";
   exit 2
 
 let parse_args () =
@@ -30,6 +33,8 @@ let parse_args () =
   let dyn = ref 300_000 in
   let jobs = ref (H.Pool.default_jobs ()) in
   let json = ref None in
+  let manifest = ref None in
+  let cpi = ref false in
   let panels = ref [] in
   let int_arg name n =
     match int_of_string_opt n with
@@ -46,6 +51,9 @@ let parse_args () =
     | "--no-micro" :: rest ->
       micro := false;
       go rest
+    | "--cpi-stack" :: rest ->
+      cpi := true;
+      go rest
     | "--dyn" :: n :: rest ->
       dyn := int_arg "--dyn" n;
       go rest
@@ -55,13 +63,16 @@ let parse_args () =
     | "--json" :: file :: rest ->
       json := Some file;
       go rest
-    | ("--dyn" | "--jobs" | "--json") :: [] -> usage ()
+    | "--manifest" :: file :: rest ->
+      manifest := Some file;
+      go rest
+    | ("--dyn" | "--jobs" | "--json" | "--manifest") :: [] -> usage ()
     | id :: rest ->
       panels := id :: !panels;
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !micro, !dyn, !jobs, !json, List.rev !panels)
+  (!quick, !micro, !dyn, !jobs, !json, !manifest, !cpi, List.rev !panels)
 
 (* --- JSON output (BENCH_*.json trajectory format) ---------------------- *)
 
@@ -85,7 +96,8 @@ let json_of_results ~quick ~dyn ~jobs ~total results =
   Buffer.add_string b "{\n";
   Buffer.add_string b
     (Printf.sprintf "  \"suite\": %s,\n" (str (if quick then "quick" else "full")));
-  Buffer.add_string b (Printf.sprintf "  \"dyn_target\": %d,\n" dyn);
+  Buffer.add_string b
+    (Printf.sprintf "  \"dyn_target\": %d,\n" (if quick then 120_000 else dyn));
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string b
     (Printf.sprintf "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ()));
@@ -119,10 +131,12 @@ let json_of_results ~quick ~dyn ~jobs ~total results =
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
 
-let run_panels ~quick ~dyn ~jobs ids =
+let run_panels ~quick ~dyn ~jobs ~manifest ~cpi ids =
   let opts =
-    if quick then { H.Figures.quick_opts with H.Figures.jobs }
-    else { H.Figures.default_opts with H.Figures.dyn_target = dyn; jobs }
+    if quick then { H.Figures.quick_opts with H.Figures.jobs; manifest }
+    else
+      { H.Figures.default_opts with H.Figures.dyn_target = dyn; jobs;
+        manifest }
   in
   let lookup id =
     match H.Figures.by_id id with
@@ -145,7 +159,7 @@ let run_panels ~quick ~dyn ~jobs ids =
       Format.eprintf "running %s...@." id;
       let fig = f opts in
       let elapsed = Unix.gettimeofday () -. t0 in
-      Format.printf "@.%a" H.Report.render fig;
+      Format.printf "@.%a" (H.Report.render ~cpi_stacks:cpi) fig;
       Format.printf "(elapsed %.1fs)@." elapsed;
       (id, elapsed, fig))
     panels
@@ -256,15 +270,42 @@ let microbenches () =
     results
 
 let () =
-  let quick, micro, dyn, jobs, json, panels = parse_args () in
+  let quick, micro, dyn, jobs, json, manifest_path, cpi, panels =
+    parse_args ()
+  in
   Format.printf
     "DISE evaluation harness (%s suite, %d dynamic instructions, %d jobs)@."
     (if quick then "quick" else "full")
     (if quick then 120_000 else dyn)
     jobs;
+  let manifest_chan = Option.map open_out manifest_path in
+  let manifest = Option.map T.Manifest.to_channel manifest_chan in
+  (match manifest with
+  | Some m ->
+    T.Manifest.emit m
+      [
+        ("kind", T.Json.String "meta");
+        ("suite", T.Json.String (if quick then "quick" else "full"));
+        ("dyn_target", T.Json.Int (if quick then 120_000 else dyn));
+        ("jobs", T.Json.Int jobs);
+        ( "host_cores", T.Json.Int (Domain.recommended_domain_count ()) );
+      ]
+  | None -> ());
   let t0 = Unix.gettimeofday () in
-  let results = run_panels ~quick ~dyn ~jobs panels in
+  let results = run_panels ~quick ~dyn ~jobs ~manifest ~cpi panels in
   let total = Unix.gettimeofday () -. t0 in
+  (match manifest, manifest_chan with
+  | Some m, Some c ->
+    T.Manifest.emit m
+      [
+        ("kind", T.Json.String "summary");
+        ("panels", T.Json.Int (List.length results));
+        ("total_wall_s", T.Json.Float total);
+      ];
+    T.Manifest.close m;
+    close_out c;
+    Format.eprintf "wrote %s@." (Option.get manifest_path)
+  | _ -> ());
   (match json with
   | None -> ()
   | Some file ->

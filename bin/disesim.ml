@@ -7,7 +7,8 @@
      figures                  regenerate evaluation panels and ablations
      exec                     assemble and run a user program (+productions)
      safety                   inspect a production-set file
-     disasm                   dump a generated workload *)
+     disasm                   dump a generated workload
+     validate                 check a JSON file against a JSON-Schema file *)
 
 open Cmdliner
 module Machine = Dise_machine.Machine
@@ -17,6 +18,7 @@ module Controller = Dise_core.Controller
 module W = Dise_workload
 module A = Dise_acf
 module H = Dise_harness
+module T = Dise_telemetry
 
 let entry_of name dyn =
   match W.Profile.find name with
@@ -24,6 +26,18 @@ let entry_of name dyn =
   | None ->
     Format.eprintf "unknown benchmark %s (try: disesim list)@." name;
     exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
 
 (* --- list ------------------------------------------------------------- *)
 
@@ -101,33 +115,105 @@ let acf_arg =
          ~doc:"Customization function: $(docv) is one of none, mfi-dise3, \
                mfi-dise4, mfi-rewrite, decompress, composed.")
 
+let acf_name = function
+  | `None -> "none"
+  | `Dise3 -> "mfi-dise3"
+  | `Dise4 -> "mfi-dise4"
+  | `Rewrite -> "mfi-rewrite"
+  | `Decompress -> "decompress"
+  | `Composed -> "composed"
+
+let stats_json_arg =
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+         ~doc:"Write run statistics (counters, CPI stack, per-production \
+               profile) as JSON to $(docv); see doc/schema/stats.schema.json.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event pipeline timeline to $(docv). Load \
+               it in Perfetto or chrome://tracing; the microsecond fields \
+               hold simulated cycles.")
+
+let cpi_stack_arg =
+  Arg.(value & flag & info [ "cpi-stack" ]
+         ~doc:"Print the CPI-stack cycle attribution and the per-production \
+               expansion profile after the run.")
+
 let run_cmd =
   let doc = "Simulate one workload under one ACF and machine configuration." in
-  let run bench dyn icache width acf rt rt_assoc =
+  let run bench dyn icache width acf rt rt_assoc stats_json trace_path cpi =
     let entry = entry_of bench dyn in
     let spec = spec_of dyn icache width rt rt_assoc (acf = `Composed) in
+    let trace_chan = Option.map open_out trace_path in
+    let trace = Option.map (fun c -> T.Trace.to_channel c) trace_chan in
+    let profile =
+      if stats_json <> None || cpi then Some (T.Profile.create ()) else None
+    in
     let stats =
       match acf with
-      | `None -> H.Experiment.baseline spec entry
-      | `Dise3 -> H.Experiment.mfi_dise ~variant:A.Mfi.Dise3 spec entry
-      | `Dise4 -> H.Experiment.mfi_dise ~variant:A.Mfi.Dise4 spec entry
-      | `Rewrite -> H.Experiment.mfi_rewrite spec entry
+      | `None -> H.Experiment.baseline ?trace ?profile spec entry
+      | `Dise3 ->
+        H.Experiment.mfi_dise ~variant:A.Mfi.Dise3 ?trace ?profile spec entry
+      | `Dise4 ->
+        H.Experiment.mfi_dise ~variant:A.Mfi.Dise4 ?trace ?profile spec entry
+      | `Rewrite -> H.Experiment.mfi_rewrite ?trace ?profile spec entry
       | `Decompress ->
-        H.Experiment.decompress_run ~scheme:A.Compress.full_dise spec entry
+        H.Experiment.decompress_run ~scheme:A.Compress.full_dise ?trace
+          ?profile spec entry
       | `Composed ->
         H.Experiment.decompress_run ~scheme:A.Compress.full_dise
-          ~mfi:`Composed spec entry
+          ~mfi:`Composed ?trace ?profile spec entry
     in
+    (match trace_chan with
+    | Some c ->
+      close_out c;
+      Format.printf "(trace written to %s)@." (Option.get trace_path)
+    | None -> ());
     Format.printf "machine: %a@." Config.pp spec.H.Experiment.machine;
     Format.printf "%a@." Stats.pp stats;
     let base = H.Experiment.baseline spec entry in
     if acf <> `None then
       Format.printf "relative to ACF-free: %.3f@."
-        (H.Experiment.relative stats ~baseline:base)
+        (H.Experiment.relative stats ~baseline:base);
+    if cpi then begin
+      Format.printf "@.%a@." T.Cpi_stack.pp stats.Stats.cpi;
+      match profile with
+      | Some p when T.Profile.total_expansions p > 0 ->
+        Format.printf "@.%a@." T.Profile.pp p
+      | _ -> ()
+    end;
+    match stats_json with
+    | None -> ()
+    | Some path ->
+      let doc =
+        T.Json.Obj
+          [
+            ("benchmark", T.Json.String bench);
+            ("acf", T.Json.String (acf_name acf));
+            ("dyn_target", T.Json.Int dyn);
+            ( "machine",
+              T.Json.Obj
+                [
+                  ("width", T.Json.Int width);
+                  ( "icache_kb",
+                    match icache with
+                    | Some 0 | None -> T.Json.Null
+                    | Some kb -> T.Json.Int kb );
+                ] );
+            ("stats", Stats.to_json stats);
+            ( "profile",
+              match profile with
+              | Some p -> T.Profile.to_json p
+              | None -> T.Json.Null );
+          ]
+      in
+      write_file path (T.Json.to_string ~indent:true doc);
+      Format.printf "(stats written to %s)@." path
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ bench_arg $ dyn_arg $ icache_arg $ width_arg $ acf_arg
-          $ rt_arg $ rt_assoc_arg)
+          $ rt_arg $ rt_assoc_arg $ stats_json_arg $ trace_out_arg
+          $ cpi_stack_arg)
 
 (* --- compress ---------------------------------------------------------- *)
 
@@ -149,9 +235,28 @@ let compress_cmd =
     Arg.(value & opt int 0 & info [ "show-dictionary" ] ~docv:"N"
            ~doc:"Print the $(docv) most-used dictionary entries.")
   in
-  let run bench dyn scheme show =
+  let run bench dyn scheme show stats_json =
     let entry = entry_of bench dyn in
     let r = H.Experiment.compress_result ~scheme entry in
+    (match stats_json with
+    | None -> ()
+    | Some path ->
+      let doc =
+        T.Json.Obj
+          [
+            ("benchmark", T.Json.String bench);
+            ("scheme", T.Json.String scheme.A.Compress.name);
+            ("orig_text_bytes", T.Json.Int r.A.Compress.orig_text_bytes);
+            ("text_bytes", T.Json.Int r.A.Compress.text_bytes);
+            ("dict_bytes", T.Json.Int r.A.Compress.dict_bytes);
+            ("dict_entries", T.Json.Int (List.length r.A.Compress.entries));
+            ("codewords", T.Json.Int r.A.Compress.codewords);
+            ("text_ratio", T.Json.Float (A.Compress.compression_ratio r));
+            ("total_ratio", T.Json.Float (A.Compress.total_ratio r));
+          ]
+      in
+      write_file path (T.Json.to_string ~indent:true doc);
+      Format.printf "(stats written to %s)@." path);
     Format.printf "scheme %s on %s:@." scheme.A.Compress.name bench;
     Format.printf "  original text:   %7d bytes@." r.A.Compress.orig_text_bytes;
     Format.printf "  compressed text: %7d bytes (%.1f%%)@."
@@ -183,7 +288,8 @@ let compress_cmd =
     end
   in
   Cmd.v (Cmd.info "compress" ~doc)
-    Term.(const run $ bench_arg $ dyn_arg $ scheme_arg $ show_arg)
+    Term.(const run $ bench_arg $ dyn_arg $ scheme_arg $ show_arg
+          $ stats_json_arg)
 
 (* --- figures ------------------------------------------------------------ *)
 
@@ -207,15 +313,24 @@ let figures_cmd =
              ~doc:"Worker domains per panel (default: available cores). \
                    Results are identical for every $(docv); 1 is serial.")
   in
-  let run ids quick dyn csv jobs =
+  let manifest_arg =
+    Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"Append one JSONL record per evaluated cell (series, \
+                 benchmark, worker domain, wall-clock) plus per-panel \
+                 pool-utilization summaries to $(docv).")
+  in
+  let run ids quick dyn csv jobs manifest_path cpi =
     let opts =
       if quick then H.Figures.quick_opts
       else { H.Figures.default_opts with H.Figures.dyn_target = dyn }
     in
+    let manifest_chan = Option.map open_out manifest_path in
+    let manifest = Option.map T.Manifest.to_channel manifest_chan in
     let opts =
       { opts with
         H.Figures.jobs;
-        progress = (fun msg -> Format.eprintf "  [%s]@." msg) }
+        progress = (fun msg -> Format.eprintf "  [%s]@." msg);
+        manifest }
     in
     let lookup id =
       match H.Figures.by_id id with
@@ -232,22 +347,47 @@ let figures_cmd =
       | [] -> H.Figures.all @ H.Ablate.all
       | ids -> List.map lookup ids
     in
+    (match manifest with
+    | Some m ->
+      T.Manifest.emit m
+        [
+          ("kind", T.Json.String "meta");
+          ("dyn_target", T.Json.Int opts.H.Figures.dyn_target);
+          ("jobs", T.Json.Int jobs);
+          ( "benchmarks",
+            T.Json.List
+              (List.map (fun b -> T.Json.String b) opts.H.Figures.benchmarks)
+          );
+          ( "panels",
+            T.Json.List (List.map (fun (id, _) -> T.Json.String id) panels) );
+        ]
+    | None -> ());
     List.iter
       (fun (id, f) ->
         let fig = f opts in
-        Format.printf "@.%a@." H.Report.render fig;
+        Format.printf "@.%a@." (H.Report.render ~cpi_stacks:cpi) fig;
         match csv with
         | Some dir ->
           let path = Filename.concat dir (id ^ ".csv") in
-          let oc = open_out path in
-          output_string oc (H.Report.to_csv fig);
-          close_out oc;
-          Format.printf "(csv written to %s)@." path
+          write_file path (H.Report.to_csv fig);
+          Format.printf "(csv written to %s)@." path;
+          if fig.H.Figures.stacks <> [] then begin
+            let cpi_path = Filename.concat dir (id ^ "-cpi.csv") in
+            write_file cpi_path (H.Report.cpi_to_csv fig);
+            Format.printf "(cpi csv written to %s)@." cpi_path
+          end
         | None -> ())
-      panels
+      panels;
+    match manifest, manifest_chan with
+    | Some m, Some c ->
+      T.Manifest.close m;
+      close_out c;
+      Format.printf "(manifest written to %s)@." (Option.get manifest_path)
+    | _ -> ()
   in
   Cmd.v (Cmd.info "figures" ~doc)
-    Term.(const run $ ids_arg $ quick_arg $ dyn_arg $ csv_arg $ jobs_arg)
+    Term.(const run $ ids_arg $ quick_arg $ dyn_arg $ csv_arg $ jobs_arg
+          $ manifest_arg $ cpi_stack_arg)
 
 (* --- exec: assemble and run user programs -------------------------------- *)
 
@@ -274,13 +414,6 @@ let exec_cmd =
   let trace_arg =
     Arg.(value & flag & info [ "trace" ]
            ~doc:"Print every executed instruction.")
-  in
-  let read_file path =
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
   in
   let run asm_path prods_path drs trace =
     let program =
@@ -373,6 +506,42 @@ let safety_cmd =
   in
   Cmd.v (Cmd.info "safety" ~doc) Term.(const run $ file_arg $ reserved_arg)
 
+(* --- validate: JSON-Schema checking of telemetry output ------------------- *)
+
+let validate_cmd =
+  let doc =
+    "Validate a JSON file against a JSON-Schema file (the subset of \
+     keywords used by doc/schema/, see lib/telemetry/json_schema.mli). \
+     Exits 1 on parse or validation failure."
+  in
+  let schema_arg =
+    Arg.(required & opt (some file) None & info [ "schema" ] ~docv:"SCHEMA"
+           ~doc:"JSON-Schema file.")
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"JSON document to check.")
+  in
+  let parse_or_die what path =
+    match T.Json.parse (read_file path) with
+    | doc -> doc
+    | exception T.Json.Parse_error msg ->
+      Format.eprintf "%s %s: %s@." what path msg;
+      exit 1
+  in
+  let run schema_path path =
+    let schema = parse_or_die "schema" schema_path in
+    let doc = parse_or_die "document" path in
+    match T.Json_schema.validate ~schema doc with
+    | [] -> Format.printf "%s: conforms to %s@." path schema_path
+    | errors ->
+      List.iter
+        (fun e -> Format.eprintf "%s: %a@." path T.Json_schema.pp_error e)
+        errors;
+      exit 1
+  in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ schema_arg $ file_arg)
+
 (* --- disasm -------------------------------------------------------------- *)
 
 let disasm_cmd =
@@ -398,4 +567,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; compress_cmd; figures_cmd; exec_cmd; safety_cmd;
-            disasm_cmd ]))
+            disasm_cmd; validate_cmd ]))

@@ -10,6 +10,8 @@ module Codegen = Dise_workload.Codegen
 module Mfi = Dise_acf.Mfi
 module Rewrite = Dise_acf.Rewrite
 module Compress = Dise_acf.Compress
+module Trace = Dise_telemetry.Trace
+module Profile = Dise_telemetry.Profile
 
 type spec = {
   dyn_target : int;
@@ -22,14 +24,20 @@ let default_spec =
 
 let max_steps = 100_000_000
 
-let run_machine spec ?prodset m =
+(* Telemetry sinks are deliberately NOT part of [spec]: spec is a
+   structural hash key for the baseline memo table, and closures or
+   channels inside it would break structural hashing. Sinks arrive as
+   separate optional arguments instead, and memoized drivers bypass
+   their memo when a sink is attached (a cached Stats.t could not
+   replay the events into the sink anyway). *)
+let run_machine spec ?prodset ?trace ?profile m =
   let controller =
     match spec.controller, prodset with
     | Some cfg, Some ps -> Some (Controller.create cfg ps)
     | Some cfg, None -> Some (Controller.create cfg Prodset.empty)
     | None, _ -> None
   in
-  Pipeline.run ~max_steps ?controller spec.machine m
+  Pipeline.run ~max_steps ?controller ?trace ?profile spec.machine m
 
 let check_clean name m =
   if Machine.exit_code m <> 0 then
@@ -37,9 +45,9 @@ let check_clean name m =
       (Printf.sprintf "experiment %s: workload trapped (exit %d)" name
          (Machine.exit_code m))
 
-let run_baseline spec (entry : Suite.entry) =
+let run_baseline spec ?trace ?profile (entry : Suite.entry) =
   let m = Machine.create entry.Suite.image in
-  let stats = run_machine spec m in
+  let stats = run_machine spec ?trace ?profile m in
   check_clean "baseline" m;
   stats
 
@@ -51,11 +59,11 @@ let install_mfi m =
   Mfi.install m ~data_seg:Codegen.data_segment_id
     ~code_seg:Codegen.code_segment_id
 
-let mfi_dise ?variant spec (entry : Suite.entry) =
+let mfi_dise ?variant ?trace ?profile spec (entry : Suite.entry) =
   let prodset = Mfi.productions_for ?variant entry.Suite.image in
   let m = with_engine entry.Suite.image prodset in
   install_mfi m;
-  let stats = run_machine spec ~prodset m in
+  let stats = run_machine spec ~prodset ?trace ?profile m in
   check_clean "mfi_dise" m;
   stats
 
@@ -124,12 +132,19 @@ let memoize table key compute =
 let baseline_cache : (spec * string * int, Stats.t slot) Hashtbl.t =
   Hashtbl.create 64
 
-let baseline spec (entry : Suite.entry) =
-  let key =
-    (spec, entry.Suite.profile.Dise_workload.Profile.name,
-     entry.Suite.gen.Codegen.total_insns)
-  in
-  memoize baseline_cache key (fun () -> run_baseline spec entry)
+let baseline ?trace ?profile spec (entry : Suite.entry) =
+  match trace, profile with
+  | None, None ->
+    let key =
+      (spec, entry.Suite.profile.Dise_workload.Profile.name,
+       entry.Suite.gen.Codegen.total_insns)
+    in
+    memoize baseline_cache key (fun () -> run_baseline spec entry)
+  | _ ->
+    (* A sink needs the event stream replayed, which a cached Stats.t
+       cannot provide; run outside the memo (and leave the memo alone —
+       a traced run's stats are identical to an untraced one's). *)
+    run_baseline spec ?trace ?profile entry
 
 let rewritten_cache : (string * int, Dise_isa.Program.t slot) Hashtbl.t =
   Hashtbl.create 16
@@ -142,7 +157,7 @@ let rewritten_program (entry : Suite.entry) =
       Rewrite.rewrite ~data_seg:Codegen.data_segment_id
         ~code_seg:Codegen.code_segment_id entry.Suite.gen.Codegen.program)
 
-let mfi_rewrite ?variant spec (entry : Suite.entry) =
+let mfi_rewrite ?variant ?trace ?profile spec (entry : Suite.entry) =
   let prog =
     match variant with
     | None | Some Rewrite.Segment_matching -> rewritten_program entry
@@ -152,7 +167,7 @@ let mfi_rewrite ?variant spec (entry : Suite.entry) =
   in
   let image = Dise_isa.Program.layout ~base:Codegen.code_base prog in
   let m = Machine.create image in
-  let stats = run_machine spec m in
+  let stats = run_machine spec ?trace ?profile m in
   check_clean "mfi_rewrite" m;
   stats
 
@@ -172,8 +187,8 @@ let compress_result ~scheme ?(rewritten = false) (entry : Suite.entry) =
       in
       Compress.compress ~scheme prog)
 
-let decompress_run ~scheme ?(mfi = `None) ?(rewritten = false) spec
-    (entry : Suite.entry) =
+let decompress_run ~scheme ?(mfi = `None) ?(rewritten = false) ?trace ?profile
+    spec (entry : Suite.entry) =
   let result = compress_result ~scheme ~rewritten entry in
   let prodset =
     match mfi with
@@ -182,7 +197,7 @@ let decompress_run ~scheme ?(mfi = `None) ?(rewritten = false) spec
   in
   let m = with_engine result.Compress.image prodset in
   (match mfi with `Composed -> install_mfi m | `None -> ());
-  let stats = run_machine spec ~prodset m in
+  let stats = run_machine spec ~prodset ?trace ?profile m in
   check_clean "decompress" m;
   stats
 

@@ -3,7 +3,13 @@
 
     Compression results are cached per (workload, scheme, rewritten)
     because the greedy compressor is by far the most expensive step and
-    several panels reuse the same compressed binaries. *)
+    several panels reuse the same compressed binaries.
+
+    Every driver takes optional [?trace] and [?profile] telemetry
+    sinks (see {!Dise_telemetry}). Sinks are kept out of {!spec} —
+    spec is a structural memo key — and a sink-carrying call bypasses
+    any memo, since cached statistics cannot replay the event stream
+    into a sink. *)
 
 type spec = {
   dyn_target : int;
@@ -16,13 +22,21 @@ val default_spec : spec
 (** 300K dynamic instructions, the paper's default machine, free
     DISE. *)
 
-val baseline : spec -> Dise_workload.Suite.entry -> Dise_uarch.Stats.t
+val baseline :
+  ?trace:Dise_telemetry.Trace.t ->
+  ?profile:Dise_telemetry.Profile.t ->
+  spec ->
+  Dise_workload.Suite.entry ->
+  Dise_uarch.Stats.t
 (** ACF-free run. Memoized per (spec, workload): many figure cells
     normalize against the same baseline, so it is simulated once and
-    the (deterministic, read-only) stats record is shared. *)
+    the (deterministic, read-only) stats record is shared. A call with
+    a sink attached runs unmemoized and leaves the memo untouched. *)
 
 val mfi_dise :
   ?variant:Dise_acf.Mfi.variant ->
+  ?trace:Dise_telemetry.Trace.t ->
+  ?profile:Dise_telemetry.Profile.t ->
   spec ->
   Dise_workload.Suite.entry ->
   Dise_uarch.Stats.t
@@ -31,6 +45,8 @@ val mfi_dise :
 
 val mfi_rewrite :
   ?variant:Dise_acf.Rewrite.variant ->
+  ?trace:Dise_telemetry.Trace.t ->
+  ?profile:Dise_telemetry.Profile.t ->
   spec ->
   Dise_workload.Suite.entry ->
   Dise_uarch.Stats.t
@@ -49,6 +65,8 @@ val decompress_run :
   scheme:Dise_acf.Compress.scheme ->
   ?mfi:[ `None | `Composed ] ->
   ?rewritten:bool ->
+  ?trace:Dise_telemetry.Trace.t ->
+  ?profile:Dise_telemetry.Profile.t ->
   spec ->
   Dise_workload.Suite.entry ->
   Dise_uarch.Stats.t

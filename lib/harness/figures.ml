@@ -5,6 +5,8 @@ module Suite = Dise_workload.Suite
 module Profile = Dise_workload.Profile
 module Compress = Dise_acf.Compress
 module Mfi = Dise_acf.Mfi
+module Manifest = Dise_telemetry.Manifest
+module Json = Dise_telemetry.Json
 module E = Experiment
 
 type series = {
@@ -17,6 +19,7 @@ type figure = {
   title : string;
   ylabel : string;
   series : series list;
+  stacks : (string * string * Stats.t) list;
 }
 
 type opts = {
@@ -24,11 +27,12 @@ type opts = {
   benchmarks : string list;
   progress : string -> unit;
   jobs : int;
+  manifest : Manifest.t option;
 }
 
 let default_opts =
   { dyn_target = 300_000; benchmarks = Profile.names; progress = ignore;
-    jobs = 1 }
+    jobs = 1; manifest = None }
 
 let quick_opts =
   {
@@ -36,6 +40,7 @@ let quick_opts =
     benchmarks = [ "bzip2"; "gzip"; "mcf"; "parser" ];
     progress = ignore;
     jobs = 1;
+    manifest = None;
   }
 
 let entries opts =
@@ -51,10 +56,12 @@ let spec ?controller ?(machine = Config.default) opts =
 
 (* A deferred series: one closure per (series × benchmark) cell. Cells
    are independent — each builds its own machine/engine/controller —
-   so a figure can evaluate them on the worker pool. *)
+   so a figure can evaluate them on the worker pool. Each cell yields
+   its figure value plus, for timing cells, the full statistics of the
+   measured run (used for CPI-stack report columns). *)
 type dseries = {
   d_label : string;
-  d_cells : (string * (unit -> float)) list;
+  d_cells : (string * (unit -> float * Stats.t option)) list;
 }
 
 let series opts label f =
@@ -63,7 +70,20 @@ let series opts label f =
     d_cells =
       List.map
         (fun (e : Suite.entry) ->
-          (e.Suite.profile.Profile.name, fun () -> f e))
+          (e.Suite.profile.Profile.name, fun () -> (f e, None)))
+        (entries opts);
+  }
+
+let series_stats opts label f =
+  {
+    d_label = label;
+    d_cells =
+      List.map
+        (fun (e : Suite.entry) ->
+          ( e.Suite.profile.Profile.name,
+            fun () ->
+              let v, st = f e in
+              (v, Some st) ))
         (entries opts);
   }
 
@@ -83,22 +103,68 @@ let report_progress opts label bench =
 
 (* Flatten the deferred series of one figure into a task array, run it
    on the pool, and reassemble values in submission order — the figure
-   is bit-identical whatever [opts.jobs] is. *)
+   is bit-identical whatever [opts.jobs] is. With a manifest attached,
+   a pool probe records one JSONL line per cell (wall-clock and the
+   worker domain that ran it). *)
 let figure opts ~id ~title ~ylabel dss =
   let cells =
     List.concat_map
       (fun d -> List.map (fun (bench, th) -> (d.d_label, bench, th)) d.d_cells)
       dss
   in
+  let cell_arr = Array.of_list cells in
   let tasks =
-    Array.of_list
-      (List.map
-         (fun (label, bench, th) () ->
-           report_progress opts label bench;
-           th ())
-         cells)
+    Array.map
+      (fun (label, bench, th) () ->
+        report_progress opts label bench;
+        th ())
+      cell_arr
   in
-  let values = Pool.run ~jobs:opts.jobs tasks in
+  let busy = ref 0. in
+  let busy_mutex = Mutex.create () in
+  let t0 =
+    match opts.manifest with None -> 0. | Some _ -> Unix.gettimeofday ()
+  in
+  let probe =
+    match opts.manifest with
+    | None -> None
+    | Some m ->
+      Some
+        (fun i ~domain seconds ->
+          Mutex.lock busy_mutex;
+          busy := !busy +. seconds;
+          Mutex.unlock busy_mutex;
+          let label, bench, _ = cell_arr.(i) in
+          Manifest.emit m
+            [
+              ("kind", Json.String "cell");
+              ("figure", Json.String id);
+              ("series", Json.String label);
+              ("bench", Json.String bench);
+              ("index", Json.Int i);
+              ("domain", Json.Int domain);
+              ("wall_s", Json.Float seconds);
+            ])
+  in
+  let values = Pool.run ~jobs:opts.jobs ?probe tasks in
+  (match opts.manifest with
+  | None -> ()
+  | Some m ->
+    let wall = Unix.gettimeofday () -. t0 in
+    let jobs = max 1 opts.jobs in
+    Manifest.emit m
+      [
+        ("kind", Json.String "figure");
+        ("figure", Json.String id);
+        ("cells", Json.Int (Array.length cell_arr));
+        ("jobs", Json.Int jobs);
+        ("wall_s", Json.Float wall);
+        ("busy_s", Json.Float !busy);
+        ( "utilization",
+          Json.Float
+            (if wall > 0. then !busy /. (float_of_int jobs *. wall) else 1.)
+        );
+      ]);
   let i = ref 0 in
   let take () =
     let v = values.(!i) in
@@ -109,28 +175,41 @@ let figure opts ~id ~title ~ylabel dss =
     List.map
       (fun d ->
         { label = d.d_label;
-          values = List.map (fun (bench, _) -> (bench, take ())) d.d_cells })
+          values =
+            List.map (fun (bench, _) -> (bench, fst (take ()))) d.d_cells })
       dss
   in
-  { id; title; ylabel; series }
+  let stacks =
+    List.concat
+      (List.mapi
+         (fun i (label, bench, _) ->
+           match snd values.(i) with
+           | Some st -> [ (label, bench, st) ]
+           | None -> [])
+         (Array.to_list cell_arr))
+  in
+  { id; title; ylabel; series; stacks }
 
 (* --- Figure 6: memory fault isolation -------------------------------- *)
 
 let fig6_top opts =
   let base = spec opts in
-  let rel f e = E.relative (f e) ~baseline:(E.baseline base e) in
+  let rel f e =
+    let st = f e in
+    (E.relative st ~baseline:(E.baseline base e), st)
+  in
   let with_decode d = spec ~machine:(Config.with_dise_decode d Config.default) opts in
   figure opts ~id:"fig6-top"
     ~title:"Figure 6 (top): memory fault isolation, 4-wide, 32KB I$"
     ~ylabel:"execution time relative to no-MFI"
     [
-      series opts "rewrite" (rel (E.mfi_rewrite base));
-      series opts "DISE4" (rel (E.mfi_dise ~variant:Mfi.Dise4 base));
-      series opts "#stall"
+      series_stats opts "rewrite" (rel (E.mfi_rewrite base));
+      series_stats opts "DISE4" (rel (E.mfi_dise ~variant:Mfi.Dise4 base));
+      series_stats opts "#stall"
         (rel (E.mfi_dise ~variant:Mfi.Dise3 (with_decode Config.Stall_per_expansion)));
-      series opts "+pipe"
+      series_stats opts "+pipe"
         (rel (E.mfi_dise ~variant:Mfi.Dise3 (with_decode Config.Extra_stage)));
-      series opts "DISE3" (rel (E.mfi_dise ~variant:Mfi.Dise3 base));
+      series_stats opts "DISE3" (rel (E.mfi_dise ~variant:Mfi.Dise3 base));
     ]
 
 let cache_points = [ (Some 8, "8K"); (Some 32, "32K"); (Some 128, "128K"); (None, "inf") ]
@@ -139,11 +218,14 @@ let fig6_cache opts =
   let mk (size, tag) =
     let machine = Config.with_icache_kb size Config.default in
     let sp = spec ~machine opts in
-    let rel f e = E.relative (f e) ~baseline:(E.baseline sp e) in
+    let rel f e =
+      let st = f e in
+      (E.relative st ~baseline:(E.baseline sp e), st)
+    in
     [
-      series opts (Printf.sprintf "DISE3@%s" tag)
+      series_stats opts (Printf.sprintf "DISE3@%s" tag)
         (rel (E.mfi_dise ~variant:Mfi.Dise3 sp));
-      series opts (Printf.sprintf "rewrite@%s" tag) (rel (E.mfi_rewrite sp));
+      series_stats opts (Printf.sprintf "rewrite@%s" tag) (rel (E.mfi_rewrite sp));
     ]
   in
   figure opts ~id:"fig6-cache"
@@ -155,11 +237,14 @@ let fig6_width opts =
   let mk w =
     let machine = Config.with_width w Config.default in
     let sp = spec ~machine opts in
-    let rel f e = E.relative (f e) ~baseline:(E.baseline sp e) in
+    let rel f e =
+      let st = f e in
+      (E.relative st ~baseline:(E.baseline sp e), st)
+    in
     [
-      series opts (Printf.sprintf "DISE3@%dw" w)
+      series_stats opts (Printf.sprintf "DISE3@%dw" w)
         (rel (E.mfi_dise ~variant:Mfi.Dise3 sp));
-      series opts (Printf.sprintf "rewrite@%dw" w) (rel (E.mfi_rewrite sp));
+      series_stats opts (Printf.sprintf "rewrite@%dw" w) (rel (E.mfi_rewrite sp));
     ]
   in
   figure opts ~id:"fig6-width"
@@ -192,14 +277,14 @@ let fig7_perf opts =
     let machine = Config.with_icache_kb size Config.default in
     let sp = spec ~machine opts in
     [
-      series opts (Printf.sprintf "uncomp@%s" tag)
+      series_stats opts (Printf.sprintf "uncomp@%s" tag)
         (fun e ->
-          E.relative (E.baseline sp e) ~baseline:(E.baseline base32 e));
-      series opts (Printf.sprintf "DISE@%s" tag)
+          let st = E.baseline sp e in
+          (E.relative st ~baseline:(E.baseline base32 e), st));
+      series_stats opts (Printf.sprintf "DISE@%s" tag)
         (fun e ->
-          E.relative
-            (E.decompress_run ~scheme:Compress.full_dise sp e)
-            ~baseline:(E.baseline base32 e));
+          let st = E.decompress_run ~scheme:Compress.full_dise sp e in
+          (E.relative st ~baseline:(E.baseline base32 e), st));
     ]
   in
   figure opts ~id:"fig7-perf"
@@ -221,21 +306,22 @@ let fig7_rt opts =
     let controller =
       { Controller.default_config with rt_entries = entries_; rt_assoc = assoc }
     in
-    series opts (Printf.sprintf "RT %s" tag) (fun e ->
-        E.relative
-          (E.decompress_run ~scheme:Compress.full_dise
-             (spec ~controller opts) e)
-          ~baseline:(E.baseline base32 e))
+    series_stats opts (Printf.sprintf "RT %s" tag) (fun e ->
+        let st =
+          E.decompress_run ~scheme:Compress.full_dise (spec ~controller opts) e
+        in
+        (E.relative st ~baseline:(E.baseline base32 e), st))
   in
   figure opts ~id:"fig7-rt"
     ~title:"Figure 7 (bottom): decompression vs RT configuration, 32KB I$"
     ~ylabel:"execution time relative to uncompressed, 32KB I$"
     (List.map mk rt_configs
      @ [
-         series opts "RT perfect" (fun e ->
-             E.relative
-               (E.decompress_run ~scheme:Compress.full_dise (spec opts) e)
-               ~baseline:(E.baseline (spec opts) e));
+         series_stats opts "RT perfect" (fun e ->
+             let st =
+               E.decompress_run ~scheme:Compress.full_dise (spec opts) e
+             in
+             (E.relative st ~baseline:(E.baseline (spec opts) e), st));
        ])
 
 (* --- Figure 8: composing decompression and fault isolation ------------ *)
@@ -245,19 +331,19 @@ let fig8_combo opts =
   let mk (size, tag) =
     let machine = Config.with_icache_kb size Config.default in
     let sp = spec ~machine opts in
-    let norm stats e = E.relative stats ~baseline:(E.baseline base32 e) in
+    let norm st e = (E.relative st ~baseline:(E.baseline base32 e), st) in
     [
-      series opts (Printf.sprintf "rw+dedic@%s" tag)
+      series_stats opts (Printf.sprintf "rw+dedic@%s" tag)
         (fun e ->
           norm
             (E.decompress_run ~scheme:Compress.dedicated ~rewritten:true sp e)
             e);
-      series opts (Printf.sprintf "rw+DISE@%s" tag)
+      series_stats opts (Printf.sprintf "rw+DISE@%s" tag)
         (fun e ->
           norm
             (E.decompress_run ~scheme:Compress.full_dise ~rewritten:true sp e)
             e);
-      series opts (Printf.sprintf "DISE+DISE@%s" tag)
+      series_stats opts (Printf.sprintf "DISE+DISE@%s" tag)
         (fun e ->
           norm
             (E.decompress_run ~scheme:Compress.full_dise ~mfi:`Composed sp e)
@@ -281,11 +367,12 @@ let fig8_rt opts =
         compose_penalty = latency;
       }
     in
-    series opts (Printf.sprintf "%s miss=%d" tag latency) (fun e ->
-        E.relative
-          (E.decompress_run ~scheme:Compress.full_dise ~mfi:`Composed
-             (spec ~controller opts) e)
-          ~baseline:(E.baseline base32 e))
+    series_stats opts (Printf.sprintf "%s miss=%d" tag latency) (fun e ->
+        let st =
+          E.decompress_run ~scheme:Compress.full_dise ~mfi:`Composed
+            (spec ~controller opts) e
+        in
+        (E.relative st ~baseline:(E.baseline base32 e), st))
   in
   figure opts ~id:"fig8-rt"
     ~title:

@@ -16,6 +16,10 @@ type figure = {
   title : string;
   ylabel : string;
   series : series list;
+  stacks : (string * string * Dise_uarch.Stats.t) list;
+      (** (series label, benchmark, stats of the measured run) for
+          every timing cell, in series order; empty for ratio-only
+          panels. Feeds the CPI-stack columns of {!Report}. *)
 }
 
 type opts = {
@@ -29,6 +33,10 @@ type opts = {
           cells of a figure; 1 = serial. Whatever the value, figures
           are reassembled in submission order and are bit-identical to
           a serial run. *)
+  manifest : Dise_telemetry.Manifest.t option;
+      (** when set, one JSONL record is emitted per evaluated cell
+          (figure, series, benchmark, worker domain, wall-clock);
+          emission is mutex-serialized and safe with [jobs > 1] *)
 }
 
 val default_opts : opts
@@ -43,6 +51,14 @@ type dseries
 val series :
   opts -> string -> (Dise_workload.Suite.entry -> float) -> dseries
 (** [series opts label f] defers [f] over [opts.benchmarks]. *)
+
+val series_stats :
+  opts ->
+  string ->
+  (Dise_workload.Suite.entry -> float * Dise_uarch.Stats.t) ->
+  dseries
+(** Like {!series}, but the cell also yields the statistics of the run
+    behind the figure value, surfaced through {!figure}'s [stacks]. *)
 
 val figure :
   opts ->

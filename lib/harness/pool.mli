@@ -28,11 +28,22 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the CLI default for
     [--jobs]. *)
 
-val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+val run :
+  ?jobs:int ->
+  ?probe:(int -> domain:int -> float -> unit) ->
+  (unit -> 'a) array ->
+  'a array
 (** [run ~jobs tasks] evaluates every task and returns the results in
     submission order. [jobs] defaults to {!default_jobs}; values below
     1 are clamped to 1. At most [jobs - 1] domains are spawned (the
-    calling domain is the remaining worker). *)
+    calling domain is the remaining worker).
+
+    [probe i ~domain seconds] is called after each successful task
+    with its submission index, the worker that ran it (0 = calling
+    domain), and its wall-clock duration. The probe runs on the worker
+    domain and so must be thread-safe (e.g.
+    {!Dise_telemetry.Manifest.emit}). Without a probe no timestamps
+    are read — the hot path is unchanged. *)
 
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ~jobs f xs] is [List.map f xs] evaluated on the pool,

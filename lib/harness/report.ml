@@ -1,3 +1,6 @@
+module Cpi_stack = Dise_telemetry.Cpi_stack
+module Stats = Dise_uarch.Stats
+
 let benchmarks_of (fig : Figures.figure) =
   match fig.Figures.series with
   | [] -> []
@@ -16,7 +19,46 @@ let geomean (s : Figures.series) =
     exp (List.fold_left (fun acc v -> acc +. log v) 0. vals
          /. float_of_int (List.length vals))
 
-let render ppf (fig : Figures.figure) =
+let render_cpi_stacks ppf (fig : Figures.figure) =
+  match fig.Figures.stacks with
+  | [] -> ()
+  | stacks ->
+    let label_width =
+      List.fold_left
+        (fun acc (label, _, _) -> max acc (String.length label))
+        6 stacks
+      + 2
+    in
+    let bench_width =
+      List.fold_left
+        (fun acc (_, bench, _) -> max acc (String.length bench))
+        7 stacks
+      + 2
+    in
+    Format.fprintf ppf "  CPI stack (%% of cycles)@.";
+    Format.fprintf ppf "%-*s%-*s%12s" label_width "series" bench_width
+      "benchmark" "cycles";
+    List.iter
+      (fun name -> Format.fprintf ppf "%13s" name)
+      Cpi_stack.bucket_names;
+    Format.pp_print_newline ppf ();
+    List.iter
+      (fun (label, bench, st) ->
+        let cycles = st.Stats.cycles in
+        Format.fprintf ppf "%-*s%-*s%12d" label_width label bench_width bench
+          cycles;
+        List.iter
+          (fun (_, v) ->
+            let pct =
+              if cycles = 0 then 0.
+              else 100. *. float_of_int v /. float_of_int cycles
+            in
+            Format.fprintf ppf "%12.1f%%" pct)
+          (Cpi_stack.to_list st.Stats.cpi);
+        Format.pp_print_newline ppf ())
+      stacks
+
+let render ?(cpi_stacks = false) ppf (fig : Figures.figure) =
   let benches = benchmarks_of fig in
   let col_width =
     List.fold_left
@@ -48,7 +90,8 @@ let render ppf (fig : Figures.figure) =
   List.iter
     (fun s -> Format.fprintf ppf "%*.3f" col_width (geomean s))
     fig.Figures.series;
-  Format.pp_print_newline ppf ()
+  Format.pp_print_newline ppf ();
+  if cpi_stacks then render_cpi_stacks ppf fig
 
 let to_csv (fig : Figures.figure) =
   let benches = benchmarks_of fig in
@@ -69,4 +112,31 @@ let to_csv (fig : Figures.figure) =
         fig.Figures.series;
       Buffer.add_char buf '\n')
     benches;
+  Buffer.add_string buf "geomean";
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf ",%.4f" (geomean s)))
+    fig.Figures.series;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let cpi_to_csv (fig : Figures.figure) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "series,benchmark,cycles";
+  List.iter
+    (fun name ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf name)
+    Cpi_stack.bucket_names;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, bench, st) ->
+      Buffer.add_string buf label;
+      Buffer.add_char buf ',';
+      Buffer.add_string buf bench;
+      Buffer.add_string buf (Printf.sprintf ",%d" st.Stats.cycles);
+      List.iter
+        (fun (_, v) -> Buffer.add_string buf (Printf.sprintf ",%d" v))
+        (Cpi_stack.to_list st.Stats.cpi);
+      Buffer.add_char buf '\n')
+    fig.Figures.stacks;
   Buffer.contents buf

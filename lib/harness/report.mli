@@ -1,8 +1,24 @@
 (** Rendering of figure data: aligned text tables (benchmarks as rows,
     series as columns) and CSV. *)
 
-val render : Format.formatter -> Figures.figure -> unit
+val render : ?cpi_stacks:bool -> Format.formatter -> Figures.figure -> unit
+(** Aligned table of figure values with a geomean summary row. With
+    [~cpi_stacks:true], the per-cell CPI-stack breakdown table (see
+    {!render_cpi_stacks}) follows the values. *)
+
+val render_cpi_stacks : Format.formatter -> Figures.figure -> unit
+(** One row per timing cell of the figure: series, benchmark, cycles,
+    and each {!Dise_telemetry.Cpi_stack} bucket as a percentage of
+    cycles. Prints nothing for figures without timing cells (e.g. the
+    static compression-ratio panel). *)
+
 val to_csv : Figures.figure -> string
+(** Figure values as CSV, ending with the same [geomean] summary row
+    the text renderer prints. *)
+
+val cpi_to_csv : Figures.figure -> string
+(** Per-cell CPI stacks as CSV (raw cycle counts per bucket); header
+    row only for figures without timing cells. *)
 
 val geomean : Figures.series -> float
 (** Geometric mean over the series' values (the natural summary for

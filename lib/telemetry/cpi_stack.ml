@@ -1,0 +1,65 @@
+type t = {
+  mutable base : int;
+  mutable icache : int;
+  mutable dcache : int;
+  mutable branch : int;
+  mutable rob : int;
+  mutable dise_decode : int;
+  mutable ptrt_miss : int;
+  mutable rep_redirect : int;
+}
+
+let create () =
+  {
+    base = 0;
+    icache = 0;
+    dcache = 0;
+    branch = 0;
+    rob = 0;
+    dise_decode = 0;
+    ptrt_miss = 0;
+    rep_redirect = 0;
+  }
+
+let total t =
+  t.base + t.icache + t.dcache + t.branch + t.rob + t.dise_decode
+  + t.ptrt_miss + t.rep_redirect
+
+let bucket_names =
+  [ "base"; "icache"; "dcache"; "branch"; "rob"; "dise_decode"; "ptrt_miss";
+    "rep_redirect" ]
+
+let to_list t =
+  [
+    ("base", t.base);
+    ("icache", t.icache);
+    ("dcache", t.dcache);
+    ("branch", t.branch);
+    ("rob", t.rob);
+    ("dise_decode", t.dise_decode);
+    ("ptrt_miss", t.ptrt_miss);
+    ("rep_redirect", t.rep_redirect);
+  ]
+
+let to_json t = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (to_list t))
+
+let check t ~cycles =
+  let sum = total t in
+  if sum <> cycles then
+    failwith
+      (Printf.sprintf
+         "CPI-stack invariant violated: buckets sum to %d, cycles = %d (%s)"
+         sum cycles
+         (String.concat " "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (to_list t))))
+
+let pp ppf t =
+  let sum = total t in
+  let share v =
+    if sum = 0 then 0. else 100. *. float_of_int v /. float_of_int sum
+  in
+  List.iter
+    (fun (k, v) ->
+      Format.fprintf ppf "  %-13s %10d  %5.1f%%@." k v (share v))
+    (to_list t);
+  Format.fprintf ppf "  %-13s %10d" "total" sum

@@ -1,0 +1,58 @@
+(** CPI-stack cycle attribution.
+
+    One counter per stall class; the timing model charges every
+    simulated cycle to exactly one bucket, so the buckets always sum
+    to the run's cycle count ({!check} enforces this). Attribution is
+    {e dominant-cause}: the retire-to-retire gap of each instruction
+    goes entirely to the one constraint that bound it, and every
+    serializing stall goes to the event that raised it (see
+    doc/observability.md for the exact rules and their caveats).
+
+    - [base]: pipeline fill, issue/retire bandwidth, in-order retire
+      behind an already-charged instruction, and data-dependence
+      stalls — the cycles a perfect-memory, perfect-prediction,
+      DISE-free machine of the same width would still spend;
+    - [icache]: serializing I-fetch miss stalls (L2 and memory);
+    - [dcache]: load-miss latency exposed on the critical path
+      (L1-D misses to L2 and memory);
+    - [branch]: application branch mispredict redirects;
+    - [rob]: dispatch stalls from ROB occupancy;
+    - [dise_decode]: the per-expansion decode-stall option;
+    - [ptrt_miss]: PT and RT miss stalls charged by the controller;
+    - [rep_redirect]: redirects from taken replacement-sequence
+      branches, including taken DISE-internal branches. *)
+
+type t = {
+  mutable base : int;
+  mutable icache : int;
+  mutable dcache : int;
+  mutable branch : int;
+  mutable rob : int;
+  mutable dise_decode : int;
+  mutable ptrt_miss : int;
+  mutable rep_redirect : int;
+}
+
+val create : unit -> t
+
+val total : t -> int
+(** Sum of all buckets. *)
+
+val check : t -> cycles:int -> unit
+(** Raise [Failure] (with the full breakdown) unless {!total} equals
+    [cycles]. The timing model calls this at the end of every run:
+    the invariant is structural, so a failure means an attribution
+    path was missed. *)
+
+val bucket_names : string list
+(** Bucket labels in canonical order (the order used everywhere a
+    stack is rendered or serialized). *)
+
+val to_list : t -> (string * int) list
+(** [(name, cycles)] pairs in canonical order. *)
+
+val to_json : t -> Json.t
+(** Object with one integer member per bucket, in canonical order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Aligned table: cycles and share per bucket, plus the total. *)

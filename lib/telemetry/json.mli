@@ -1,0 +1,40 @@
+(** Minimal JSON values: construction, printing, and parsing.
+
+    The telemetry layer emits (and the tests re-read) stats files,
+    Chrome traces, and JSONL manifests; this module keeps that
+    round-trip inside the repo with no external dependency. The parser
+    accepts standard JSON (RFC 8259); the printer emits it. Numbers
+    without a fraction or exponent parse as [Int], everything else as
+    [Float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!parse} with a position-annotated message. *)
+
+val parse : string -> t
+(** Parse one JSON document (trailing whitespace allowed, trailing
+    garbage rejected). *)
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize. [indent] pretty-prints with two-space indentation;
+    the default is compact. Non-finite floats serialize as [null]
+    (JSON has no representation for them). *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Compact serialization into an existing buffer (the streaming
+    sinks use this to avoid intermediate strings). *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] looks up key [k]; [None] on missing key or
+    non-object. *)
+
+val escape_to_buffer : Buffer.t -> string -> unit
+(** Append the JSON string literal (quotes included) for [s]. *)

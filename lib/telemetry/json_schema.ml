@@ -1,0 +1,144 @@
+type error = {
+  path : string;
+  message : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.path e.message
+
+let type_name (v : Json.t) =
+  match v with
+  | Json.Null -> "null"
+  | Json.Bool _ -> "boolean"
+  | Json.Int _ -> "integer"
+  | Json.Float _ -> "number"
+  | Json.String _ -> "string"
+  | Json.List _ -> "array"
+  | Json.Obj _ -> "object"
+
+let matches_type (v : Json.t) name =
+  match name with
+  | "integer" -> ( match v with Json.Int _ -> true | _ -> false)
+  | "number" -> ( match v with Json.Int _ | Json.Float _ -> true | _ -> false)
+  | other -> type_name v = other
+
+let rec equal_json (a : Json.t) (b : Json.t) =
+  match a, b with
+  | Json.Int i, Json.Float f | Json.Float f, Json.Int i ->
+    float_of_int i = f
+  | Json.List xs, Json.List ys ->
+    List.length xs = List.length ys && List.for_all2 equal_json xs ys
+  | Json.Obj xs, Json.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all
+         (fun (k, v) ->
+           match List.assoc_opt k ys with
+           | Some v' -> equal_json v v'
+           | None -> false)
+         xs
+  | a, b -> a = b
+
+let rec check ~path (schema : Json.t) (v : Json.t) errors =
+  match schema with
+  | Json.Bool true -> errors
+  | Json.Bool false -> { path; message = "schema rejects everything" } :: errors
+  | Json.Obj kvs ->
+    let errors =
+      match List.assoc_opt "type" kvs with
+      | Some (Json.String name) ->
+        if matches_type v name then errors
+        else
+          { path;
+            message = Printf.sprintf "expected %s, got %s" name (type_name v) }
+          :: errors
+      | Some (Json.List names) ->
+        let names =
+          List.filter_map
+            (function Json.String s -> Some s | _ -> None)
+            names
+        in
+        if List.exists (matches_type v) names then errors
+        else
+          { path;
+            message =
+              Printf.sprintf "expected one of [%s], got %s"
+                (String.concat ", " names) (type_name v) }
+          :: errors
+      | _ -> errors
+    in
+    let errors =
+      match List.assoc_opt "const" kvs with
+      | Some c when not (equal_json c v) ->
+        { path; message = "does not match const" } :: errors
+      | _ -> errors
+    in
+    let errors =
+      match List.assoc_opt "enum" kvs with
+      | Some (Json.List allowed) when not (List.exists (equal_json v) allowed)
+        ->
+        { path; message = "not a member of enum" } :: errors
+      | _ -> errors
+    in
+    let errors =
+      match List.assoc_opt "minimum" kvs, v with
+      | Some (Json.Int m), Json.Int i when i < m ->
+        { path; message = Printf.sprintf "%d below minimum %d" i m } :: errors
+      | Some (Json.Int m), Json.Float f when f < float_of_int m ->
+        { path; message = Printf.sprintf "%g below minimum %d" f m } :: errors
+      | Some (Json.Float m), Json.Int i when float_of_int i < m ->
+        { path; message = Printf.sprintf "%d below minimum %g" i m } :: errors
+      | Some (Json.Float m), Json.Float f when f < m ->
+        { path; message = Printf.sprintf "%g below minimum %g" f m } :: errors
+      | _ -> errors
+    in
+    (match v with
+    | Json.Obj fields ->
+      let props =
+        match List.assoc_opt "properties" kvs with
+        | Some (Json.Obj props) -> props
+        | _ -> []
+      in
+      let errors =
+        match List.assoc_opt "required" kvs with
+        | Some (Json.List req) ->
+          List.fold_left
+            (fun errors r ->
+              match r with
+              | Json.String name when List.mem_assoc name fields |> not ->
+                { path; message = Printf.sprintf "missing required key %S" name }
+                :: errors
+              | _ -> errors)
+            errors req
+        | _ -> errors
+      in
+      let errors =
+        List.fold_left
+          (fun errors (k, sub) ->
+            match List.assoc_opt k props with
+            | Some sub_schema ->
+              check ~path:(path ^ "/" ^ k) sub_schema sub errors
+            | None -> (
+              match List.assoc_opt "additionalProperties" kvs with
+              | Some (Json.Bool false) ->
+                { path; message = Printf.sprintf "unexpected key %S" k }
+                :: errors
+              | Some (Json.Obj _ as sub_schema) ->
+                check ~path:(path ^ "/" ^ k) sub_schema sub errors
+              | _ -> errors))
+          errors fields
+      in
+      errors
+    | Json.List items -> (
+      match List.assoc_opt "items" kvs with
+      | Some item_schema ->
+        List.fold_left
+          (fun (i, errors) item ->
+            ( i + 1,
+              check ~path:(Printf.sprintf "%s/%d" path i) item_schema item
+                errors ))
+          (0, errors) items
+        |> snd
+      | None -> errors)
+    | _ -> errors)
+  | _ -> { path; message = "schema is not an object or boolean" } :: errors
+
+let validate ~schema v = List.rev (check ~path:"" schema v [])

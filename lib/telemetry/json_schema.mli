@@ -1,0 +1,19 @@
+(** Validator for the subset of JSON Schema the telemetry files use.
+
+    Supported keywords: ["type"] (one name or a list of names among
+    object / array / string / integer / number / boolean / null),
+    ["properties"], ["required"], ["additionalProperties"] (boolean
+    form), ["items"] (single-schema form), ["enum"], ["minimum"], and
+    ["const"]. Unknown keywords are ignored, as the standard
+    prescribes, so the checked-in schema files remain valid full JSON
+    Schema documents readable by external tools. *)
+
+type error = {
+  path : string;  (** JSON-pointer-ish location, e.g. ["/stats/cycles"] *)
+  message : string;
+}
+
+val validate : schema:Json.t -> Json.t -> error list
+(** Empty list means the document conforms. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,31 @@
+type sink = Chan of out_channel | Buf of Buffer.t
+
+type t = {
+  sink : sink;
+  mutex : Mutex.t;
+  mutable count : int;
+}
+
+let to_channel chan = { sink = Chan chan; mutex = Mutex.create (); count = 0 }
+let to_buffer buf = { sink = Buf buf; mutex = Mutex.create (); count = 0 }
+
+let emit t fields =
+  let line =
+    let buf = Buffer.create 128 in
+    Json.to_buffer buf (Json.Obj fields);
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  in
+  Mutex.lock t.mutex;
+  (match t.sink with
+  | Chan chan -> output_string chan line
+  | Buf buf -> Buffer.add_string buf line);
+  t.count <- t.count + 1;
+  Mutex.unlock t.mutex
+
+let lines t = t.count
+
+let close t =
+  Mutex.lock t.mutex;
+  (match t.sink with Chan chan -> flush chan | Buf _ -> ());
+  Mutex.unlock t.mutex

@@ -1,0 +1,22 @@
+(** JSONL run manifests.
+
+    One JSON object per line, appended as work completes. The harness
+    writes a line per evaluated figure cell (with wall-clock and the
+    worker domain that ran it) and a line per panel (with pool
+    utilization); any layer can append its own records. Emission is
+    mutex-serialized, so worker domains may log concurrently without
+    interleaving lines. *)
+
+type t
+
+val to_channel : out_channel -> t
+val to_buffer : Buffer.t -> t
+
+val emit : t -> (string * Json.t) list -> unit
+(** Append one object as a line. Thread-safe. *)
+
+val lines : t -> int
+(** Lines written so far. *)
+
+val close : t -> unit
+(** Flush (channel sinks). Idempotent; does not close the channel. *)

@@ -1,0 +1,96 @@
+type t = {
+  buf : Buffer.t;
+  chan : out_channel option;  (* flushed-to destination, if any *)
+  max_events : int;
+  mutable count : int;
+  mutable truncated : bool;
+  mutable first : bool;
+  mutable closed : bool;
+}
+
+let create ?(max_events = 1_000_000) chan buf =
+  Buffer.add_string buf "[\n";
+  { buf; chan; max_events; count = 0; truncated = false; first = true;
+    closed = false }
+
+let to_channel ?max_events chan =
+  create ?max_events (Some chan) (Buffer.create 65536)
+
+let to_buffer ?max_events buf = create ?max_events None buf
+
+let maybe_flush t =
+  match t.chan with
+  | Some chan when Buffer.length t.buf >= 65536 ->
+    output_string chan (Buffer.contents t.buf);
+    Buffer.clear t.buf
+  | _ -> ()
+
+let event t fields =
+  if t.first then t.first <- false else Buffer.add_string t.buf ",\n";
+  Json.to_buffer t.buf (Json.Obj fields);
+  maybe_flush t
+
+(* Record-keeping fields shared by every event type. *)
+let common ~name ~cat ~ph ~ts ~tid rest =
+  ("name", Json.String name)
+  :: ("cat", Json.String cat)
+  :: ("ph", Json.String ph)
+  :: ("ts", Json.Int ts)
+  :: ("pid", Json.Int 1)
+  :: ("tid", Json.Int tid)
+  :: rest
+
+let metadata_thread t ~tid ~name =
+  if not t.closed then
+    event t
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+
+let counted t =
+  if t.closed || t.count >= t.max_events then begin
+    if t.count >= t.max_events then t.truncated <- true;
+    false
+  end
+  else begin
+    t.count <- t.count + 1;
+    true
+  end
+
+let complete t ~name ~cat ~ts ~dur ~tid ~args =
+  if counted t then
+    event t
+      (common ~name ~cat ~ph:"X" ~ts ~tid
+         (("dur", Json.Int dur)
+         :: (match args with [] -> [] | args -> [ ("args", Json.Obj args) ])))
+
+let instant t ~name ~cat ~ts ~tid ~args =
+  if counted t then
+    event t
+      (common ~name ~cat ~ph:"i" ~ts ~tid
+         (("s", Json.String "t")
+         :: (match args with [] -> [] | args -> [ ("args", Json.Obj args) ])))
+
+let emitted t = t.count
+let truncated t = t.truncated
+
+let close t =
+  if not t.closed then begin
+    if t.truncated then
+      event t
+        (common ~name:"trace truncated (event cap reached)" ~cat:"meta"
+           ~ph:"i" ~ts:0 ~tid:0
+           [ ("s", Json.String "g") ]);
+    t.closed <- true;
+    Buffer.add_string t.buf "\n]\n";
+    match t.chan with
+    | Some chan ->
+      output_string chan (Buffer.contents t.buf);
+      Buffer.clear t.buf;
+      flush chan
+    | None -> ()
+  end

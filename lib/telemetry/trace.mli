@@ -1,0 +1,47 @@
+(** Streaming Chrome [trace_event] sink.
+
+    Emits the JSON-array trace format that [chrome://tracing] and
+    Perfetto load: one ["X"] (complete) event per span, ["i"]
+    (instant) events for point occurrences, and ["M"] metadata events
+    naming processes and threads. Events stream straight to the
+    buffer/channel — the sink never holds the trace in memory — and a
+    configurable event cap keeps long runs from producing unbounded
+    files (the cap is recorded in the trace itself as a final instant
+    event, so truncation is visible in the viewer).
+
+    Timestamps are in simulated {e cycles}, written to the [ts]/[dur]
+    microsecond fields — load the trace with that unit in mind.
+    A run without a sink pays nothing: the timing model's trace hooks
+    are behind an [option]. *)
+
+type t
+
+val to_channel : ?max_events:int -> out_channel -> t
+(** Open a sink writing to [channel]. [max_events] (default
+    1_000_000) caps emitted span/instant events; metadata events are
+    not counted. {!close} must be called to terminate the JSON
+    array (the formats are forgiving of truncation, but tests
+    re-parse the output strictly). *)
+
+val to_buffer : ?max_events:int -> Buffer.t -> t
+(** Same, accumulating into a buffer (used by tests). *)
+
+val metadata_thread : t -> tid:int -> name:string -> unit
+(** Name a thread track. *)
+
+val complete : t -> name:string -> cat:string -> ts:int -> dur:int ->
+  tid:int -> args:(string * Json.t) list -> unit
+(** One span on track [tid], from [ts] for [dur] cycles. *)
+
+val instant : t -> name:string -> cat:string -> ts:int -> tid:int ->
+  args:(string * Json.t) list -> unit
+
+val emitted : t -> int
+(** Span/instant events written so far (excludes metadata). *)
+
+val truncated : t -> bool
+(** True once the event cap dropped at least one event. *)
+
+val close : t -> unit
+(** Terminate the JSON array and flush. Idempotent. Does not close
+    the underlying channel (the caller opened it). *)

@@ -4,6 +4,16 @@ module Reg = Dise_isa.Reg
 module Machine = Dise_machine.Machine
 module Event = Dise_machine.Machine.Event
 module Controller = Dise_core.Controller
+module Cpi_stack = Dise_telemetry.Cpi_stack
+module Trace = Dise_telemetry.Trace
+module Profile = Dise_telemetry.Profile
+module Json = Dise_telemetry.Json
+
+(* Redirect causes, for CPI attribution of the fetch bubble the next
+   instruction observes. *)
+let redirect_none = 0
+let redirect_mispredict = 1
+let redirect_replacement = 2  (* taken replacement or DISE-internal branch *)
 
 type t = {
   cfg : Config.t;
@@ -13,6 +23,9 @@ type t = {
   bp : Branch_pred.t;
   controller : Controller.t option;
   stats : Stats.t;
+  trace : Trace.t option;
+  profile : Profile.t option;
+  trace_lanes : int;
   reg_ready : int array;
   rob : int array;  (* ring buffer of retire timestamps *)
   issue_ring : int array;  (* last [width] issue timestamps *)
@@ -24,6 +37,11 @@ type t = {
   mutable last_line : int;
   mutable last_l2_ifetch_line : int;
   mutable last_retire : int;
+  mutable pending_redirect : int;
+      (* cause of the most recent redirect, consumed by the first
+         instruction fetched after it *)
+  mutable dmiss : bool;
+      (* the instruction currently being consumed took an L1-D load miss *)
   mutable finished : bool;
 }
 
@@ -32,7 +50,15 @@ let make_cache = function
   | Some { Config.size_bytes; assoc; line_bytes } ->
     Some (Cache.create ~size_bytes ~assoc ~line_bytes)
 
-let create ?controller (cfg : Config.t) =
+let create ?controller ?trace ?profile (cfg : Config.t) =
+  let trace_lanes = 4 * max 1 cfg.width in
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    Trace.metadata_thread tr ~tid:0 ~name:"stalls+redirects";
+    for i = 1 to trace_lanes do
+      Trace.metadata_thread tr ~tid:i ~name:(Printf.sprintf "pipe slot %d" (i - 1))
+    done);
   {
     cfg;
     icache = make_cache cfg.icache;
@@ -43,6 +69,9 @@ let create ?controller (cfg : Config.t) =
        else Branch_pred.create ());
     controller;
     stats = Stats.create ();
+    trace;
+    profile;
+    trace_lanes;
     reg_ready = Array.make (Reg.num_arch + Reg.num_dedicated) 0;
     rob = Array.make (max cfg.rob_size cfg.width) 0;
     issue_ring = Array.make (max 1 cfg.width) 0;
@@ -54,6 +83,8 @@ let create ?controller (cfg : Config.t) =
     last_line = -1;
     last_l2_ifetch_line = min_int;
     last_retire = 0;
+    pending_redirect = redirect_none;
+    dmiss = false;
     finished = false;
   }
 
@@ -76,29 +107,57 @@ let l1_miss_penalty ?(prefetched = false) t addr =
 let redirect_depth t =
   t.cfg.depth + (match t.cfg.dise_decode with Config.Extra_stage -> 1 | _ -> 0)
 
-(* Restart fetch after a pipeline redirect resolving at [cycle]. *)
-let redirect t cycle =
+(* Restart fetch after a pipeline redirect resolving at [cycle].
+   [cause] tells CPI attribution which bucket the bubble belongs to
+   once the next fetched instruction exposes it. *)
+let redirect t ~cause cycle =
   t.fetch_cycle <- max t.fetch_cycle (cycle + redirect_depth t);
   t.fetch_count <- 0;
-  t.last_line <- -1
+  t.last_line <- -1;
+  t.pending_redirect <- cause;
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.instant tr
+      ~name:
+        (if cause = redirect_mispredict then "mispredict-redirect"
+         else "replacement-redirect")
+      ~cat:"redirect" ~ts:cycle ~tid:0 ~args:[]
 
 (* End the current fetch group (taken branch or stall). *)
 let break_group t extra =
   t.fetch_cycle <- t.fetch_cycle + 1 + extra;
   t.fetch_count <- 0
 
-(* A serializing stall (DISE decode stall, PT/RT miss flush): the whole
-   pipeline stops or is flushed, so the cycles cannot be hidden behind
-   front-end slack, ROB back-pressure, or spare issue slots the way an
-   ordinary fetch bubble can. Every timestamp in this model is relative
-   and all microarchitectural state (caches, predictor) is
-   timing-independent, so a whole-timeline offset accounts for these
-   stalls exactly: accumulate them and add the total to the final cycle
-   count. *)
-let serialize_stall t cycles =
+(* A serializing stall (I-fetch miss, DISE decode stall, PT/RT miss
+   flush): the whole pipeline stops or is flushed, so the cycles
+   cannot be hidden behind front-end slack, ROB back-pressure, or
+   spare issue slots the way an ordinary fetch bubble can. Every
+   timestamp in this model is relative and all microarchitectural
+   state (caches, predictor) is timing-independent, so a
+   whole-timeline offset accounts for these stalls exactly: accumulate
+   them and add the total to the final cycle count. Each stall is
+   charged in full to the CPI bucket of the event that raised it. *)
+let serialize_stall t bucket cycles =
   if cycles > 0 then begin
     t.serial_stalls <- t.serial_stalls + cycles;
-    t.fetch_count <- 0
+    let cpi = t.stats.Stats.cpi in
+    (match bucket with
+    | `Icache -> cpi.Cpi_stack.icache <- cpi.Cpi_stack.icache + cycles
+    | `Ptrt -> cpi.Cpi_stack.ptrt_miss <- cpi.Cpi_stack.ptrt_miss + cycles
+    | `Decode -> cpi.Cpi_stack.dise_decode <- cpi.Cpi_stack.dise_decode + cycles);
+    t.fetch_count <- 0;
+    match t.trace with
+    | None -> ()
+    | Some tr ->
+      Trace.instant tr
+        ~name:
+          (match bucket with
+          | `Icache -> "icache-miss-stall"
+          | `Ptrt -> "pt/rt-miss-stall"
+          | `Decode -> "decode-stall")
+        ~cat:"stall" ~ts:t.fetch_cycle ~tid:0
+        ~args:[ ("cycles", Json.Int cycles) ]
   end
 
 let latency_of t (ev : Event.t) =
@@ -114,6 +173,7 @@ let latency_of t (ev : Event.t) =
       | `Hit -> t.cfg.l1_latency
       | `Miss ->
         t.stats.Stats.dcache_misses <- t.stats.Stats.dcache_misses + 1;
+        t.dmiss <- true;
         t.cfg.l1_latency + l1_miss_penalty t addr))
   | I.Mem ((Op.Stq | Op.Stb), _, _, _) ->
     (* Stores retire through a store buffer; charge 1 cycle but track
@@ -145,6 +205,12 @@ let is_call = function I.Jal _ | I.Jalr _ -> true | _ -> false
 let consume t (ev : Event.t) =
   let cfg = t.cfg in
   let stats = t.stats in
+  (* The redirect bubble set by a previous instruction is attributed
+     (at most once) to the first instruction whose issue is bound by
+     the delayed fetch — this one, if any. *)
+  let pending = t.pending_redirect in
+  t.pending_redirect <- redirect_none;
+  t.dmiss <- false;
   (* ---- fetch ---- *)
   if t.fetch_count >= cfg.width then begin
     t.fetch_cycle <- t.fetch_cycle + 1;
@@ -168,7 +234,7 @@ let consume t (ev : Event.t) =
           (* Instruction misses starve the whole core: the decoupling
              queue drains in a couple of cycles, so unlike data misses
              the latency is essentially exposed. *)
-          serialize_stall t (l1_miss_penalty ~prefetched t ev.pc)
+          serialize_stall t `Icache (l1_miss_penalty ~prefetched t ev.pc)
       end);
     (* PT inspection happens on every application fetch. *)
     match t.controller with
@@ -177,38 +243,48 @@ let consume t (ev : Event.t) =
       let stall = Controller.on_fetch c ~key:(I.key ev.insn) in
       if stall > 0 then begin
         stats.Stats.dise_stall_cycles <- stats.Stats.dise_stall_cycles + stall;
-        serialize_stall t stall
+        serialize_stall t `Ptrt stall
       end
   end
   else stats.Stats.rep_instrs <- stats.Stats.rep_instrs + 1;
   (match ev.origin with
   | Event.Rep { offset = 0; rsid; len; _ } when ev.expansion_start ->
     stats.Stats.expansions <- stats.Stats.expansions + 1;
+    (match t.profile with
+    | None -> ()
+    | Some p -> Profile.on_expansion p ~rsid ~pc:ev.pc);
     (match t.controller with
     | None -> ()
     | Some c ->
       stats.Stats.rt_accesses <- stats.Stats.rt_accesses + 1;
       let stall = Controller.on_expansion c ~rsid ~len in
+      (match t.profile with
+      | None -> ()
+      | Some p -> Profile.on_rt p ~rsid ~miss:(stall > 0));
       if stall > 0 then begin
         stats.Stats.rt_misses <- stats.Stats.rt_misses + 1;
         stats.Stats.dise_stall_cycles <- stats.Stats.dise_stall_cycles + stall;
-        serialize_stall t stall
+        serialize_stall t `Ptrt stall
       end);
     (match cfg.dise_decode with
     | Config.Stall_per_expansion ->
       stats.Stats.dise_stall_cycles <- stats.Stats.dise_stall_cycles + 1;
-      serialize_stall t 1
+      serialize_stall t `Decode 1
     | Config.Free | Config.Extra_stage -> ())
+  | _ -> ());
+  (match t.profile, ev.origin with
+  | Some p, Event.Rep { rsid; _ } -> Profile.on_rep_instr p ~rsid
   | _ -> ());
   let fetch = t.fetch_cycle in
   t.fetch_count <- t.fetch_count + 1;
   (* ---- dispatch: ROB back-pressure ---- *)
   let rob_len = Array.length t.rob in
+  let rob_bound =
+    t.seq >= cfg.rob_size
+    && t.rob.((t.seq - cfg.rob_size) mod rob_len) > fetch
+  in
   let fetch =
-    if t.seq >= cfg.rob_size then
-      (* cannot dispatch until the entry rob_size ago has retired *)
-      max fetch (t.rob.((t.seq - cfg.rob_size) mod rob_len))
-    else fetch
+    if rob_bound then t.rob.((t.seq - cfg.rob_size) mod rob_len) else fetch
   in
   t.fetch_cycle <- max t.fetch_cycle fetch;
   (* ---- issue / execute ---- *)
@@ -218,6 +294,7 @@ let consume t (ev : Event.t) =
   (* Issue bandwidth: at most [width] instructions may begin execution
      per cycle; the [width]-th previous issue bounds this one. *)
   let bandwidth_ready = t.issue_ring.(t.issue_head) + 1 in
+  let fetch_dominant = fetch >= src_ready && fetch >= bandwidth_ready in
   let start = max (max fetch src_ready) bandwidth_ready in
   t.issue_ring.(t.issue_head) <- start;
   t.issue_head <- (t.issue_head + 1) mod Array.length t.issue_ring;
@@ -233,7 +310,7 @@ let consume t (ev : Event.t) =
       if b.Event.taken then begin
         stats.Stats.dise_branch_redirects <-
           stats.Stats.dise_branch_redirects + 1;
-        redirect t complete
+        redirect t ~cause:redirect_replacement complete
       end
     end
     else begin
@@ -264,14 +341,14 @@ let consume t (ev : Event.t) =
         match outcome with
         | `Mispredict ->
           stats.Stats.mispredicts <- stats.Stats.mispredicts + 1;
-          redirect t complete
+          redirect t ~cause:redirect_mispredict complete
         | `Correct -> if b.Event.taken then break_group t 0
       end
       else if b.Event.taken then begin
         (* Effectively predicted not-taken: a taken replacement branch
            redirects (this is the fault-isolation trap path). *)
         stats.Stats.rep_branch_redirects <- stats.Stats.rep_branch_redirects + 1;
-        redirect t complete
+        redirect t ~cause:redirect_replacement complete
       end
     end);
   (* ---- retire ---- *)
@@ -281,6 +358,52 @@ let consume t (ev : Event.t) =
     else 0
   in
   let retire = max complete (max in_order bandwidth) in
+  (* ---- CPI attribution ----
+     The retire-to-retire gap of this instruction is charged, in full,
+     to the dominant constraint. Retire timestamps are monotonic
+     (retire >= in_order = previous retire), so these gaps partition
+     [0, last_retire] exactly; together with the serializing-stall
+     charges above, every cycle of the final count lands in exactly
+     one bucket. *)
+  let delta = retire - t.last_retire in
+  if delta > 0 then begin
+    let cpi = stats.Stats.cpi in
+    if complete < retire then
+      (* Retire-bandwidth (or in-order) limited: the machine was
+         retiring at full width — base. *)
+      cpi.Cpi_stack.base <- cpi.Cpi_stack.base + delta
+    else if t.dmiss then cpi.Cpi_stack.dcache <- cpi.Cpi_stack.dcache + delta
+    else if pending <> redirect_none && fetch_dominant then begin
+      if pending = redirect_mispredict then
+        cpi.Cpi_stack.branch <- cpi.Cpi_stack.branch + delta
+      else cpi.Cpi_stack.rep_redirect <- cpi.Cpi_stack.rep_redirect + delta
+    end
+    else if rob_bound && fetch_dominant then
+      cpi.Cpi_stack.rob <- cpi.Cpi_stack.rob + delta
+    else cpi.Cpi_stack.base <- cpi.Cpi_stack.base + delta
+  end;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    let origin_args =
+      match ev.origin with
+      | Event.App -> []
+      | Event.Rep { rsid; offset; len } ->
+        [ ("rsid", Json.Int rsid); ("offset", Json.Int offset);
+          ("len", Json.Int len) ]
+    in
+    Trace.complete tr
+      ~name:(I.to_string ev.insn)
+      ~cat:(match ev.origin with Event.App -> "app" | Event.Rep _ -> "rep")
+      ~ts:fetch ~dur:(max 1 (retire - fetch))
+      ~tid:(1 + (t.seq mod t.trace_lanes))
+      ~args:
+        (("pc", Json.String (Printf.sprintf "0x%x" ev.pc))
+        :: ("seq", Json.Int t.seq)
+        :: ("issue", Json.Int start)
+        :: ("complete", Json.Int complete)
+        :: ("retire", Json.Int retire)
+        :: origin_args));
   t.rob.(t.seq mod rob_len) <- retire;
   t.last_retire <- retire;
   t.seq <- t.seq + 1;
@@ -294,11 +417,13 @@ let finish t =
     | Some c ->
       let cs = Controller.stats c in
       t.stats.Stats.pt_misses <- cs.Controller.pt_misses
-    | None -> ())
+    | None -> ());
+    Cpi_stack.check t.stats.Stats.cpi ~cycles:t.stats.Stats.cycles;
+    match t.trace with None -> () | Some tr -> Trace.close tr
   end;
   t.stats
 
-let run ?max_steps ?controller cfg machine =
-  let p = create ?controller cfg in
+let run ?max_steps ?controller ?trace ?profile cfg machine =
+  let p = create ?controller ?trace ?profile cfg in
   ignore (Machine.run_events ?max_steps machine (fun ev -> consume p ev));
   finish p

@@ -27,22 +27,42 @@
     - retire: in order, [width] per cycle.
 
     Absolute cycle counts are approximations; the harness reports
-    execution times normalized to a baseline run, as the paper does. *)
+    execution times normalized to a baseline run, as the paper does.
+
+    {2 Telemetry}
+
+    Every simulated cycle is attributed to exactly one
+    {!Dise_telemetry.Cpi_stack} bucket (see doc/observability.md for
+    the bucket definitions and the attribution rules); {!finish}
+    asserts that the buckets sum to the final cycle count. Optional
+    sinks — a {!Dise_telemetry.Trace} Chrome-trace writer emitting one
+    span per retired instruction and a {!Dise_telemetry.Profile}
+    recording per-production and per-PC expansion activity — cost
+    nothing (no allocation, one [option] match per event) when
+    absent. *)
 
 type t
 
 val create :
-  ?controller:Dise_core.Controller.t -> Config.t -> t
+  ?controller:Dise_core.Controller.t ->
+  ?trace:Dise_telemetry.Trace.t ->
+  ?profile:Dise_telemetry.Profile.t ->
+  Config.t ->
+  t
 
 val consume : t -> Dise_machine.Machine.Event.t -> unit
 
 val finish : t -> Stats.t
 (** Close the run and return the populated statistics (cycle count =
-    retire time of the last instruction). Idempotent. *)
+    retire time of the last instruction plus serializing stalls).
+    Checks the CPI-stack invariant and closes the trace sink, if any.
+    Idempotent. *)
 
 val run :
   ?max_steps:int ->
   ?controller:Dise_core.Controller.t ->
+  ?trace:Dise_telemetry.Trace.t ->
+  ?profile:Dise_telemetry.Profile.t ->
   Config.t ->
   Dise_machine.Machine.t ->
   Stats.t

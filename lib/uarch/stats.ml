@@ -1,3 +1,6 @@
+module Cpi_stack = Dise_telemetry.Cpi_stack
+module Json = Dise_telemetry.Json
+
 type t = {
   mutable cycles : int;
   mutable retired : int;
@@ -18,6 +21,7 @@ type t = {
   mutable pt_misses : int;
   mutable rt_misses : int;
   mutable rt_accesses : int;
+  cpi : Cpi_stack.t;
 }
 
 let create () =
@@ -41,9 +45,36 @@ let create () =
     pt_misses = 0;
     rt_misses = 0;
     rt_accesses = 0;
+    cpi = Cpi_stack.create ();
   }
 
 let ipc t = if t.cycles = 0 then 0. else float_of_int t.retired /. float_of_int t.cycles
+
+let to_json t =
+  Json.Obj
+    [
+      ("cycles", Json.Int t.cycles);
+      ("retired", Json.Int t.retired);
+      ("app_instrs", Json.Int t.app_instrs);
+      ("rep_instrs", Json.Int t.rep_instrs);
+      ("expansions", Json.Int t.expansions);
+      ("icache_accesses", Json.Int t.icache_accesses);
+      ("icache_misses", Json.Int t.icache_misses);
+      ("dcache_accesses", Json.Int t.dcache_accesses);
+      ("dcache_misses", Json.Int t.dcache_misses);
+      ("l2_accesses", Json.Int t.l2_accesses);
+      ("l2_misses", Json.Int t.l2_misses);
+      ("branches", Json.Int t.branches);
+      ("mispredicts", Json.Int t.mispredicts);
+      ("dise_branch_redirects", Json.Int t.dise_branch_redirects);
+      ("rep_branch_redirects", Json.Int t.rep_branch_redirects);
+      ("dise_stall_cycles", Json.Int t.dise_stall_cycles);
+      ("pt_misses", Json.Int t.pt_misses);
+      ("rt_misses", Json.Int t.rt_misses);
+      ("rt_accesses", Json.Int t.rt_accesses);
+      ("ipc", Json.Float (ipc t));
+      ("cpi_stack", Cpi_stack.to_json t.cpi);
+    ]
 
 let pp ppf t =
   Format.fprintf ppf

@@ -21,8 +21,16 @@ type t = {
   mutable pt_misses : int;
   mutable rt_misses : int;
   mutable rt_accesses : int;
+  cpi : Dise_telemetry.Cpi_stack.t;
+      (** per-bucket cycle attribution; the pipeline maintains the
+          invariant that the buckets sum to [cycles] exactly *)
 }
 
 val create : unit -> t
 val ipc : t -> float
+
+val to_json : t -> Dise_telemetry.Json.t
+(** All counters plus derived [ipc] and the nested [cpi_stack]
+    object (see doc/schema/stats.schema.json). *)
+
 val pp : Format.formatter -> t -> unit

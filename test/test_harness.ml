@@ -101,6 +101,7 @@ let micro_opts =
     benchmarks = [ "bzip2"; "mcf" ];
     progress = ignore;
     jobs = 1;
+    manifest = None;
   }
 
 let test_fig6_top_structure () =
@@ -144,6 +145,11 @@ let test_figures_registry () =
   check bool_ "lookup works" true (Figures.by_id "fig8-rt" <> None);
   check bool_ "unknown id rejected" true (Figures.by_id "fig9" = None)
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
 let test_report_render_and_csv () =
   let fig =
     {
@@ -155,22 +161,40 @@ let test_report_render_and_csv () =
           { Figures.label = "a"; values = [ ("x", 1.0); ("y", 2.0) ] };
           { Figures.label = "b"; values = [ ("x", 4.0); ("y", 1.0) ] };
         ];
+      stacks = [];
     }
   in
-  let text = Format.asprintf "%a" Report.render fig in
-  let contains hay needle =
-    let nl = String.length needle and hl = String.length hay in
-    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-    go 0
-  in
+  let text = Format.asprintf "%a" (Report.render ?cpi_stacks:None) fig in
   check bool_ "header present" true (contains text "a");
   check bool_ "geomean row" true (contains text "geomean");
   let csv = Report.to_csv fig in
   check bool_ "csv header" true (contains csv "benchmark,a,b");
   check bool_ "csv row" true (contains csv "x,1.0000,4.0000");
-  (* geomean of 1 and 2 is sqrt 2 *)
+  (* to_csv must end with the same geomean row render prints:
+     geomean(1,2) = sqrt 2, geomean(4,1) = 2. *)
+  check bool_ "csv geomean row" true (contains csv "geomean,1.4142,2.0000");
   check bool_ "geomean value" true
     (abs_float (Report.geomean (List.hd fig.Figures.series) -. sqrt 2.) < 1e-9)
+
+(* Timing panels must surface their per-cell statistics (the CPI-stack
+   report columns); the rendered stack table and CSV must agree with
+   the figure. *)
+let test_report_cpi_stacks () =
+  Experiment.clear_cache ();
+  let fig = Figures.fig6_top micro_opts in
+  check bool_ "stacks populated" true (List.length fig.Figures.stacks > 0);
+  check int_ "one stack per timing cell" (5 * 2)
+    (List.length fig.Figures.stacks);
+  let text = Format.asprintf "%a" (Report.render ~cpi_stacks:true) fig in
+  check bool_ "stack table rendered" true (contains text "CPI stack");
+  check bool_ "bucket column present" true (contains text "rep_redirect");
+  let csv = Report.cpi_to_csv fig in
+  check bool_ "cpi csv header" true
+    (contains csv "series,benchmark,cycles,base,icache");
+  (* fig7-ratio is a static panel: no timing cells, no stacks. *)
+  Experiment.clear_cache ();
+  let ratio = Figures.fig7_ratio micro_opts in
+  check int_ "ratio panel has no stacks" 0 (List.length ratio.Figures.stacks)
 
 (* --- worker pool -------------------------------------------------------- *)
 
@@ -221,7 +245,7 @@ let test_parallel_figures_deterministic () =
   let serial = Figures.fig6_top { Figures.quick_opts with Figures.jobs = 1 } in
   Experiment.clear_cache ();
   let parallel = Figures.fig6_top { Figures.quick_opts with Figures.jobs = 4 } in
-  let render f = Format.asprintf "%a" Report.render f in
+  let render f = Format.asprintf "%a" (Report.render ?cpi_stacks:None) f in
   check Alcotest.string "rendered figures identical" (render serial)
     (render parallel);
   check Alcotest.string "csv identical" (Report.to_csv serial)
@@ -312,4 +336,5 @@ let suite =
     ("fig7-ratio structure", `Slow, test_fig7_ratio_structure);
     ("figures registry", `Quick, test_figures_registry);
     ("report render and csv", `Quick, test_report_render_and_csv);
+    ("report cpi stacks", `Slow, test_report_cpi_stacks);
   ]

@@ -12,4 +12,5 @@ let () =
       ("harness", Test_harness.suite);
       ("os", Test_os.suite);
       ("props", Test_props.suite);
+      ("telemetry", Test_telemetry.suite);
     ]
