@@ -12,7 +12,9 @@
      dune exec bench/main.exe -- --jobs 4     # 4 worker domains per panel
      dune exec bench/main.exe -- --json out.json  # machine-readable results
      dune exec bench/main.exe -- --manifest run.jsonl  # per-cell telemetry
-     dune exec bench/main.exe -- --cpi-stack  # CPI-stack table per panel *)
+     dune exec bench/main.exe -- --cpi-stack  # CPI-stack table per panel
+     dune exec bench/main.exe -- --cache DIR  # on-disk result cache
+     dune exec bench/main.exe -- --no-cache   # disable the result cache *)
 
 module H = Dise_harness
 module W = Dise_workload
@@ -24,7 +26,8 @@ module I = Dise_isa.Insn
 let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--no-micro] [--dyn N] [--jobs N] [--json \
-     FILE] [--manifest FILE] [--cpi-stack] [panel-id ...]";
+     FILE] [--manifest FILE] [--cpi-stack] [--cache DIR] [--no-cache] \
+     [panel-id ...]";
   exit 2
 
 let parse_args () =
@@ -35,6 +38,8 @@ let parse_args () =
   let json = ref None in
   let manifest = ref None in
   let cpi = ref false in
+  let cache = ref None in
+  let no_cache = ref false in
   let panels = ref [] in
   let int_arg name n =
     match int_of_string_opt n with
@@ -66,13 +71,21 @@ let parse_args () =
     | "--manifest" :: file :: rest ->
       manifest := Some file;
       go rest
-    | ("--dyn" | "--jobs" | "--json" | "--manifest") :: [] -> usage ()
+    | "--cache" :: dir :: rest ->
+      cache := Some dir;
+      go rest
+    | "--no-cache" :: rest ->
+      no_cache := true;
+      go rest
+    | ("--dyn" | "--jobs" | "--json" | "--manifest" | "--cache") :: [] ->
+      usage ()
     | id :: rest ->
       panels := id :: !panels;
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !micro, !dyn, !jobs, !json, !manifest, !cpi, List.rev !panels)
+  ( !quick, !micro, !dyn, !jobs, !json, !manifest, !cpi,
+    (!cache, !no_cache), List.rev !panels )
 
 (* --- JSON output (BENCH_*.json trajectory format) ---------------------- *)
 
@@ -270,9 +283,20 @@ let microbenches () =
     results
 
 let () =
-  let quick, micro, dyn, jobs, json, manifest_path, cpi, panels =
+  let quick, micro, dyn, jobs, json, manifest_path, cpi, (cache, no_cache),
+      panels =
     parse_args ()
   in
+  (* Same default as disesim: $DISESIM_CACHE or .disesim-cache, on
+     unless --no-cache. *)
+  (if not no_cache then
+     let dir =
+       match cache, Sys.getenv_opt "DISESIM_CACHE" with
+       | Some d, _ -> d
+       | None, Some d when d <> "" -> d
+       | None, _ -> ".disesim-cache"
+     in
+     Dise_service.Request.set_disk_cache (Some (Dise_service.Cache.create ~dir)));
   Format.printf
     "DISE evaluation harness (%s suite, %d dynamic instructions, %d jobs)@."
     (if quick then "quick" else "full")

@@ -5,20 +5,40 @@
      run                      simulate one workload/ACF/machine configuration
      compress                 compress one workload under one scheme
      figures                  regenerate evaluation panels and ablations
+     serve                    batch JSONL simulation service (stdin or socket)
+     cache                    inspect or clear the on-disk result cache
      exec                     assemble and run a user program (+productions)
      safety                   inspect a production-set file
      disasm                   dump a generated workload
-     validate                 check a JSON file against a JSON-Schema file *)
+     validate                 check a JSON file against a JSON-Schema file
+
+   Exit codes follow Dise_isa.Diag: 2 malformed input, 3 simulation
+   failure, 4 result-cache I/O failure. *)
 
 open Cmdliner
 module Machine = Dise_machine.Machine
 module Config = Dise_uarch.Config
 module Stats = Dise_uarch.Stats
 module Controller = Dise_core.Controller
+module Diag = Dise_isa.Diag
 module W = Dise_workload
 module A = Dise_acf
+module S = Dise_service
 module H = Dise_harness
 module T = Dise_telemetry
+
+let die d =
+  Format.eprintf "disesim: %a@." Diag.pp d;
+  exit (Diag.exit_code d)
+
+(* Classify stray exceptions from the simulation stack onto the
+   shared exit-code policy. *)
+let guarded f =
+  try f () with
+  | S.Cache.Diag_error d -> die d
+  | Machine.Runtime_error msg | Failure msg -> die (Diag.Runtime msg)
+  | Dise_core.Engine.Expansion_error msg -> die (Diag.Expansion msg)
+  | Invalid_argument msg -> die (Diag.Invalid msg)
 
 let entry_of name dyn =
   match W.Profile.find name with
@@ -26,6 +46,31 @@ let entry_of name dyn =
   | None ->
     Format.eprintf "unknown benchmark %s (try: disesim list)@." name;
     exit 2
+
+(* --- result cache wiring ------------------------------------------------ *)
+
+let default_cache_dir () =
+  match Sys.getenv_opt "DISESIM_CACHE" with
+  | Some d when d <> "" -> d
+  | _ -> ".disesim-cache"
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+         ~doc:"Result-cache directory (default: \\$DISESIM_CACHE or \
+               .disesim-cache). Simulation results are content-addressed \
+               by request, so warm reruns skip simulation entirely.")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ]
+         ~doc:"Disable the on-disk result cache for this invocation.")
+
+let setup_cache dir no_cache =
+  if no_cache then S.Request.set_disk_cache None
+  else
+    let dir = match dir with Some d -> d | None -> default_cache_dir () in
+    match S.Cache.create ~dir with
+    | c -> S.Request.set_disk_cache (Some c)
+    | exception S.Cache.Diag_error d -> die d
 
 let read_file path =
   let ic = open_in_bin path in
@@ -141,7 +186,9 @@ let cpi_stack_arg =
 
 let run_cmd =
   let doc = "Simulate one workload under one ACF and machine configuration." in
-  let run bench dyn icache width acf rt rt_assoc stats_json trace_path cpi =
+  let run bench dyn icache width acf rt rt_assoc stats_json trace_path cpi
+      cache_dir no_cache =
+    setup_cache cache_dir no_cache;
     let entry = entry_of bench dyn in
     let spec = spec_of dyn icache width rt rt_assoc (acf = `Composed) in
     let trace_chan = Option.map open_out trace_path in
@@ -150,19 +197,22 @@ let run_cmd =
       if stats_json <> None || cpi then Some (T.Profile.create ()) else None
     in
     let stats =
-      match acf with
-      | `None -> H.Experiment.baseline ?trace ?profile spec entry
-      | `Dise3 ->
-        H.Experiment.mfi_dise ~variant:A.Mfi.Dise3 ?trace ?profile spec entry
-      | `Dise4 ->
-        H.Experiment.mfi_dise ~variant:A.Mfi.Dise4 ?trace ?profile spec entry
-      | `Rewrite -> H.Experiment.mfi_rewrite ?trace ?profile spec entry
-      | `Decompress ->
-        H.Experiment.decompress_run ~scheme:A.Compress.full_dise ?trace
-          ?profile spec entry
-      | `Composed ->
-        H.Experiment.decompress_run ~scheme:A.Compress.full_dise
-          ~mfi:`Composed ?trace ?profile spec entry
+      guarded (fun () ->
+          match acf with
+          | `None -> H.Experiment.baseline ?trace ?profile spec entry
+          | `Dise3 ->
+            H.Experiment.mfi_dise ~variant:A.Mfi.Dise3 ?trace ?profile spec
+              entry
+          | `Dise4 ->
+            H.Experiment.mfi_dise ~variant:A.Mfi.Dise4 ?trace ?profile spec
+              entry
+          | `Rewrite -> H.Experiment.mfi_rewrite ?trace ?profile spec entry
+          | `Decompress ->
+            H.Experiment.decompress_run ~scheme:A.Compress.full_dise ?trace
+              ?profile spec entry
+          | `Composed ->
+            H.Experiment.decompress_run ~scheme:A.Compress.full_dise
+              ~mfi:`Composed ?trace ?profile spec entry)
     in
     (match trace_chan with
     | Some c ->
@@ -171,7 +221,7 @@ let run_cmd =
     | None -> ());
     Format.printf "machine: %a@." Config.pp spec.H.Experiment.machine;
     Format.printf "%a@." Stats.pp stats;
-    let base = H.Experiment.baseline spec entry in
+    let base = guarded (fun () -> H.Experiment.baseline spec entry) in
     if acf <> `None then
       Format.printf "relative to ACF-free: %.3f@."
         (H.Experiment.relative stats ~baseline:base);
@@ -213,7 +263,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ bench_arg $ dyn_arg $ icache_arg $ width_arg $ acf_arg
           $ rt_arg $ rt_assoc_arg $ stats_json_arg $ trace_out_arg
-          $ cpi_stack_arg)
+          $ cpi_stack_arg $ cache_dir_arg $ no_cache_arg)
 
 (* --- compress ---------------------------------------------------------- *)
 
@@ -235,9 +285,26 @@ let compress_cmd =
     Arg.(value & opt int 0 & info [ "show-dictionary" ] ~docv:"N"
            ~doc:"Print the $(docv) most-used dictionary entries.")
   in
-  let run bench dyn scheme show stats_json =
+  let run bench dyn scheme show stats_json cache_dir no_cache =
+    setup_cache cache_dir no_cache;
     let entry = entry_of bench dyn in
-    let r = H.Experiment.compress_result ~scheme entry in
+    (* A sizes-only invocation goes through the disk-cacheable summary
+       (warm reruns skip the compressor); dumping dictionary entries
+       needs the full in-memory result. *)
+    let s, full =
+      guarded (fun () ->
+          if show > 0 then
+            let r = H.Experiment.compress_result ~scheme entry in
+            ( {
+                S.Request.orig_text_bytes = r.A.Compress.orig_text_bytes;
+                text_bytes = r.A.Compress.text_bytes;
+                dict_bytes = r.A.Compress.dict_bytes;
+                dict_entries = List.length r.A.Compress.entries;
+                codewords = r.A.Compress.codewords;
+              },
+              Some r )
+          else (S.Request.compress_summary ~scheme entry, None))
+    in
     (match stats_json with
     | None -> ()
     | Some path ->
@@ -246,29 +313,30 @@ let compress_cmd =
           [
             ("benchmark", T.Json.String bench);
             ("scheme", T.Json.String scheme.A.Compress.name);
-            ("orig_text_bytes", T.Json.Int r.A.Compress.orig_text_bytes);
-            ("text_bytes", T.Json.Int r.A.Compress.text_bytes);
-            ("dict_bytes", T.Json.Int r.A.Compress.dict_bytes);
-            ("dict_entries", T.Json.Int (List.length r.A.Compress.entries));
-            ("codewords", T.Json.Int r.A.Compress.codewords);
-            ("text_ratio", T.Json.Float (A.Compress.compression_ratio r));
-            ("total_ratio", T.Json.Float (A.Compress.total_ratio r));
+            ("orig_text_bytes", T.Json.Int s.S.Request.orig_text_bytes);
+            ("text_bytes", T.Json.Int s.S.Request.text_bytes);
+            ("dict_bytes", T.Json.Int s.S.Request.dict_bytes);
+            ("dict_entries", T.Json.Int s.S.Request.dict_entries);
+            ("codewords", T.Json.Int s.S.Request.codewords);
+            ( "text_ratio",
+              T.Json.Float (S.Request.summary_compression_ratio s) );
+            ("total_ratio", T.Json.Float (S.Request.summary_total_ratio s));
           ]
       in
       write_file path (T.Json.to_string ~indent:true doc);
       Format.printf "(stats written to %s)@." path);
     Format.printf "scheme %s on %s:@." scheme.A.Compress.name bench;
-    Format.printf "  original text:   %7d bytes@." r.A.Compress.orig_text_bytes;
+    Format.printf "  original text:   %7d bytes@." s.S.Request.orig_text_bytes;
     Format.printf "  compressed text: %7d bytes (%.1f%%)@."
-      r.A.Compress.text_bytes
-      (100. *. A.Compress.compression_ratio r);
+      s.S.Request.text_bytes
+      (100. *. S.Request.summary_compression_ratio s);
     Format.printf "  dictionary:      %7d bytes (%d entries)@."
-      r.A.Compress.dict_bytes
-      (List.length r.A.Compress.entries);
+      s.S.Request.dict_bytes s.S.Request.dict_entries;
     Format.printf "  total:           %.1f%% of original@."
-      (100. *. A.Compress.total_ratio r);
-    Format.printf "  codewords planted: %d@." r.A.Compress.codewords;
-    if show > 0 then begin
+      (100. *. S.Request.summary_total_ratio s);
+    Format.printf "  codewords planted: %d@." s.S.Request.codewords;
+    match full with
+    | Some r when show > 0 ->
       let by_use =
         List.sort
           (fun a b -> compare b.A.Compress.uses a.A.Compress.uses)
@@ -285,11 +353,11 @@ let compress_cmd =
               e.A.Compress.spec
           end)
         by_use
-    end
+    | _ -> ()
   in
   Cmd.v (Cmd.info "compress" ~doc)
     Term.(const run $ bench_arg $ dyn_arg $ scheme_arg $ show_arg
-          $ stats_json_arg)
+          $ stats_json_arg $ cache_dir_arg $ no_cache_arg)
 
 (* --- figures ------------------------------------------------------------ *)
 
@@ -319,7 +387,8 @@ let figures_cmd =
                  benchmark, worker domain, wall-clock) plus per-panel \
                  pool-utilization summaries to $(docv).")
   in
-  let run ids quick dyn csv jobs manifest_path cpi =
+  let run ids quick dyn csv jobs manifest_path cpi cache_dir no_cache =
+    setup_cache cache_dir no_cache;
     let opts =
       if quick then H.Figures.quick_opts
       else { H.Figures.default_opts with H.Figures.dyn_target = dyn }
@@ -364,7 +433,7 @@ let figures_cmd =
     | None -> ());
     List.iter
       (fun (id, f) ->
-        let fig = f opts in
+        let fig = guarded (fun () -> f opts) in
         Format.printf "@.%a@." (H.Report.render ~cpi_stacks:cpi) fig;
         match csv with
         | Some dir ->
@@ -387,7 +456,89 @@ let figures_cmd =
   in
   Cmd.v (Cmd.info "figures" ~doc)
     Term.(const run $ ids_arg $ quick_arg $ dyn_arg $ csv_arg $ jobs_arg
-          $ manifest_arg $ cpi_stack_arg)
+          $ manifest_arg $ cpi_stack_arg $ cache_dir_arg $ no_cache_arg)
+
+(* --- serve: batch JSONL simulation service ------------------------------ *)
+
+let serve_cmd =
+  let doc =
+    "Serve simulation requests in batch: JSONL requests in, JSONL \
+     responses out (in input order). Reads stdin by default, or accepts \
+     sequential connections on a Unix-domain socket. See doc/service.md \
+     for the request and response schemas."
+  in
+  let jobs_arg =
+    Arg.(value & opt int (S.Pool.default_jobs ()) & info [ "j"; "jobs" ]
+           ~docv:"N" ~doc:"Worker domains (default: available cores).")
+  in
+  let queue_arg =
+    Arg.(value & opt (some int) None & info [ "queue" ] ~docv:"N"
+           ~doc:"Max jobs in flight; further input is not read until the \
+                 current batch's responses have been flushed (default: \
+                 4*jobs).")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at $(docv) instead of \
+                 serving stdin; connections are served sequentially, each \
+                 as one JSONL stream.")
+  in
+  let run jobs queue socket cache_dir no_cache =
+    setup_cache cache_dir no_cache;
+    let jobs = max 1 jobs in
+    let opts =
+      { S.Server.jobs;
+        queue = (match queue with Some q -> max 1 q | None -> 4 * jobs) }
+    in
+    (* Graceful drain: finish the in-flight batch, flush its
+       responses, stop reading. *)
+    let stop _ = S.Server.request_stop () in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    match socket with
+    | None ->
+      let s = S.Server.serve_channel ~opts stdin stdout in
+      Format.eprintf "disesim serve: %a@." S.Server.pp_summary s
+    | Some path -> (
+      Format.eprintf "disesim serve: listening on %s@." path;
+      try S.Server.serve_socket ~opts ~path ()
+      with S.Cache.Diag_error d -> die d)
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ jobs_arg $ queue_arg $ socket_arg $ cache_dir_arg
+          $ no_cache_arg)
+
+(* --- cache: inspect / clear the result cache ---------------------------- *)
+
+let cache_cmd =
+  let open_cache dir =
+    let dir = match dir with Some d -> d | None -> default_cache_dir () in
+    match S.Cache.create ~dir with
+    | c -> c
+    | exception S.Cache.Diag_error d -> die d
+  in
+  let clear_cmd =
+    let doc = "Delete every cached result (keeps the directory)." in
+    let run dir =
+      let c = open_cache dir in
+      match S.Cache.clear c with
+      | n -> Format.printf "removed %d entries from %s@." n (S.Cache.dir c)
+      | exception S.Cache.Diag_error d -> die d
+    in
+    Cmd.v (Cmd.info "clear" ~doc) Term.(const run $ cache_dir_arg)
+  in
+  let info_cmd =
+    let doc = "Show the cache location, entry count, and version salt." in
+    let run dir =
+      let c = open_cache dir in
+      Format.printf "dir:     %s@." (S.Cache.dir c);
+      Format.printf "entries: %d@." (S.Cache.entries c);
+      Format.printf "salt:    %s@." S.Cache.salt
+    in
+    Cmd.v (Cmd.info "info" ~doc) Term.(const run $ cache_dir_arg)
+  in
+  let doc = "Inspect or clear the on-disk result cache." in
+  Cmd.group (Cmd.info "cache" ~doc) [ clear_cmd; info_cmd ]
 
 (* --- exec: assemble and run user programs -------------------------------- *)
 
@@ -417,18 +568,17 @@ let exec_cmd =
   in
   let run asm_path prods_path drs trace =
     let program =
-      try Dise_isa.Asm.parse (read_file asm_path)
-      with Dise_isa.Asm.Parse_error (line, msg) ->
-        Format.eprintf "%s:%d: %s@." asm_path line msg;
-        exit 1
+      match Dise_isa.Asm.parse_result ~source:asm_path (read_file asm_path) with
+      | Ok p -> p
+      | Error d -> die d
     in
     let img = Dise_isa.Program.layout program in
     let expander =
       match prods_path with
       | None -> None
       | Some path -> (
-        match Dise_core.Lang.parse (read_file path) with
-        | set ->
+        match Dise_core.Lang.parse_result ~source:path (read_file path) with
+        | Ok set ->
           let set =
             Dise_core.Prodset.resolve_labels
               (Dise_isa.Program.Image.symbol img) set
@@ -438,9 +588,7 @@ let exec_cmd =
               Format.eprintf "%s: %a@." path Dise_core.Safety.pp_finding f)
             (Dise_core.Safety.check set);
           Some (Dise_core.Engine.expander (Dise_core.Engine.create set))
-        | exception Dise_core.Lang.Parse_error (line, msg) ->
-          Format.eprintf "%s:%d: %s@." path line msg;
-          exit 1)
+        | Error d -> die d)
     in
     let m = Machine.create ?expander img in
     List.iter (fun (n, v) -> Machine.set_dise_reg m n v) drs;
@@ -456,9 +604,7 @@ let exec_cmd =
                   | Machine.Event.Rep { offset; _ } ->
                     Printf.sprintf ":%-2d" offset)
                   (Dise_isa.Insn.to_string ev.Machine.Event.insn)))
-     with Machine.Runtime_error msg ->
-       Format.eprintf "runtime error: %s@." msg;
-       exit 1);
+     with Machine.Runtime_error msg -> die (Diag.Runtime msg));
     let stats = Dise_uarch.Pipeline.finish pipeline in
     Format.printf "exit code: %d@." (Machine.exit_code m);
     Format.printf "%a@." Stats.pp stats
@@ -485,8 +631,8 @@ let safety_cmd =
     let ic = open_in_bin path in
     let src = really_input_string ic (in_channel_length ic) in
     close_in ic;
-    match Dise_core.Lang.parse src with
-    | set -> (
+    match Dise_core.Lang.parse_result ~source:path src with
+    | Ok set -> (
       (* Bind any symbolic targets to a placeholder: inspection is
          structural, not about concrete addresses. *)
       let set = Dise_core.Prodset.resolve_labels (fun _ -> Some 0) set in
@@ -500,9 +646,7 @@ let safety_cmd =
           (fun f -> Format.printf "%a@." Dise_core.Safety.pp_finding f)
           findings;
         if Dise_core.Safety.errors findings <> [] then exit 1)
-    | exception Dise_core.Lang.Parse_error (line, msg) ->
-      Format.eprintf "%s:%d: %s@." path line msg;
-      exit 1
+    | Error d -> die d
   in
   Cmd.v (Cmd.info "safety" ~doc) Term.(const run $ file_arg $ reserved_arg)
 
@@ -566,5 +710,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; compress_cmd; figures_cmd; exec_cmd; safety_cmd;
-            disasm_cmd; validate_cmd ]))
+          [ list_cmd; run_cmd; compress_cmd; figures_cmd; serve_cmd; cache_cmd;
+            exec_cmd; safety_cmd; disasm_cmd; validate_cmd ]))

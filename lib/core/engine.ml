@@ -102,6 +102,11 @@ let expand t ~pc insn =
   (match result with Some _ -> t.performed <- t.performed + 1 | None -> ());
   result
 
+let expand_result t ~pc insn =
+  match expand t ~pc insn with
+  | r -> Ok r
+  | exception Expansion_error msg -> Error (Dise_isa.Diag.Expansion msg)
+
 let expander t ~pc insn = expand t ~pc insn
 let expansions_performed t = t.performed
 

@@ -39,6 +39,15 @@ val expand : t -> pc:int -> Dise_isa.Insn.t -> Dise_machine.Machine.expansion op
     [Some] with the trigger as the single element (it is still an
     expansion, and is costed as one). *)
 
+val expand_result :
+  t ->
+  pc:int ->
+  Dise_isa.Insn.t ->
+  (Dise_machine.Machine.expansion option, Dise_isa.Diag.t) result
+(** Exception-free {!expand}: an {!Expansion_error} becomes
+    [Error (Diag.Expansion _)], reported through the shared
+    {!Dise_isa.Diag} printer (exit-code class "simulation"). *)
+
 val expander : t -> Dise_machine.Machine.expander
 (** The closure to plug into {!Dise_machine.Machine.create}. *)
 

@@ -367,3 +367,9 @@ let to_string set =
       Buffer.add_char b '\n')
     (Prodset.sequences set);
   Buffer.contents b
+
+let parse_result ?(source = "<productions>") text =
+  match parse text with
+  | set -> Ok set
+  | exception Parse_error (line, msg) ->
+    Error (Dise_isa.Diag.Parse { source; line; msg })

@@ -35,6 +35,13 @@ val parse : string -> Prodset.t
 (** Parse a production-set source. Sequence names [R<n>] bind sequence
     id [n]. *)
 
+val parse_result :
+  ?source:string -> string -> (Prodset.t, Dise_isa.Diag.t) result
+(** Exception-free {!parse}: a failure becomes [Error (Diag.Parse _)]
+    carrying [source] (default ["<productions>"]) and the 1-based
+    line, so every front end reports DSL errors through the shared
+    {!Dise_isa.Diag} printer and exit codes. *)
+
 val parse_rinsn : string -> Replacement.rinsn
 (** Parse a single replacement instruction. *)
 

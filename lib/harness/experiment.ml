@@ -1,17 +1,10 @@
-module Machine = Dise_machine.Machine
-module Engine = Dise_core.Engine
-module Prodset = Dise_core.Prodset
-module Controller = Dise_core.Controller
 module Config = Dise_uarch.Config
-module Pipeline = Dise_uarch.Pipeline
-module Stats = Dise_uarch.Stats
+module Controller = Dise_core.Controller
 module Suite = Dise_workload.Suite
-module Codegen = Dise_workload.Codegen
+module Profile = Dise_workload.Profile
 module Mfi = Dise_acf.Mfi
 module Rewrite = Dise_acf.Rewrite
-module Compress = Dise_acf.Compress
-module Trace = Dise_telemetry.Trace
-module Profile = Dise_telemetry.Profile
+module Request = Dise_service.Request
 
 type spec = {
   dyn_target : int;
@@ -22,190 +15,36 @@ type spec = {
 let default_spec =
   { dyn_target = 300_000; machine = Config.default; controller = None }
 
-let max_steps = 100_000_000
+(* Every driver below is the same one-liner: name the run as a
+   Request.t and hand it to the single Request.run path, which owns
+   the memo tables, the disk cache, and the sink-bypass rule. The
+   [entry] the caller already holds is passed along so a cache miss
+   does not regenerate the workload. *)
+let request spec ?acf (entry : Suite.entry) =
+  Request.v ~dyn_target:spec.dyn_target ~machine:spec.machine
+    ?controller:spec.controller ?acf entry.Suite.profile.Profile.name
 
-(* Telemetry sinks are deliberately NOT part of [spec]: spec is a
-   structural hash key for the baseline memo table, and closures or
-   channels inside it would break structural hashing. Sinks arrive as
-   separate optional arguments instead, and memoized drivers bypass
-   their memo when a sink is attached (a cached Stats.t could not
-   replay the events into the sink anyway). *)
-let run_machine spec ?prodset ?trace ?profile m =
-  let controller =
-    match spec.controller, prodset with
-    | Some cfg, Some ps -> Some (Controller.create cfg ps)
-    | Some cfg, None -> Some (Controller.create cfg Prodset.empty)
-    | None, _ -> None
-  in
-  Pipeline.run ~max_steps ?controller ?trace ?profile spec.machine m
+let baseline ?trace ?profile spec entry =
+  Request.run ~entry ?trace ?profile (request spec entry)
 
-let check_clean name m =
-  if Machine.exit_code m <> 0 then
-    failwith
-      (Printf.sprintf "experiment %s: workload trapped (exit %d)" name
-         (Machine.exit_code m))
+let mfi_dise ?(variant = Mfi.Dise3) ?trace ?profile spec entry =
+  Request.run ~entry ?trace ?profile
+    (request spec ~acf:(Request.Mfi_dise variant) entry)
 
-let run_baseline spec ?trace ?profile (entry : Suite.entry) =
-  let m = Machine.create entry.Suite.image in
-  let stats = run_machine spec ?trace ?profile m in
-  check_clean "baseline" m;
-  stats
+let mfi_rewrite ?(variant = Rewrite.Segment_matching) ?trace ?profile spec entry
+    =
+  Request.run ~entry ?trace ?profile
+    (request spec ~acf:(Request.Mfi_rewrite variant) entry)
 
-let with_engine image prodset =
-  let engine = Engine.create ~image prodset in
-  Machine.create ~expander:(Engine.expander engine) image
-
-let install_mfi m =
-  Mfi.install m ~data_seg:Codegen.data_segment_id
-    ~code_seg:Codegen.code_segment_id
-
-let mfi_dise ?variant ?trace ?profile spec (entry : Suite.entry) =
-  let prodset = Mfi.productions_for ?variant entry.Suite.image in
-  let m = with_engine entry.Suite.image prodset in
-  install_mfi m;
-  let stats = run_machine spec ~prodset ?trace ?profile m in
-  check_clean "mfi_dise" m;
-  stats
-
-(* The cross-cell caches below are shared by worker domains when the
-   harness runs cells in parallel (see {!Pool}); a mutex guards every
-   table access. A key is claimed as [Pending] before its (expensive —
-   the compressor, or a full baseline simulation) computation runs
-   outside the lock; concurrent requesters for the same key block on
-   the condition instead of duplicating the work, and every caller
-   shares the one physically-identical value, exactly as the serial
-   path would produce. Nested memoized computations (compression of a
-   rewritten binary memoizes the rewrite) are safe: the dependency
-   order is acyclic, so a waiter never blocks its own claimant. *)
-let cache_mutex = Mutex.create ()
-let cache_cond = Condition.create ()
-
-type 'v slot = Pending | Ready of 'v
-
-let with_cache_lock f =
-  Mutex.lock cache_mutex;
-  match f () with
-  | v ->
-    Mutex.unlock cache_mutex;
-    v
-  | exception e ->
-    Mutex.unlock cache_mutex;
-    raise e
-
-let memoize table key compute =
-  Mutex.lock cache_mutex;
-  let rec claim () =
-    match Hashtbl.find_opt table key with
-    | Some (Ready v) ->
-      Mutex.unlock cache_mutex;
-      `Hit v
-    | Some Pending ->
-      Condition.wait cache_cond cache_mutex;
-      claim ()
-    | None ->
-      Hashtbl.replace table key Pending;
-      Mutex.unlock cache_mutex;
-      `Compute
-  in
-  match claim () with
-  | `Hit v -> v
-  | `Compute -> (
-    match compute () with
-    | v ->
-      with_cache_lock (fun () ->
-          Hashtbl.replace table key (Ready v);
-          Condition.broadcast cache_cond);
-      v
-    | exception e ->
-      (* Drop the claim so a later caller can retry. *)
-      with_cache_lock (fun () ->
-          Hashtbl.remove table key;
-          Condition.broadcast cache_cond);
-      raise e)
-
-(* Many figure cells normalize against the same ACF-free run (e.g.
-   every series of a panel divides by the same per-benchmark baseline),
-   so baselines are memoized by the full spec plus workload identity.
-   [spec] is plain data (no closures), so structural hashing is sound;
-   baseline runs are deterministic, so sharing the Stats.t record
-   cannot change any figure value. *)
-let baseline_cache : (spec * string * int, Stats.t slot) Hashtbl.t =
-  Hashtbl.create 64
-
-let baseline ?trace ?profile spec (entry : Suite.entry) =
-  match trace, profile with
-  | None, None ->
-    let key =
-      (spec, entry.Suite.profile.Dise_workload.Profile.name,
-       entry.Suite.gen.Codegen.total_insns)
-    in
-    memoize baseline_cache key (fun () -> run_baseline spec entry)
-  | _ ->
-    (* A sink needs the event stream replayed, which a cached Stats.t
-       cannot provide; run outside the memo (and leave the memo alone —
-       a traced run's stats are identical to an untraced one's). *)
-    run_baseline spec ?trace ?profile entry
-
-let rewritten_cache : (string * int, Dise_isa.Program.t slot) Hashtbl.t =
-  Hashtbl.create 16
-
-let rewritten_program (entry : Suite.entry) =
-  let key = (entry.Suite.profile.Dise_workload.Profile.name,
-             Dise_isa.Program.size entry.Suite.gen.Codegen.program)
-  in
-  memoize rewritten_cache key (fun () ->
-      Rewrite.rewrite ~data_seg:Codegen.data_segment_id
-        ~code_seg:Codegen.code_segment_id entry.Suite.gen.Codegen.program)
-
-let mfi_rewrite ?variant ?trace ?profile spec (entry : Suite.entry) =
-  let prog =
-    match variant with
-    | None | Some Rewrite.Segment_matching -> rewritten_program entry
-    | Some v ->
-      Rewrite.rewrite ~variant:v ~data_seg:Codegen.data_segment_id
-        ~code_seg:Codegen.code_segment_id entry.Suite.gen.Codegen.program
-  in
-  let image = Dise_isa.Program.layout ~base:Codegen.code_base prog in
-  let m = Machine.create image in
-  let stats = run_machine spec ?trace ?profile m in
-  check_clean "mfi_rewrite" m;
-  stats
-
-let compress_cache : (string, Compress.result slot) Hashtbl.t =
-  Hashtbl.create 64
-
-let compress_result ~scheme ?(rewritten = false) (entry : Suite.entry) =
-  let key =
-    Printf.sprintf "%s/%s/%b/%d"
-      entry.Suite.profile.Dise_workload.Profile.name
-      scheme.Compress.name rewritten entry.Suite.gen.Codegen.total_insns
-  in
-  memoize compress_cache key (fun () ->
-      let prog =
-        if rewritten then rewritten_program entry
-        else entry.Suite.gen.Codegen.program
-      in
-      Compress.compress ~scheme prog)
+let compress_result = Request.compress_result
 
 let decompress_run ~scheme ?(mfi = `None) ?(rewritten = false) ?trace ?profile
-    spec (entry : Suite.entry) =
-  let result = compress_result ~scheme ~rewritten entry in
-  let prodset =
-    match mfi with
-    | `None -> result.Compress.prodset
-    | `Composed -> Dise_acf.Acf_compose.for_compressed result
-  in
-  let m = with_engine result.Compress.image prodset in
-  (match mfi with `Composed -> install_mfi m | `None -> ());
-  let stats = run_machine spec ~prodset ?trace ?profile m in
-  check_clean "decompress" m;
-  stats
+    spec entry =
+  Request.run ~entry ?trace ?profile
+    (request spec ~acf:(Request.Decompress { scheme; mfi; rewritten }) entry)
 
-let relative stats ~baseline =
-  float_of_int stats.Stats.cycles /. float_of_int baseline.Stats.cycles
+let relative = Request.relative
 
 let clear_cache () =
-  with_cache_lock (fun () ->
-      Hashtbl.reset compress_cache;
-      Hashtbl.reset rewritten_cache;
-      Hashtbl.reset baseline_cache)
+  Request.clear_memory ();
+  ignore (Request.clear_disk ())

@@ -1,15 +1,14 @@
 (** Experiment drivers: one function per (workload × ACF × machine)
     configuration, each returning the timing model's statistics.
 
-    Compression results are cached per (workload, scheme, rewritten)
-    because the greedy compressor is by far the most expensive step and
-    several panels reuse the same compressed binaries.
-
-    Every driver takes optional [?trace] and [?profile] telemetry
-    sinks (see {!Dise_telemetry}). Sinks are kept out of {!spec} —
-    spec is a structural memo key — and a sink-carrying call bypasses
-    any memo, since cached statistics cannot replay the event stream
-    into a sink. *)
+    @deprecated These are compatibility constructors. Each driver is a
+    one-line wrapper that names its run as a {!Dise_service.Request.t}
+    and calls {!Dise_service.Request.run} — the single entry point
+    that owns the in-memory memo tables, the on-disk result cache,
+    and the telemetry-sink bypass rule (a [?trace]/[?profile] call
+    simulates unconditionally and leaves every cache untouched; the
+    rule is documented once, in {!Dise_service.Request}). New code
+    should build [Request.t] values directly. *)
 
 type spec = {
   dyn_target : int;
@@ -28,10 +27,8 @@ val baseline :
   spec ->
   Dise_workload.Suite.entry ->
   Dise_uarch.Stats.t
-(** ACF-free run. Memoized per (spec, workload): many figure cells
-    normalize against the same baseline, so it is simulated once and
-    the (deterministic, read-only) stats record is shared. A call with
-    a sink attached runs unmemoized and leaves the memo untouched. *)
+(** ACF-free run ([Request.Baseline]); memoized per (spec, workload)
+    as many figure cells normalize against the same baseline. *)
 
 val mfi_dise :
   ?variant:Dise_acf.Mfi.variant ->
@@ -40,8 +37,7 @@ val mfi_dise :
   spec ->
   Dise_workload.Suite.entry ->
   Dise_uarch.Stats.t
-(** DISE memory fault isolation (legal segments installed, so the run
-    completes without trapping). *)
+(** DISE memory fault isolation (default variant [Dise3]). *)
 
 val mfi_rewrite :
   ?variant:Dise_acf.Rewrite.variant ->
@@ -50,16 +46,17 @@ val mfi_rewrite :
   spec ->
   Dise_workload.Suite.entry ->
   Dise_uarch.Stats.t
-(** Binary-rewriting fault isolation. *)
+(** Binary-rewriting fault isolation (default
+    [Segment_matching]). *)
 
 val compress_result :
   scheme:Dise_acf.Compress.scheme ->
   ?rewritten:bool ->
   Dise_workload.Suite.entry ->
   Dise_acf.Compress.result
-(** Compress the workload's program (optionally after applying the
-    rewriting MFI transformation first, Figure 8's software combos).
-    Cached. *)
+(** Alias of {!Dise_service.Request.compress_result} (memoized; see
+    also {!Dise_service.Request.compress_summary} for the
+    disk-cacheable size projection). *)
 
 val decompress_run :
   scheme:Dise_acf.Compress.scheme ->
@@ -79,7 +76,8 @@ val relative : Dise_uarch.Stats.t -> baseline:Dise_uarch.Stats.t -> float
 (** Execution-time ratio (cycles / baseline cycles). *)
 
 val clear_cache : unit -> unit
-(** Drop the cross-cell memo tables (compression results, rewritten
-    programs, baseline runs). The tables are mutex-protected and safe
-    to share across worker domains; clearing mid-figure only costs
-    recomputation, never correctness. *)
+(** Drop the in-memory memo tables {e and} wipe the installed disk
+    cache (if any): {!Dise_service.Request.clear_memory} +
+    {!Dise_service.Request.clear_disk}. May raise
+    [Dise_service.Cache.Diag_error] if disk entries cannot be
+    removed. *)

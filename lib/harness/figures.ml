@@ -7,6 +7,7 @@ module Compress = Dise_acf.Compress
 module Mfi = Dise_acf.Mfi
 module Manifest = Dise_telemetry.Manifest
 module Json = Dise_telemetry.Json
+module Request = Dise_service.Request
 module E = Experiment
 
 type series = {
@@ -113,11 +114,23 @@ let figure opts ~id ~title ~ylabel dss =
       dss
   in
   let cell_arr = Array.of_list cells in
+  (* Per-cell disk-cache (hits, misses) deltas. The Request counters
+     are domain-local and the pool probe runs on the same worker that
+     ran the task, after it — so snapshotting around the task and
+     reading the delta from the probe is race-free. *)
+  let cache_deltas = Array.make (Array.length cell_arr) (0, 0) in
   let tasks =
-    Array.map
-      (fun (label, bench, th) () ->
+    Array.mapi
+      (fun i (label, bench, th) () ->
         report_progress opts label bench;
-        th ())
+        match opts.manifest with
+        | None -> th ()
+        | Some _ ->
+          let h0, m0 = Request.cache_counters () in
+          let r = th () in
+          let h1, m1 = Request.cache_counters () in
+          cache_deltas.(i) <- (h1 - h0, m1 - m0);
+          r)
       cell_arr
   in
   let busy = ref 0. in
@@ -135,6 +148,7 @@ let figure opts ~id ~title ~ylabel dss =
           busy := !busy +. seconds;
           Mutex.unlock busy_mutex;
           let label, bench, _ = cell_arr.(i) in
+          let hits, misses = cache_deltas.(i) in
           Manifest.emit m
             [
               ("kind", Json.String "cell");
@@ -144,6 +158,8 @@ let figure opts ~id ~title ~ylabel dss =
               ("index", Json.Int i);
               ("domain", Json.Int domain);
               ("wall_s", Json.Float seconds);
+              ("cache_hits", Json.Int hits);
+              ("cache_misses", Json.Int misses);
             ])
   in
   let values = Pool.run ~jobs:opts.jobs ?probe tasks in
@@ -152,12 +168,16 @@ let figure opts ~id ~title ~ylabel dss =
   | Some m ->
     let wall = Unix.gettimeofday () -. t0 in
     let jobs = max 1 opts.jobs in
+    let hits = Array.fold_left (fun a (h, _) -> a + h) 0 cache_deltas in
+    let misses = Array.fold_left (fun a (_, m) -> a + m) 0 cache_deltas in
     Manifest.emit m
       [
         ("kind", Json.String "figure");
         ("figure", Json.String id);
         ("cells", Json.Int (Array.length cell_arr));
         ("jobs", Json.Int jobs);
+        ("cache_hits", Json.Int hits);
+        ("cache_misses", Json.Int misses);
         ("wall_s", Json.Float wall);
         ("busy_s", Json.Float !busy);
         ( "utilization",
@@ -255,13 +275,17 @@ let fig6_width opts =
 (* --- Figure 7: dynamic code decompression ----------------------------- *)
 
 let fig7_ratio opts =
+  (* Size panels only need the compress_summary projection, which is
+     disk-cacheable — a warm rerun of this figure never runs the
+     compressor. The ratio helpers reproduce Compress.compression_ratio
+     and Compress.total_ratio exactly. *)
   let mk scheme =
     [
       series opts (scheme.Compress.name ^ " text")
         (fun e ->
-          Compress.compression_ratio (E.compress_result ~scheme e));
+          Request.summary_compression_ratio (Request.compress_summary ~scheme e));
       series opts (scheme.Compress.name ^ " +dict")
-        (fun e -> Compress.total_ratio (E.compress_result ~scheme e));
+        (fun e -> Request.summary_total_ratio (Request.compress_summary ~scheme e));
     ]
   in
   figure opts ~id:"fig7-ratio"

@@ -1,70 +1,1 @@
-let default_jobs () = Domain.recommended_domain_count ()
-
-(* Outcome of one task. Stored per-index so reassembly is positional;
-   an [option] wrapper distinguishes "never ran" (only possible if a
-   domain died, which join surfaces) from a recorded result. *)
-type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
-
-(* Run one task, reporting wall-clock to the probe when one is
-   attached. The [None] path is exactly [task ()]: no timestamp reads,
-   no allocation. *)
-let timed probe i ~domain task =
-  match probe with
-  | None -> task ()
-  | Some p ->
-    let t0 = Unix.gettimeofday () in
-    let r = task () in
-    p i ~domain (Unix.gettimeofday () -. t0);
-    r
-
-let run_serial probe tasks =
-  let n = Array.length tasks in
-  if n = 0 then [||]
-  else begin
-    let results = Array.make n (timed probe 0 ~domain:0 tasks.(0)) in
-    for i = 1 to n - 1 do
-      results.(i) <- timed probe i ~domain:0 tasks.(i)
-    done;
-    results
-  end
-
-let run_parallel ~jobs probe (tasks : (unit -> 'a) array) =
-  let n = Array.length tasks in
-  let results : 'a outcome option array = Array.make n None in
-  let next = Atomic.make 0 in
-  let worker domain () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        let r =
-          try Ok (timed probe i ~domain tasks.(i))
-          with e -> Error (e, Printexc.get_raw_backtrace ())
-        in
-        results.(i) <- Some r;
-        loop ()
-      end
-    in
-    loop ()
-  in
-  let spawned =
-    Array.init (min jobs n - 1) (fun k -> Domain.spawn (worker (k + 1)))
-  in
-  worker 0 ();
-  Array.iter Domain.join spawned;
-  (* Re-raise the lowest-indexed failure, deterministically. *)
-  for i = 0 to n - 1 do
-    match results.(i) with
-    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-    | Some (Ok _) -> ()
-    | None -> assert false (* every index < n was claimed and joined *)
-  done;
-  Array.init n (fun i ->
-      match results.(i) with Some (Ok v) -> v | _ -> assert false)
-
-let run ?jobs ?probe tasks =
-  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
-  if jobs = 1 || Array.length tasks <= 1 then run_serial probe tasks
-  else run_parallel ~jobs probe tasks
-
-let map_list ?jobs f xs =
-  Array.to_list (run ?jobs (Array.of_list (List.map (fun x () -> f x) xs)))
+include Dise_service.Pool

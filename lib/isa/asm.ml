@@ -165,6 +165,12 @@ let parse source =
            raise (Parse_error (idx + 1, msg)))
        lines)
 
+let parse_result ?(source = "<asm>") text =
+  match parse text with
+  | program -> Ok program
+  | exception Parse_error (line, msg) ->
+    Error (Diag.Parse { source; line; msg })
+
 let parse_insn s =
   match parse_line s with
   | Some (Program.Ins i) -> [ i ] |> List.hd

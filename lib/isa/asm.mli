@@ -29,5 +29,11 @@ val parse_line : string -> Program.item option
 val parse : string -> Program.t
 (** Parse a whole source text. Raises {!Parse_error}. *)
 
+val parse_result : ?source:string -> string -> (Program.t, Diag.t) result
+(** Exception-free {!parse}: a failure becomes [Error (Diag.Parse _)]
+    carrying [source] (default ["<asm>"]) and the 1-based line.
+    Shares the error pretty-printer and exit-code policy of
+    {!Diag}. *)
+
 val parse_insn : string -> Insn.t
 (** Parse a single instruction (no label). Raises {!Parse_error}. *)

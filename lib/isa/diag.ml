@@ -1,0 +1,29 @@
+type t =
+  | Parse of { source : string; line : int; msg : string }
+  | Invalid of string
+  | Runtime of string
+  | Expansion of string
+  | Cache of string
+
+let category = function
+  | Parse _ | Invalid _ -> "parse"
+  | Runtime _ | Expansion _ -> "simulation"
+  | Cache _ -> "cache"
+
+let exit_code t =
+  match category t with
+  | "parse" -> 2
+  | "simulation" -> 3
+  | _ -> 4
+
+let pp ppf = function
+  | Parse { source; line = 0; msg } ->
+    Format.fprintf ppf "%s: parse error: %s" source msg
+  | Parse { source; line; msg } ->
+    Format.fprintf ppf "%s:%d: parse error: %s" source line msg
+  | Invalid msg -> Format.fprintf ppf "invalid input: %s" msg
+  | Runtime msg -> Format.fprintf ppf "runtime error: %s" msg
+  | Expansion msg -> Format.fprintf ppf "expansion error: %s" msg
+  | Cache msg -> Format.fprintf ppf "cache error: %s" msg
+
+let to_string t = Format.asprintf "%a" pp t

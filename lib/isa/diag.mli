@@ -1,0 +1,45 @@
+(** Unified error reporting for the public APIs.
+
+    The libraries historically signalled failure with a mix of
+    [Invalid_argument], [Failure], [Engine.Expansion_error], and
+    per-module [Parse_error] exceptions. [Diag.t] is the shared typed
+    error every [*_result] API variant returns, with one
+    pretty-printer and one exit-code policy, so callers (notably
+    [disesim] and the batch service) report and classify failures
+    uniformly.
+
+    Exit-code policy (used by [disesim]):
+    - malformed input (assembly, production DSL, JSON, CLI values):
+      {b 2};
+    - simulation-time failures (runtime errors, expansion errors,
+      trapped workloads): {b 3};
+    - result-cache I/O failures: {b 4}.
+
+    The categories double as the ["kind"] field of `disesim serve`
+    error responses (see doc/service.md). *)
+
+type t =
+  | Parse of { source : string; line : int; msg : string }
+      (** Malformed input. [source] names the input (a file name or a
+          description like ["request"]); [line] is 1-based, 0 when
+          unknown. *)
+  | Invalid of string
+      (** A structurally well-formed input that names something that
+          does not exist or violates a documented constraint (unknown
+          benchmark, bad register index, ...). *)
+  | Runtime of string  (** The simulated machine failed mid-run. *)
+  | Expansion of string
+      (** The DISE engine could not expand a matched trigger. *)
+  | Cache of string  (** Result-cache I/O failure. *)
+
+val category : t -> string
+(** ["parse"], ["simulation"], or ["cache"] — the coarse class used
+    for exit codes and serve-protocol error kinds. [Parse] and
+    [Invalid] are both ["parse"] (bad input); [Runtime] and
+    [Expansion] are ["simulation"]. *)
+
+val exit_code : t -> int
+(** 2 / 3 / 4 for parse / simulation / cache, per the policy above. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

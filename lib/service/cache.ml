@@ -1,0 +1,133 @@
+module Json = Dise_telemetry.Json
+
+exception Diag_error of Dise_isa.Diag.t
+
+let cache_error fmt =
+  Printf.ksprintf (fun msg -> raise (Diag_error (Dise_isa.Diag.Cache msg))) fmt
+
+(* Bump on ANY change that invalidates persisted results: simulator
+   timing behaviour, the canonical request encoding, or the payload
+   schema. The salt is hashed into every key AND embedded in every
+   envelope, so stale entries miss twice over. *)
+let version = "1"
+let salt = "dise-result-cache-v" ^ version
+
+type t = { root : string }
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  try go dir
+  with Unix.Unix_error (e, _, _) ->
+    cache_error "cannot create %s: %s" dir (Unix.error_message e)
+
+let create ~dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then cache_error "%s is not a directory" dir;
+  { root = dir }
+
+let dir t = t.root
+let key canonical = Digest.to_hex (Digest.string (salt ^ "\n" ^ canonical))
+
+let subdir t key = Filename.concat t.root (String.sub key 0 2)
+let path t ~key = Filename.concat (subdir t key) (key ^ ".json")
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A lookup must never raise: any defect — unreadable file, JSON that
+   does not parse (e.g. a truncated entry), wrong salt (stale version),
+   wrong key (file renamed by hand), missing payload — deletes the
+   entry and reports a miss, and the caller recomputes. *)
+let find t ~key:k =
+  let p = path t ~key:k in
+  match read_file p with
+  | exception Sys_error _ -> None (* absent (or unreadable: treat alike) *)
+  | contents -> (
+    let drop () =
+      (try Sys.remove p with Sys_error _ -> ());
+      None
+    in
+    match Json.parse contents with
+    | exception _ -> drop () (* truncated or garbled entry *)
+    | doc -> (
+      let ok =
+        Json.member "salt" doc = Some (Json.String salt)
+        && Json.member "key" doc = Some (Json.String k)
+      in
+      match (ok, Json.member "payload" doc) with
+      | true, Some payload -> Some payload
+      | _ -> drop ()))
+
+let tmp_counter = Atomic.make 0
+
+let store t ~key:k ~request ~payload =
+  let d = subdir t k in
+  mkdir_p d;
+  let tmp =
+    Filename.concat d
+      (Printf.sprintf ".tmp.%d.%d.%s" (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_counter 1)
+         k)
+  in
+  let doc =
+    Json.Obj
+      [
+        ("salt", Json.String salt);
+        ("key", Json.String k);
+        ("request", request);
+        ("payload", payload);
+      ]
+  in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Json.to_string doc);
+        output_char oc '\n');
+    Sys.rename tmp (path t ~key:k)
+  with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    cache_error "cannot store entry %s: %s" k msg
+
+let iter_entry_files t f =
+  let in_subdir sub =
+    let d = Filename.concat t.root sub in
+    if Sys.is_directory d then
+      Array.iter
+        (fun name -> f (Filename.concat d name) name)
+        (Sys.readdir d)
+  in
+  if Sys.file_exists t.root && Sys.is_directory t.root then
+    Array.iter
+      (fun sub ->
+        if String.length sub = 2 then
+          try in_subdir sub with Sys_error _ -> ())
+      (Sys.readdir t.root)
+
+let entries t =
+  let n = ref 0 in
+  iter_entry_files t (fun _ name ->
+      if Filename.check_suffix name ".json" then incr n);
+  !n
+
+let clear t =
+  let removed = ref 0 in
+  let failed = ref None in
+  iter_entry_files t (fun p name ->
+      match Sys.remove p with
+      | () -> if Filename.check_suffix name ".json" then incr removed
+      | exception Sys_error msg ->
+        if !failed = None then failed := Some msg);
+  match !failed with
+  | Some msg -> cache_error "clear incomplete: %s" msg
+  | None -> !removed

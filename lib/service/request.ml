@@ -1,0 +1,602 @@
+module Machine = Dise_machine.Machine
+module Engine = Dise_core.Engine
+module Prodset = Dise_core.Prodset
+module Controller = Dise_core.Controller
+module Config = Dise_uarch.Config
+module Pipeline = Dise_uarch.Pipeline
+module Stats = Dise_uarch.Stats
+module Suite = Dise_workload.Suite
+module Profile = Dise_workload.Profile
+module Codegen = Dise_workload.Codegen
+module Mfi = Dise_acf.Mfi
+module Rewrite = Dise_acf.Rewrite
+module Compress = Dise_acf.Compress
+module Json = Dise_telemetry.Json
+module Diag = Dise_isa.Diag
+
+type mfi_compose = [ `None | `Composed ]
+
+type acf =
+  | Baseline
+  | Mfi_dise of Mfi.variant
+  | Mfi_rewrite of Rewrite.variant
+  | Decompress of {
+      scheme : Compress.scheme;
+      mfi : mfi_compose;
+      rewritten : bool;
+    }
+
+type t = {
+  bench : string;
+  dyn_target : int;
+  machine : Config.t;
+  controller : Controller.config option;
+  acf : acf;
+}
+
+let v ?(dyn_target = 300_000) ?(machine = Config.default) ?controller
+    ?(acf = Baseline) bench =
+  { bench; dyn_target; machine; controller; acf }
+
+(* --- canonical JSON encoding ------------------------------------------- *)
+
+let mfi_variant_name = function Mfi.Dise3 -> "dise3" | Mfi.Dise4 -> "dise4"
+
+let rw_variant_name = function
+  | Rewrite.Segment_matching -> "segment_matching"
+  | Rewrite.Sandboxing -> "sandboxing"
+
+let compose_name = function `None -> "none" | `Composed -> "composed"
+
+let scheme_to_json (s : Compress.scheme) =
+  Json.Obj
+    [
+      ("name", Json.String s.Compress.name);
+      ("codeword_bytes", Json.Int s.Compress.codeword_bytes);
+      ("min_len", Json.Int s.Compress.min_len);
+      ("max_len", Json.Int s.Compress.max_len);
+      ("max_params", Json.Int s.Compress.max_params);
+      ("dict_entry_bytes", Json.Int s.Compress.dict_entry_bytes);
+      ("compress_branches", Json.Bool s.Compress.compress_branches);
+      ("max_entries", Json.Int s.Compress.max_entries);
+    ]
+
+let controller_to_json (c : Controller.config) =
+  Json.Obj
+    [
+      ("pt_entries", Json.Int c.Controller.pt_entries);
+      ("pt_perfect", Json.Bool c.Controller.pt_perfect);
+      ("rt_entries", Json.Int c.Controller.rt_entries);
+      ("rt_assoc", Json.Int c.Controller.rt_assoc);
+      ("rt_entries_per_block", Json.Int c.Controller.rt_entries_per_block);
+      ("rt_perfect", Json.Bool c.Controller.rt_perfect);
+      ("miss_penalty", Json.Int c.Controller.miss_penalty);
+      ("compose_penalty", Json.Int c.Controller.compose_penalty);
+      ("composing", Json.Bool c.Controller.composing);
+    ]
+
+let acf_to_json = function
+  | Baseline -> Json.Obj [ ("kind", Json.String "baseline") ]
+  | Mfi_dise variant ->
+    Json.Obj
+      [
+        ("kind", Json.String "mfi_dise");
+        ("variant", Json.String (mfi_variant_name variant));
+      ]
+  | Mfi_rewrite variant ->
+    Json.Obj
+      [
+        ("kind", Json.String "mfi_rewrite");
+        ("variant", Json.String (rw_variant_name variant));
+      ]
+  | Decompress { scheme; mfi; rewritten } ->
+    Json.Obj
+      [
+        ("kind", Json.String "decompress");
+        ("scheme", scheme_to_json scheme);
+        ("mfi", Json.String (compose_name mfi));
+        ("rewritten", Json.Bool rewritten);
+      ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("bench", Json.String t.bench);
+      ("dyn_target", Json.Int t.dyn_target);
+      ("machine", Config.to_json t.machine);
+      ( "controller",
+        match t.controller with
+        | None -> Json.Null
+        | Some c -> controller_to_json c );
+      ("acf", acf_to_json t.acf);
+    ]
+
+let canonical t = Json.to_string (to_json t)
+let key t = Cache.key (canonical t)
+
+(* --- decoding ----------------------------------------------------------- *)
+
+let parse_error msg = Error (Diag.Parse { source = "request"; line = 0; msg })
+let ( let* ) = Result.bind
+
+let lift what = function
+  | Ok v -> Ok v
+  | Error msg -> parse_error (what ^ ": " ^ msg)
+
+let int_field ctx j name =
+  match Json.member name j with
+  | Some (Json.Int v) -> Ok v
+  | Some _ -> parse_error (Printf.sprintf "%s.%s: expected integer" ctx name)
+  | None -> parse_error (Printf.sprintf "%s.%s: missing" ctx name)
+
+let bool_field ctx j name =
+  match Json.member name j with
+  | Some (Json.Bool v) -> Ok v
+  | _ -> parse_error (Printf.sprintf "%s.%s: expected boolean" ctx name)
+
+let string_field ctx j name =
+  match Json.member name j with
+  | Some (Json.String v) -> Ok v
+  | _ -> parse_error (Printf.sprintf "%s.%s: expected string" ctx name)
+
+let scheme_of_json j =
+  let* name = string_field "scheme" j "name" in
+  let* codeword_bytes = int_field "scheme" j "codeword_bytes" in
+  let* min_len = int_field "scheme" j "min_len" in
+  let* max_len = int_field "scheme" j "max_len" in
+  let* max_params = int_field "scheme" j "max_params" in
+  let* dict_entry_bytes = int_field "scheme" j "dict_entry_bytes" in
+  let* compress_branches = bool_field "scheme" j "compress_branches" in
+  let* max_entries = int_field "scheme" j "max_entries" in
+  Ok
+    {
+      Compress.name;
+      codeword_bytes;
+      min_len;
+      max_len;
+      max_params;
+      dict_entry_bytes;
+      compress_branches;
+      max_entries;
+    }
+
+let controller_of_json j =
+  let* pt_entries = int_field "controller" j "pt_entries" in
+  let* pt_perfect = bool_field "controller" j "pt_perfect" in
+  let* rt_entries = int_field "controller" j "rt_entries" in
+  let* rt_assoc = int_field "controller" j "rt_assoc" in
+  let* rt_entries_per_block = int_field "controller" j "rt_entries_per_block" in
+  let* rt_perfect = bool_field "controller" j "rt_perfect" in
+  let* miss_penalty = int_field "controller" j "miss_penalty" in
+  let* compose_penalty = int_field "controller" j "compose_penalty" in
+  let* composing = bool_field "controller" j "composing" in
+  Ok
+    {
+      Controller.pt_entries;
+      pt_perfect;
+      rt_entries;
+      rt_assoc;
+      rt_entries_per_block;
+      rt_perfect;
+      miss_penalty;
+      compose_penalty;
+      composing;
+    }
+
+let acf_of_json j =
+  let* kind = string_field "acf" j "kind" in
+  match kind with
+  | "baseline" -> Ok Baseline
+  | "mfi_dise" -> (
+    let* variant = string_field "acf" j "variant" in
+    match variant with
+    | "dise3" -> Ok (Mfi_dise Mfi.Dise3)
+    | "dise4" -> Ok (Mfi_dise Mfi.Dise4)
+    | v -> parse_error (Printf.sprintf "acf.variant: unknown %S" v))
+  | "mfi_rewrite" -> (
+    let* variant = string_field "acf" j "variant" in
+    match variant with
+    | "segment_matching" -> Ok (Mfi_rewrite Rewrite.Segment_matching)
+    | "sandboxing" -> Ok (Mfi_rewrite Rewrite.Sandboxing)
+    | v -> parse_error (Printf.sprintf "acf.variant: unknown %S" v))
+  | "decompress" ->
+    let* scheme =
+      match Json.member "scheme" j with
+      | Some s -> scheme_of_json s
+      | None -> parse_error "acf.scheme: missing"
+    in
+    let* mfi =
+      match Json.member "mfi" j with
+      | Some (Json.String "none") | None -> Ok `None
+      | Some (Json.String "composed") -> Ok `Composed
+      | Some (Json.String v) ->
+        parse_error (Printf.sprintf "acf.mfi: unknown %S" v)
+      | Some _ -> parse_error "acf.mfi: expected string"
+    in
+    let* rewritten =
+      match Json.member "rewritten" j with
+      | Some (Json.Bool b) -> Ok b
+      | None -> Ok false
+      | Some _ -> parse_error "acf.rewritten: expected boolean"
+    in
+    Ok (Decompress { scheme; mfi; rewritten })
+  | k -> parse_error (Printf.sprintf "acf.kind: unknown %S" k)
+
+let of_json j =
+  match j with
+  | Json.Obj _ ->
+    let* bench = string_field "request" j "bench" in
+    let* () =
+      match Profile.find bench with
+      | Some _ -> Ok ()
+      | None -> Error (Diag.Invalid (Printf.sprintf "unknown benchmark %S" bench))
+    in
+    let* dyn_target = int_field "request" j "dyn_target" in
+    let* () =
+      if dyn_target > 0 then Ok ()
+      else parse_error "request.dyn_target: must be positive"
+    in
+    let* machine =
+      match Json.member "machine" j with
+      | Some m -> lift "machine" (Config.of_json m)
+      | None -> Ok Config.default
+    in
+    let* controller =
+      match Json.member "controller" j with
+      | Some Json.Null | None -> Ok None
+      | Some c ->
+        let* c = controller_of_json c in
+        Ok (Some c)
+    in
+    let* acf =
+      match Json.member "acf" j with
+      | Some a -> acf_of_json a
+      | None -> Ok Baseline
+    in
+    Ok { bench; dyn_target; machine; controller; acf }
+  | _ -> parse_error "request: expected object"
+
+(* --- cross-cell memo tables --------------------------------------------- *)
+
+(* Shared by worker domains when cells run in parallel (see {!Pool});
+   a mutex guards every table access. A key is claimed as [Pending]
+   before its (expensive — the compressor, or a full baseline
+   simulation) computation runs outside the lock; concurrent
+   requesters for the same key block on the condition instead of
+   duplicating the work, and every caller shares the one
+   physically-identical value, exactly as the serial path would
+   produce. Nested memoized computations (compression of a rewritten
+   binary memoizes the rewrite) are safe: the dependency order is
+   acyclic, so a waiter never blocks its own claimant. *)
+let cache_mutex = Mutex.create ()
+let cache_cond = Condition.create ()
+
+type 'v slot = Pending | Ready of 'v
+
+let with_cache_lock f =
+  Mutex.lock cache_mutex;
+  match f () with
+  | v ->
+    Mutex.unlock cache_mutex;
+    v
+  | exception e ->
+    Mutex.unlock cache_mutex;
+    raise e
+
+let memoize table key compute =
+  Mutex.lock cache_mutex;
+  let rec claim () =
+    match Hashtbl.find_opt table key with
+    | Some (Ready v) ->
+      Mutex.unlock cache_mutex;
+      `Hit v
+    | Some Pending ->
+      Condition.wait cache_cond cache_mutex;
+      claim ()
+    | None ->
+      Hashtbl.replace table key Pending;
+      Mutex.unlock cache_mutex;
+      `Compute
+  in
+  match claim () with
+  | `Hit v -> v
+  | `Compute -> (
+    match compute () with
+    | v ->
+      with_cache_lock (fun () ->
+          Hashtbl.replace table key (Ready v);
+          Condition.broadcast cache_cond);
+      v
+    | exception e ->
+      (* Drop the claim so a later caller can retry. *)
+      with_cache_lock (fun () ->
+          Hashtbl.remove table key;
+          Condition.broadcast cache_cond);
+      raise e)
+
+(* Many figure cells normalize against the same ACF-free run (every
+   series of a panel divides by the same per-benchmark baseline), so
+   baseline statistics are memoized in memory by canonical request;
+   baseline runs are deterministic, so sharing the Stats.t record
+   cannot change any figure value. *)
+let baseline_memo : (string, Stats.t slot) Hashtbl.t = Hashtbl.create 64
+let rewritten_memo : (string * int, Dise_isa.Program.t slot) Hashtbl.t =
+  Hashtbl.create 16
+let compress_memo : (string, Compress.result slot) Hashtbl.t =
+  Hashtbl.create 64
+
+let clear_memory () =
+  with_cache_lock (fun () ->
+      Hashtbl.reset baseline_memo;
+      Hashtbl.reset rewritten_memo;
+      Hashtbl.reset compress_memo)
+
+(* --- disk cache wiring -------------------------------------------------- *)
+
+let disk : Cache.t option ref = ref None
+let set_disk_cache c = disk := c
+let disk_cache () = !disk
+let clear_disk () = match !disk with None -> 0 | Some c -> Cache.clear c
+
+(* Domain-local hit/miss counters: a worker snapshots them around one
+   cell to get a race-free per-cell delta (the harness emits the
+   deltas into run manifests). *)
+let counters_key : (int ref * int ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref 0, ref 0))
+
+let note_hit () = incr (fst (Domain.DLS.get counters_key))
+let note_miss () = incr (snd (Domain.DLS.get counters_key))
+
+let cache_counters () =
+  let h, m = Domain.DLS.get counters_key in
+  (!h, !m)
+
+(* Lookups route through the envelope checks of {!Cache.find}; a
+   payload that decodes wrong despite a valid envelope (a schema
+   change without a version bump) is dropped like any other corrupt
+   entry and recomputed. *)
+let disk_find decode ~key:k =
+  match !disk with
+  | None -> None
+  | Some c -> (
+    match Cache.find c ~key:k with
+    | None ->
+      note_miss ();
+      None
+    | Some payload -> (
+      match decode payload with
+      | Ok v ->
+        note_hit ();
+        Some v
+      | Error _ ->
+        note_miss ();
+        (try Sys.remove (Cache.path c ~key:k) with Sys_error _ -> ());
+        None))
+
+let disk_store ~key:k ~request payload =
+  match !disk with
+  | None -> ()
+  | Some c -> Cache.store c ~key:k ~request ~payload
+
+(* --- simulation --------------------------------------------------------- *)
+
+let max_steps = 100_000_000
+
+let run_machine t ?prodset ?trace ?profile m =
+  let controller =
+    match (t.controller, prodset) with
+    | Some cfg, Some ps -> Some (Controller.create cfg ps)
+    | Some cfg, None -> Some (Controller.create cfg Prodset.empty)
+    | None, _ -> None
+  in
+  Pipeline.run ~max_steps ?controller ?trace ?profile t.machine m
+
+let check_clean name m =
+  if Machine.exit_code m <> 0 then
+    failwith
+      (Printf.sprintf "experiment %s: workload trapped (exit %d)" name
+         (Machine.exit_code m))
+
+let with_engine image prodset =
+  let engine = Engine.create ~image prodset in
+  Machine.create ~expander:(Engine.expander engine) image
+
+let install_mfi m =
+  Mfi.install m ~data_seg:Codegen.data_segment_id
+    ~code_seg:Codegen.code_segment_id
+
+let derive_entry t =
+  match Profile.find t.bench with
+  | Some p -> Suite.get ~dyn_target:t.dyn_target p
+  | None -> invalid_arg ("unknown benchmark " ^ t.bench)
+
+let rewritten_program (entry : Suite.entry) =
+  let key =
+    ( entry.Suite.profile.Profile.name,
+      Dise_isa.Program.size entry.Suite.gen.Codegen.program )
+  in
+  memoize rewritten_memo key (fun () ->
+      Rewrite.rewrite ~data_seg:Codegen.data_segment_id
+        ~code_seg:Codegen.code_segment_id entry.Suite.gen.Codegen.program)
+
+let compress_result ~scheme ?(rewritten = false) (entry : Suite.entry) =
+  let key =
+    Printf.sprintf "%s/%s/%b/%d" entry.Suite.profile.Profile.name
+      scheme.Compress.name rewritten entry.Suite.gen.Codegen.total_insns
+  in
+  memoize compress_memo key (fun () ->
+      let prog =
+        if rewritten then rewritten_program entry
+        else entry.Suite.gen.Codegen.program
+      in
+      Compress.compress ~scheme prog)
+
+let simulate ?trace ?profile t (entry : Suite.entry) =
+  match t.acf with
+  | Baseline ->
+    let m = Machine.create entry.Suite.image in
+    let stats = run_machine t ?trace ?profile m in
+    check_clean "baseline" m;
+    stats
+  | Mfi_dise variant ->
+    let prodset = Mfi.productions_for ~variant entry.Suite.image in
+    let m = with_engine entry.Suite.image prodset in
+    install_mfi m;
+    let stats = run_machine t ~prodset ?trace ?profile m in
+    check_clean "mfi_dise" m;
+    stats
+  | Mfi_rewrite variant ->
+    let prog =
+      match variant with
+      | Rewrite.Segment_matching -> rewritten_program entry
+      | v ->
+        Rewrite.rewrite ~variant:v ~data_seg:Codegen.data_segment_id
+          ~code_seg:Codegen.code_segment_id entry.Suite.gen.Codegen.program
+    in
+    let image = Dise_isa.Program.layout ~base:Codegen.code_base prog in
+    let m = Machine.create image in
+    let stats = run_machine t ?trace ?profile m in
+    check_clean "mfi_rewrite" m;
+    stats
+  | Decompress { scheme; mfi; rewritten } ->
+    let result = compress_result ~scheme ~rewritten entry in
+    let prodset =
+      match mfi with
+      | `None -> result.Compress.prodset
+      | `Composed -> Dise_acf.Acf_compose.for_compressed result
+    in
+    let m = with_engine result.Compress.image prodset in
+    (match mfi with `Composed -> install_mfi m | `None -> ());
+    let stats = run_machine t ~prodset ?trace ?profile m in
+    check_clean "decompress" m;
+    stats
+
+(* --- the one run path --------------------------------------------------- *)
+
+let run_cached ?entry t =
+  let canon = canonical t in
+  let k = Cache.key canon in
+  let fresh = ref false in
+  let compute () =
+    match disk_find Stats.of_json ~key:k with
+    | Some stats -> stats
+    | None ->
+      fresh := true;
+      let entry = match entry with Some e -> e | None -> derive_entry t in
+      let stats = simulate t entry in
+      disk_store ~key:k ~request:(Json.parse canon)
+        (Stats.to_json stats);
+      stats
+  in
+  let stats =
+    match t.acf with
+    | Baseline -> memoize baseline_memo canon compute
+    | _ -> compute ()
+  in
+  (stats, not !fresh)
+
+let run ?entry ?trace ?profile t =
+  match (trace, profile) with
+  | None, None -> fst (run_cached ?entry t)
+  | _ ->
+    (* Sinks need the event stream replayed, which cached statistics
+       cannot provide: run outside every cache and leave them alone
+       (a traced run's stats are identical to an untraced one's). *)
+    let entry = match entry with Some e -> e | None -> derive_entry t in
+    simulate ?trace ?profile t entry
+
+let diag_of_exn = function
+  | Invalid_argument msg -> Diag.Invalid msg
+  | Failure msg -> Diag.Runtime msg
+  | Machine.Runtime_error msg -> Diag.Runtime msg
+  | Engine.Expansion_error msg -> Diag.Expansion msg
+  | Cache.Diag_error d -> d
+  | e -> Diag.Runtime (Printexc.to_string e)
+
+let run_ext ?entry t =
+  match run_cached ?entry t with
+  | result -> Ok result
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception e -> Error (diag_of_exn e)
+
+let relative stats ~baseline =
+  float_of_int stats.Stats.cycles /. float_of_int baseline.Stats.cycles
+
+(* --- compression summaries ---------------------------------------------- *)
+
+type compress_summary = {
+  orig_text_bytes : int;
+  text_bytes : int;
+  dict_bytes : int;
+  dict_entries : int;
+  codewords : int;
+}
+
+let summary_of_result (r : Compress.result) =
+  {
+    orig_text_bytes = r.Compress.orig_text_bytes;
+    text_bytes = r.Compress.text_bytes;
+    dict_bytes = r.Compress.dict_bytes;
+    dict_entries = List.length r.Compress.entries;
+    codewords = r.Compress.codewords;
+  }
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("orig_text_bytes", Json.Int s.orig_text_bytes);
+      ("text_bytes", Json.Int s.text_bytes);
+      ("dict_bytes", Json.Int s.dict_bytes);
+      ("dict_entries", Json.Int s.dict_entries);
+      ("codewords", Json.Int s.codewords);
+    ]
+
+let summary_of_json j =
+  let field name =
+    match Json.member name j with
+    | Some (Json.Int v) -> Ok v
+    | _ -> Error (Printf.sprintf "compress_summary.%s: expected integer" name)
+  in
+  let* orig_text_bytes = field "orig_text_bytes" in
+  let* text_bytes = field "text_bytes" in
+  let* dict_bytes = field "dict_bytes" in
+  let* dict_entries = field "dict_entries" in
+  let* codewords = field "codewords" in
+  Ok { orig_text_bytes; text_bytes; dict_bytes; dict_entries; codewords }
+
+(* The canonical form is a distinct top-level shape ({"compress": ...}),
+   so compression keys can never collide with run-request keys. The
+   workload is pinned by (bench, total_insns) — total_insns is a
+   deterministic function of (profile, dyn_target), and unlike
+   dyn_target it is directly available from the entry. *)
+let summary_canonical ~scheme ~rewritten (entry : Suite.entry) =
+  Json.to_string
+    (Json.Obj
+       [
+         ( "compress",
+           Json.Obj
+             [
+               ( "bench",
+                 Json.String entry.Suite.profile.Profile.name );
+               ( "total_insns",
+                 Json.Int entry.Suite.gen.Codegen.total_insns );
+               ("scheme", scheme_to_json scheme);
+               ("rewritten", Json.Bool rewritten);
+             ] );
+       ])
+
+let compress_summary ~scheme ?(rewritten = false) entry =
+  let canon = summary_canonical ~scheme ~rewritten entry in
+  let k = Cache.key canon in
+  match disk_find summary_of_json ~key:k with
+  | Some s -> s
+  | None ->
+    let s = summary_of_result (compress_result ~scheme ~rewritten entry) in
+    disk_store ~key:k ~request:(Json.parse canon) (summary_to_json s);
+    s
+
+let summary_compression_ratio s =
+  float_of_int s.text_bytes /. float_of_int s.orig_text_bytes
+
+let summary_total_ratio s =
+  float_of_int (s.text_bytes + s.dict_bytes) /. float_of_int s.orig_text_bytes

@@ -1,0 +1,162 @@
+module Json = Dise_telemetry.Json
+module Stats = Dise_uarch.Stats
+module Diag = Dise_isa.Diag
+
+type opts = { jobs : int; queue : int }
+
+let default_opts () =
+  let jobs = Pool.default_jobs () in
+  { jobs; queue = 4 * jobs }
+
+type summary = { served : int; errors : int; cache_hits : int }
+
+let stop_flag = Atomic.make false
+let request_stop () = Atomic.set stop_flag true
+let stopping () = Atomic.get stop_flag
+
+(* One input line, after the sequential parse step. Parse failures
+   keep their slot so responses stay in input order. *)
+type job =
+  | Run of Json.t * Request.t (* echoed id, decoded request *)
+  | Bad of Json.t * Diag.t
+
+let parse_line ~lineno line =
+  match Json.parse line with
+  | exception Json.Parse_error msg ->
+    Bad (Json.Null, Diag.Parse { source = "serve"; line = lineno; msg })
+  | doc -> (
+    let id = Option.value (Json.member "id" doc) ~default:Json.Null in
+    match Request.of_json doc with
+    | Ok req -> Run (id, req)
+    | Error d -> Bad (id, d))
+
+let error_response id d =
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          [
+            ("kind", Json.String (Diag.category d));
+            ("message", Json.String (Diag.to_string d));
+          ] );
+    ]
+
+let ok_response id req ~cache_hit ~wall_s stats =
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool true);
+      ("key", Json.String (Request.key req));
+      ("cache_hit", Json.Bool cache_hit);
+      ("wall_s", Json.Float wall_s);
+      ("stats", Stats.to_json stats);
+    ]
+
+let run_job = function
+  | Bad (id, d) -> (error_response id d, `Error)
+  | Run (id, req) -> (
+    let t0 = Unix.gettimeofday () in
+    match Request.run_ext req with
+    | Ok (stats, cache_hit) ->
+      let wall_s = Unix.gettimeofday () -. t0 in
+      (ok_response id req ~cache_hit ~wall_s stats,
+       if cache_hit then `Hit else `Fresh)
+    | Error d -> (error_response id d, `Error))
+
+(* Read up to [n] non-blank lines; [None] on immediate EOF. *)
+let read_chunk ic ~lineno n =
+  let jobs = ref [] in
+  let count = ref 0 in
+  (try
+     while !count < n && not (stopping ()) do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         jobs := parse_line ~lineno:!lineno line :: !jobs;
+         incr count
+       end
+     done
+   with End_of_file -> ());
+  match List.rev !jobs with [] -> None | l -> Some (Array.of_list l)
+
+let serve_channel ?opts ic oc =
+  let { jobs; queue } = match opts with Some o -> o | None -> default_opts () in
+  let queue = max 1 queue in
+  let lineno = ref 0 in
+  let served = ref 0 and errors = ref 0 and hits = ref 0 in
+  let rec loop () =
+    if not (stopping ()) then
+      match read_chunk ic ~lineno queue with
+      | None -> ()
+      | Some chunk ->
+        let responses = Pool.run ~jobs (Array.map (fun j () -> run_job j) chunk) in
+        Array.iter
+          (fun (resp, outcome) ->
+            (match outcome with
+            | `Error -> incr errors
+            | `Hit -> incr hits
+            | `Fresh -> ());
+            incr served;
+            output_string oc (Json.to_string resp);
+            output_char oc '\n')
+          responses;
+        flush oc;
+        if Array.length chunk = queue then loop ()
+  in
+  loop ();
+  { served = !served; errors = !errors; cache_hits = !hits }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "served %d job%s (%d error%s, %d cache hit%s)" s.served
+    (if s.served = 1 then "" else "s")
+    s.errors
+    (if s.errors = 1 then "" else "s")
+    s.cache_hits
+    (if s.cache_hits = 1 then "" else "s")
+
+let serve_socket ?opts ~path () =
+  (try if Sys.file_exists path then Unix.unlink path
+   with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind sock (Unix.ADDR_UNIX path);
+     Unix.listen sock 8
+   with Unix.Unix_error (e, _, _) ->
+     Unix.close sock;
+     raise
+       (Cache.Diag_error
+          (Diag.Cache
+             (Printf.sprintf "cannot listen on %s: %s" path
+                (Unix.error_message e)))));
+  let rec accept_loop () =
+    if not (stopping ()) then begin
+      (match Unix.accept sock with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | conn, _ ->
+        let ic = Unix.in_channel_of_descr conn in
+        let oc = Unix.out_channel_of_descr conn in
+        let finish () =
+          (* One descriptor under both channels: flush the writer,
+             close once, and mark the reader closed without touching
+             the (already closed) fd again. *)
+          (try flush oc with Sys_error _ -> ());
+          (try Unix.close conn with Unix.Unix_error _ -> ());
+          close_in_noerr ic
+        in
+        (match serve_channel ?opts ic oc with
+        | s ->
+          finish ();
+          Format.eprintf "disesim serve: connection done: %a@." pp_summary s
+        | exception e ->
+          finish ();
+          raise e));
+      accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    accept_loop

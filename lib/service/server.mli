@@ -1,0 +1,63 @@
+(** Batch simulation service: JSONL requests in, JSONL responses out.
+
+    Protocol (one JSON document per line; see doc/service.md):
+
+    - each input line is a {!Request} object, optionally carrying an
+      extra ["id"] member that is echoed back verbatim (any JSON
+      value) so clients can correlate out-of-order submissions —
+      though responses are in fact emitted {e in input order};
+    - each response line is either
+      [{"id", "ok": true, "key", "cache_hit", "wall_s", "stats"}] or
+      [{"id", "ok": false, "error": {"kind", "message"}}] where
+      [kind] is a {!Dise_isa.Diag.category} (doc/schema/
+      serve_response.schema.json validates both shapes);
+    - blank lines are skipped; a malformed line yields an error
+      response (it does not kill the stream).
+
+    {b Scheduling.} Jobs are read in chunks of at most [queue] lines
+    and each chunk fans out over the {!Pool} domains ([jobs] wide);
+    the next chunk is not read until the previous one's responses
+    have been written and flushed. The chunk is the backpressure
+    unit: a client piping a large job file never has more than
+    [queue] jobs buffered in the server.
+
+    {b Shutdown.} {!request_stop} (wired to SIGINT/SIGTERM by
+    [disesim serve]) drains gracefully: the in-flight chunk finishes,
+    its responses are flushed, and the loop exits instead of reading
+    further input. *)
+
+type opts = {
+  jobs : int;      (** worker domains, as {!Pool.run}'s [jobs] *)
+  queue : int;     (** max jobs in flight (chunk size), >= 1 *)
+}
+
+val default_opts : unit -> opts
+(** [{ jobs = Pool.default_jobs (); queue = 4 * jobs }]. *)
+
+type summary = {
+  served : int;      (** responses written (ok and error alike) *)
+  errors : int;      (** of which ["ok": false] *)
+  cache_hits : int;  (** of which served without simulating *)
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+(** ["served N jobs (E errors, H cache hits)"]. *)
+
+val serve_channel : ?opts:opts -> in_channel -> out_channel -> summary
+(** Serve one JSONL stream to completion (EOF or {!request_stop}).
+    Responses are flushed after every chunk. Used both by
+    [disesim serve] on stdin/stdout and per-connection in socket
+    mode. *)
+
+val serve_socket : ?opts:opts -> path:string -> unit -> unit
+(** Listen on a Unix-domain socket at [path] (unlinking any stale
+    one), serving connections sequentially — each connection is one
+    {!serve_channel} stream — until {!request_stop}. Per-connection
+    summaries are reported on stderr. Raises
+    [Cache.Diag_error (Cache _)] if the socket cannot be bound. *)
+
+val request_stop : unit -> unit
+(** Ask the serving loops to drain and return. Async-signal-safe
+    (sets an atomic flag); idempotent. *)
+
+val stopping : unit -> bool

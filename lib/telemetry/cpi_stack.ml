@@ -43,6 +43,25 @@ let to_list t =
 
 let to_json t = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (to_list t))
 
+let of_json j =
+  let field name =
+    match Json.member name j with
+    | Some (Json.Int v) -> Ok v
+    | Some _ -> Error (Printf.sprintf "cpi_stack.%s: expected integer" name)
+    | None -> Error (Printf.sprintf "cpi_stack.%s: missing" name)
+  in
+  let ( let* ) = Result.bind in
+  let* base = field "base" in
+  let* icache = field "icache" in
+  let* dcache = field "dcache" in
+  let* branch = field "branch" in
+  let* rob = field "rob" in
+  let* dise_decode = field "dise_decode" in
+  let* ptrt_miss = field "ptrt_miss" in
+  let* rep_redirect = field "rep_redirect" in
+  Ok
+    { base; icache; dcache; branch; rob; dise_decode; ptrt_miss; rep_redirect }
+
 let check t ~cycles =
   let sum = total t in
   if sum <> cycles then

@@ -54,5 +54,10 @@ val to_list : t -> (string * int) list
 val to_json : t -> Json.t
 (** Object with one integer member per bucket, in canonical order. *)
 
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json} (the result cache re-reads persisted
+    stacks). Every bucket must be present as an integer; extra
+    members are ignored. *)
+
 val pp : Format.formatter -> t -> unit
 (** Aligned table: cycles and share per bucket, plus the total. *)

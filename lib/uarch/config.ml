@@ -50,6 +50,104 @@ let with_icache_kb size t =
 let with_width w t = { t with width = w }
 let with_dise_decode d t = { t with dise_decode = d }
 
+module Json = Dise_telemetry.Json
+
+let cache_to_json = function
+  | None -> Json.Null
+  | Some c ->
+    Json.Obj
+      [
+        ("size_bytes", Json.Int c.size_bytes);
+        ("assoc", Json.Int c.assoc);
+        ("line_bytes", Json.Int c.line_bytes);
+      ]
+
+let decode_name = function
+  | Free -> "free"
+  | Stall_per_expansion -> "stall_per_expansion"
+  | Extra_stage -> "extra_stage"
+
+let to_json t =
+  Json.Obj
+    [
+      ("width", Json.Int t.width);
+      ("depth", Json.Int t.depth);
+      ("rob_size", Json.Int t.rob_size);
+      ("icache", cache_to_json t.icache);
+      ("dcache", cache_to_json t.dcache);
+      ("l2", cache_to_json t.l2);
+      ("l1_latency", Json.Int t.l1_latency);
+      ("l2_latency", Json.Int t.l2_latency);
+      ("mem_latency", Json.Int t.mem_latency);
+      ("mul_latency", Json.Int t.mul_latency);
+      ("dise_decode", Json.String (decode_name t.dise_decode));
+      ("perfect_branch_pred", Json.Bool t.perfect_branch_pred);
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let int_field name =
+    match Json.member name j with
+    | Some (Json.Int v) -> Ok v
+    | Some _ -> Error (Printf.sprintf "machine.%s: expected integer" name)
+    | None -> Error (Printf.sprintf "machine.%s: missing" name)
+  in
+  let cache_field name =
+    match Json.member name j with
+    | Some Json.Null -> Ok None
+    | Some (Json.Obj _ as c) ->
+      let cint k =
+        match Json.member k c with
+        | Some (Json.Int v) -> Ok v
+        | _ -> Error (Printf.sprintf "machine.%s.%s: expected integer" name k)
+      in
+      let* size_bytes = cint "size_bytes" in
+      let* assoc = cint "assoc" in
+      let* line_bytes = cint "line_bytes" in
+      Ok (Some { size_bytes; assoc; line_bytes })
+    | Some _ -> Error (Printf.sprintf "machine.%s: expected object or null" name)
+    | None -> Error (Printf.sprintf "machine.%s: missing" name)
+  in
+  let* width = int_field "width" in
+  let* depth = int_field "depth" in
+  let* rob_size = int_field "rob_size" in
+  let* icache = cache_field "icache" in
+  let* dcache = cache_field "dcache" in
+  let* l2 = cache_field "l2" in
+  let* l1_latency = int_field "l1_latency" in
+  let* l2_latency = int_field "l2_latency" in
+  let* mem_latency = int_field "mem_latency" in
+  let* mul_latency = int_field "mul_latency" in
+  let* dise_decode =
+    match Json.member "dise_decode" j with
+    | Some (Json.String "free") -> Ok Free
+    | Some (Json.String "stall_per_expansion") -> Ok Stall_per_expansion
+    | Some (Json.String "extra_stage") -> Ok Extra_stage
+    | Some (Json.String s) ->
+      Error (Printf.sprintf "machine.dise_decode: unknown %S" s)
+    | _ -> Error "machine.dise_decode: expected string"
+  in
+  let* perfect_branch_pred =
+    match Json.member "perfect_branch_pred" j with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error "machine.perfect_branch_pred: expected boolean"
+  in
+  Ok
+    {
+      width;
+      depth;
+      rob_size;
+      icache;
+      dcache;
+      l2;
+      l1_latency;
+      l2_latency;
+      mem_latency;
+      mul_latency;
+      dise_decode;
+      perfect_branch_pred;
+    }
+
 let pp_cache ppf = function
   | None -> Format.pp_print_string ppf "perfect"
   | Some c ->

@@ -45,4 +45,16 @@ val with_icache_kb : int option -> t -> t
 val with_width : int -> t -> t
 val with_dise_decode : dise_decode -> t -> t
 
+val to_json : t -> Dise_telemetry.Json.t
+(** Canonical JSON encoding: fixed member order, caches as nested
+    objects ([null] = perfect), [dise_decode] as
+    ["free"]/["stall_per_expansion"]/["extra_stage"]. Part of the
+    serializable run-request encoding (see doc/service.md) — member
+    order is load-bearing there, because cache keys hash the printed
+    form. *)
+
+val of_json : Dise_telemetry.Json.t -> (t, string) result
+(** Inverse of {!to_json}; member order is free on input, every field
+    required. *)
+
 val pp : Format.formatter -> t -> unit

@@ -76,6 +76,62 @@ let to_json t =
       ("cpi_stack", Cpi_stack.to_json t.cpi);
     ]
 
+let of_json j =
+  let field name =
+    match Json.member name j with
+    | Some (Json.Int v) -> Ok v
+    | Some _ -> Error (Printf.sprintf "stats.%s: expected integer" name)
+    | None -> Error (Printf.sprintf "stats.%s: missing" name)
+  in
+  let ( let* ) = Result.bind in
+  let* cycles = field "cycles" in
+  let* retired = field "retired" in
+  let* app_instrs = field "app_instrs" in
+  let* rep_instrs = field "rep_instrs" in
+  let* expansions = field "expansions" in
+  let* icache_accesses = field "icache_accesses" in
+  let* icache_misses = field "icache_misses" in
+  let* dcache_accesses = field "dcache_accesses" in
+  let* dcache_misses = field "dcache_misses" in
+  let* l2_accesses = field "l2_accesses" in
+  let* l2_misses = field "l2_misses" in
+  let* branches = field "branches" in
+  let* mispredicts = field "mispredicts" in
+  let* dise_branch_redirects = field "dise_branch_redirects" in
+  let* rep_branch_redirects = field "rep_branch_redirects" in
+  let* dise_stall_cycles = field "dise_stall_cycles" in
+  let* pt_misses = field "pt_misses" in
+  let* rt_misses = field "rt_misses" in
+  let* rt_accesses = field "rt_accesses" in
+  let* cpi =
+    match Json.member "cpi_stack" j with
+    | Some c -> Cpi_stack.of_json c
+    | None -> Error "stats.cpi_stack: missing"
+  in
+  Ok
+    {
+      cycles;
+      retired;
+      app_instrs;
+      rep_instrs;
+      expansions;
+      icache_accesses;
+      icache_misses;
+      dcache_accesses;
+      dcache_misses;
+      l2_accesses;
+      l2_misses;
+      branches;
+      mispredicts;
+      dise_branch_redirects;
+      rep_branch_redirects;
+      dise_stall_cycles;
+      pt_misses;
+      rt_misses;
+      rt_accesses;
+      cpi;
+    }
+
 let pp ppf t =
   Format.fprintf ppf
     "cycles=%d retired=%d (app=%d rep=%d) ipc=%.2f exp=%d i$miss=%d/%d \

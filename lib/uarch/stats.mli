@@ -33,4 +33,11 @@ val to_json : t -> Dise_telemetry.Json.t
 (** All counters plus derived [ipc] and the nested [cpi_stack]
     object (see doc/schema/stats.schema.json). *)
 
+val of_json : Dise_telemetry.Json.t -> (t, string) result
+(** Inverse of {!to_json}: every counter and the [cpi_stack] object
+    must be present ([ipc] is derived and ignored). The round-trip is
+    exact — all persisted fields are integers — which is what lets
+    the on-disk result cache ({!Dise_service.Cache}) serve stats
+    byte-identical to a fresh simulation. *)
+
 val pp : Format.formatter -> t -> unit

@@ -44,9 +44,13 @@ val spec2000 : t list
     alphabetical order. *)
 
 val find : string -> t option
+(** Resolve a profile by name: the SPEC2000 suite plus {!tiny} (so
+    serialized run requests can name the test workload). *)
+
 val names : string list
 
 val tiny : t
-(** A miniature profile for tests: sub-second generation and runs. *)
+(** A miniature profile for tests: sub-second generation and runs.
+    Resolvable through {!find} but not listed in {!names}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -13,4 +13,5 @@ let () =
       ("os", Test_os.suite);
       ("props", Test_props.suite);
       ("telemetry", Test_telemetry.suite);
+      ("service", Test_service.suite);
     ]
