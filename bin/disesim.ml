@@ -6,6 +6,7 @@
      compress                 compress one workload under one scheme
      figures                  regenerate evaluation panels and ablations
      serve                    batch JSONL simulation service (stdin or socket)
+     fuzz                     differential fuzzing + fault injection
      cache                    inspect or clear the on-disk result cache
      exec                     assemble and run a user program (+productions)
      safety                   inspect a production-set file
@@ -36,6 +37,7 @@ let die d =
 let guarded f =
   try f () with
   | S.Cache.Diag_error d -> die d
+  | Dise_isa.Encode.Error msg -> die (Diag.Parse { source = "encode"; line = 0; msg })
   | Machine.Runtime_error msg | Failure msg -> die (Diag.Runtime msg)
   | Dise_core.Engine.Expansion_error msg -> die (Diag.Expansion msg)
   | Invalid_argument msg -> die (Diag.Invalid msg)
@@ -704,11 +706,100 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc)
     Term.(const run $ bench_arg $ dyn_arg $ count_arg)
 
+(* --- fuzz: differential fuzzing + fault injection ----------------------- *)
+
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing and fault injection. Random programs and \
+     production sets are executed in lockstep by a naive reference \
+     expander, both engine memoization strategies, and the full \
+     pipeline; any divergence in architectural state, kept-stream \
+     events, or stats invariants is shrunk to a minimal case and \
+     written as a replayable artifact. See doc/fuzzing.md."
+  in
+  let iterations_arg =
+    Arg.(value & opt int 500 & info [ "iterations" ] ~docv:"N"
+           ~doc:"Random cases to run (default 500).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Deterministic case-stream seed (default 1).")
+  in
+  let out_arg =
+    Arg.(value & opt string "fuzz-out" & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory for the repro artifact of a found failure \
+                 (default fuzz-out).")
+  in
+  let self_test_arg =
+    Arg.(value & flag & info [ "self-test" ]
+           ~doc:"Inject a known-bad engine mutation and assert the fuzzer \
+                 detects it within $(b,50) iterations; exits non-zero if \
+                 the mutation escapes.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"PATH"
+           ~doc:"Re-execute a repro artifact (directory or case.json) and \
+                 report whether the recorded verdict reproduces.")
+  in
+  let faults_arg =
+    Arg.(value & flag & info [ "faults" ]
+           ~doc:"Run the fault-injection matrix instead of differential \
+                 fuzzing: corrupt cache entries (including a multi-domain \
+                 hammer), malformed/oversized/partial JSONL serve lines, \
+                 and a mid-batch SIGINT drain.")
+  in
+  let log msg = Format.eprintf "disesim fuzz: %s@." msg in
+  let module F = Dise_fuzz in
+  let run iterations seed out self_test replay faults =
+    guarded @@ fun () ->
+    match replay with
+    | Some path -> (
+      match F.Driver.replay ~log path with
+      | Error d -> die d
+      | Ok true -> Format.printf "replay: verdict reproduced@."
+      | Ok false ->
+        Format.printf "replay: verdict did NOT reproduce@.";
+        exit 1)
+    | None ->
+      if faults then begin
+        let report = F.Faults.run_all ~seed in
+        Format.printf "%a@." F.Faults.pp_report report;
+        if report.F.Faults.failures <> [] then exit 1
+      end
+      else if self_test then begin
+        match F.Driver.self_test ~out ~log ~seed () with
+        | Ok f ->
+          Format.printf
+            "self-test: mutation detected at iteration %d ([%s] %s)@."
+            f.F.Driver.iteration f.F.Driver.failure.F.Oracle.check
+            f.F.Driver.failure.F.Oracle.detail
+        | Error msg ->
+          Format.eprintf "%s@." msg;
+          exit 1
+      end
+      else begin
+        match F.Driver.fuzz ~out ~log ~iterations ~seed () with
+        | F.Driver.Clean { iterations } ->
+          Format.printf "fuzz: %d iterations, no divergence@." iterations
+        | F.Driver.Found f ->
+          Format.printf "fuzz: FAILURE at iteration %d: [%s] %s@."
+            f.F.Driver.iteration f.F.Driver.failure.F.Oracle.check
+            f.F.Driver.failure.F.Oracle.detail;
+          (match f.F.Driver.artifact with
+          | Some dir -> Format.printf "fuzz: repro artifact in %s@." dir
+          | None -> ());
+          exit 1
+      end
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ iterations_arg $ seed_arg $ out_arg $ self_test_arg
+          $ replay_arg $ faults_arg)
+
 let () =
   let doc = "DISE: programmable macro engine reproduction (ISCA 2003)" in
   let info = Cmd.info "disesim" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; compress_cmd; figures_cmd; serve_cmd; cache_cmd;
-            exec_cmd; safety_cmd; disasm_cmd; validate_cmd ]))
+          [ list_cmd; run_cmd; compress_cmd; figures_cmd; serve_cmd; fuzz_cmd;
+            cache_cmd; exec_cmd; safety_cmd; disasm_cmd; validate_cmd ]))

@@ -7,12 +7,21 @@ exception Expansion_error of string
 let fail fmt = Printf.ksprintf (fun s -> raise (Expansion_error s)) fmt
 
 (* Expansion memo for a dense image: one slot per static instruction,
-   indexed by (pc - base) / 4, so the per-fetch lookup is two array
+   indexed by (pc - base) / 4, so the per-fetch lookup is a few array
    reads instead of a hashtable probe. [known] marks computed slots;
-   [slots] stores the shared option, so cache hits allocate nothing. *)
+   [slots] stores the shared option, so cache hits allocate nothing.
+   [triggers] remembers the instruction each slot was computed for:
+   PC alone is not a sound key — an image can be re-laid-out (or a
+   direct caller can probe with a different instruction) so that the
+   same address carries a different trigger, and a PC-only memo would
+   return the stale expansion. A hit therefore requires the trigger to
+   match (physical equality first: the machine feeds back the very
+   predecoded instruction, so the structural comparison almost never
+   runs). *)
 type dense = {
   dense_base : int;
   known : Bytes.t;
+  triggers : I.t array;
   slots : Machine.expansion option array;
 }
 
@@ -40,6 +49,7 @@ let create ?image prodset =
         {
           dense_base = Image.base img;
           known = Bytes.make n '\000';
+          triggers = Array.make n I.Halt;
           slots = Array.make n None;
         }
     | Some _ | None -> None
@@ -85,10 +95,15 @@ let expand t ~pc insn =
       let off = pc - d.dense_base in
       let idx = off lsr 2 in
       if off >= 0 && off land 3 = 0 && idx < Array.length d.slots then begin
-        if Bytes.unsafe_get d.known idx = '\001' then Array.unsafe_get d.slots idx
+        if
+          Bytes.unsafe_get d.known idx = '\001'
+          && (let t0 = Array.unsafe_get d.triggers idx in
+              t0 == insn || I.equal t0 insn)
+        then Array.unsafe_get d.slots idx
         else begin
           let r = compute t ~pc insn in
           d.slots.(idx) <- r;
+          d.triggers.(idx) <- insn;
           Bytes.set d.known idx '\001';
           r
         end

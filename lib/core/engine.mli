@@ -11,9 +11,13 @@
     see {!Dise_isa.Program.Image.is_dense}), the memo is a flat array
     indexed by [(pc - base) / 4]: the per-fetch lookup is O(1) array
     reads with no allocation. Otherwise a hashtable keyed by the
-    [(pc, instruction)] pair is used — PC alone would return a stale
-    expansion if a sparse codeword image were re-laid-out with a
-    different instruction at the same address.
+    [(pc, instruction)] pair is used. Both memos key on the
+    [(pc, instruction)] pair — the dense array stores the trigger it
+    memoized and recomputes on mismatch — because PC alone would
+    return a stale expansion if an image were re-laid-out with a
+    different instruction at the same address. The two memo variants
+    are observationally identical; the differential fuzzer
+    ({!Dise_fuzz}) cross-checks them on every run.
 
     The engine performs {e functional} expansion only; PT/RT capacity
     effects are modelled separately by {!Controller} from the

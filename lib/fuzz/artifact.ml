@@ -1,0 +1,118 @@
+module Program = Dise_isa.Program
+module I = Dise_isa.Insn
+module Diag = Dise_isa.Diag
+module Json = Dise_telemetry.Json
+module Lang = Dise_core.Lang
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let program_to_string prog =
+  let b = Buffer.create 4096 in
+  List.iter
+    (function
+      | Program.Label l ->
+        Buffer.add_string b l;
+        Buffer.add_string b ":\n"
+      | Program.Ins i ->
+        Buffer.add_string b "  ";
+        Buffer.add_string b (I.to_string i);
+        Buffer.add_char b '\n')
+    prog;
+  Buffer.contents b
+
+let failure_to_json (f : Oracle.failure) =
+  Json.Obj
+    [
+      ("check", Json.String f.Oracle.check);
+      ("detail", Json.String f.Oracle.detail);
+    ]
+
+let write ~dir ~case ?mutation ~failure () =
+  mkdir_p dir;
+  let doc =
+    Json.Obj
+      [
+        ("fuzz_case", Case.to_json case);
+        ( "mutation",
+          match mutation with
+          | None -> Json.Null
+          | Some m -> Oracle.mutation_to_json m );
+        ("failure", failure_to_json failure);
+      ]
+  in
+  write_file (Filename.concat dir "case.json")
+    (Json.to_string ~indent:true doc ^ "\n");
+  (* Derivation is informational here: if it raises (e.g. the failure
+     WAS a derivation crash), the artifact still replays from
+     case.json alone. *)
+  (try
+     let b = Case.build case in
+     write_file (Filename.concat dir "program.s")
+       (program_to_string b.Case.program);
+     write_file
+       (Filename.concat dir "productions.dise")
+       (Lang.to_string b.Case.prodset)
+   with _ -> ());
+  write_file (Filename.concat dir "report.txt")
+    (Printf.sprintf "fuzz failure: [%s] %s\ncase: %s\nmutation: %s\n"
+       failure.Oracle.check failure.Oracle.detail (Case.summary case)
+       (match mutation with
+       | None -> "none"
+       | Some (Oracle.Nop_trigger_every k) ->
+         Printf.sprintf "nop_trigger_every %d" k));
+  dir
+
+let parse_err msg = Error (Diag.Parse { source = "fuzz-artifact"; line = 0; msg })
+
+let load path =
+  let file =
+    if Sys.file_exists path && Sys.is_directory path then
+      Filename.concat path "case.json"
+    else path
+  in
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> parse_err msg
+  | contents -> (
+    match Json.parse contents with
+    | exception Json.Parse_error msg -> parse_err msg
+    | doc -> (
+      match Json.member "fuzz_case" doc with
+      | None -> parse_err "missing member \"fuzz_case\""
+      | Some case_doc -> (
+        match Case.of_json case_doc with
+        | Error d -> Error d
+        | Ok case -> (
+          let failure =
+            match Json.member "failure" doc with
+            | Some f -> (
+              match (Json.member "check" f, Json.member "detail" f) with
+              | Some (Json.String check), Some (Json.String detail) ->
+                Some { Oracle.check; detail }
+              | _ -> None)
+            | None -> None
+          in
+          match Json.member "mutation" doc with
+          | None | Some Json.Null -> Ok (case, None, failure)
+          | Some m -> (
+            match Oracle.mutation_of_json m with
+            | Ok mut -> Ok (case, Some mut, failure)
+            | Error d -> Error d)))))

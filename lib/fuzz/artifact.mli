@@ -1,0 +1,34 @@
+(** Replayable repro artifacts.
+
+    A repro directory contains:
+
+    - [case.json] — the authoritative replay input: the shrunk
+      {!Case.t}, the injected {!Oracle.mutation} (if the failure came
+      from self-test mode), and the recorded failure. Replay re-derives
+      the whole run from this file alone, so reproduction is exact by
+      construction;
+    - [program.s] — the program the failing sides executed, in
+      assembler syntax (informational; regenerate through the case for
+      byte-exact layout);
+    - [productions.dise] — the production set, in the textual
+      production language;
+    - [report.txt] — the failure and the case summary, human-first.
+
+    See doc/fuzzing.md for the format and the replay workflow. *)
+
+val write :
+  dir:string ->
+  case:Case.t ->
+  ?mutation:Oracle.mutation ->
+  failure:Oracle.failure ->
+  unit ->
+  string
+(** Write (creating [dir], overwriting previous contents) and return
+    the artifact directory path. *)
+
+val load :
+  string ->
+  (Case.t * Oracle.mutation option * Oracle.failure option, Dise_isa.Diag.t)
+  result
+(** Load an artifact from a directory (or a direct path to a
+    [case.json]). Errors are [Diag.Parse] (exit-code class "parse"). *)

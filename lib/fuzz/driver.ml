@@ -1,0 +1,82 @@
+module Rng = Dise_workload.Rng
+
+type found = {
+  iteration : int;
+  case : Case.t;
+  shrunk : Case.t;
+  failure : Oracle.failure;
+  artifact : string option;
+}
+
+type outcome = Clean of { iterations : int } | Found of found
+
+let fuzz ?mutation ?out ?(log = fun (_ : string) -> ()) ~iterations ~seed () =
+  let rng = Rng.create seed in
+  let rec go i =
+    if i >= iterations then Clean { iterations }
+    else begin
+      let case = Case.generate rng in
+      if i mod 50 = 0 then
+        log (Printf.sprintf "iteration %d/%d: %s" i iterations (Case.summary case));
+      match Oracle.check ?mutation case with
+      | Oracle.Pass _ -> go (i + 1)
+      | Oracle.Fail failure ->
+        log
+          (Printf.sprintf "iteration %d: FAIL [%s] %s" i failure.Oracle.check
+             failure.Oracle.detail);
+        log "shrinking...";
+        let shrunk = Shrink.minimize ?mutation case in
+        (* The shrunk case fails by construction; re-run it to record
+           its own failure, which may differ in detail from the
+           original's. *)
+        let failure =
+          match Oracle.check ?mutation shrunk with
+          | Oracle.Fail f -> f
+          | Oracle.Pass _ -> failure
+        in
+        log (Printf.sprintf "shrunk to: %s" (Case.summary shrunk));
+        let artifact =
+          match out with
+          | None -> None
+          | Some dir ->
+            let dir = Artifact.write ~dir ~case:shrunk ?mutation ~failure () in
+            log (Printf.sprintf "repro artifact: %s" dir);
+            Some dir
+        in
+        Found { iteration = i; case; shrunk; failure; artifact }
+    end
+  in
+  go 0
+
+let self_test_iterations = 50
+
+let self_test ?out ?(log = fun (_ : string) -> ()) ~seed () =
+  let mutation = Oracle.Nop_trigger_every 3 in
+  log "self-test: injecting mutation nop_trigger_every 3";
+  match fuzz ~mutation ?out ~log ~iterations:self_test_iterations ~seed () with
+  | Found f -> Ok f
+  | Clean { iterations } ->
+    Error
+      (Printf.sprintf
+         "self-test FAILED: injected mutation escaped %d iterations \
+          undetected — the differential oracle has lost its teeth"
+         iterations)
+
+let replay ?(log = fun (_ : string) -> ()) path =
+  match Artifact.load path with
+  | Error d -> Error d
+  | Ok (case, mutation, recorded) ->
+    log (Printf.sprintf "replaying: %s" (Case.summary case));
+    (match mutation with
+    | None -> ()
+    | Some (Oracle.Nop_trigger_every k) ->
+      log (Printf.sprintf "re-applying mutation: nop_trigger_every %d" k));
+    let verdict = Oracle.check ?mutation case in
+    log (Format.asprintf "verdict: %a" Oracle.pp_verdict verdict);
+    let reproduced =
+      match (recorded, verdict) with
+      | Some _, Oracle.Fail _ -> true
+      | None, Oracle.Pass _ -> true
+      | _ -> false
+    in
+    Ok reproduced

@@ -1,0 +1,50 @@
+(** The fuzzing loop: generate → check → shrink → persist.
+
+    Deterministic in [seed]: the same seed replays the same case
+    sequence, which is what lets CI pin a fixed-seed smoke run and
+    lets a failure report name the iteration that found it. *)
+
+type found = {
+  iteration : int;
+  case : Case.t;          (** as generated *)
+  shrunk : Case.t;        (** after {!Shrink.minimize} *)
+  failure : Oracle.failure;  (** the shrunk case's failure *)
+  artifact : string option;  (** repro directory, when [out] was given *)
+}
+
+type outcome = Clean of { iterations : int } | Found of found
+
+val fuzz :
+  ?mutation:Oracle.mutation ->
+  ?out:string ->
+  ?log:(string -> unit) ->
+  iterations:int ->
+  seed:int ->
+  unit ->
+  outcome
+(** Run up to [iterations] random cases; stop at the first failure,
+    shrink it, and (when [out] is given) write a repro artifact that
+    records the case, the injected mutation if any, and the failure.
+    [log] receives progress lines (default: silent). *)
+
+val self_test_iterations : int
+(** Iteration budget the self-test gives the fuzzer to catch the
+    injected mutation (50). *)
+
+val self_test :
+  ?out:string -> ?log:(string -> unit) -> seed:int -> unit ->
+  (found, string) result
+(** Inject a known-bad engine mutation ({!Oracle.Nop_trigger_every})
+    and run the fuzzer against it: [Ok] with the detection report if
+    the divergence is caught within {!self_test_iterations}
+    iterations, [Error] if the fuzzer let it escape — which means the
+    fuzzer itself has lost its teeth. *)
+
+val replay :
+  ?log:(string -> unit) -> string ->
+  (bool, Dise_isa.Diag.t) result
+(** Re-execute an artifact (directory or [case.json] path): re-derive
+    the case, re-apply the recorded mutation, re-run the oracle.
+    [Ok true] when the recorded verdict is reproduced (a recorded
+    failure fails again, a recorded pass passes), [Ok false]
+    otherwise. *)

@@ -1,0 +1,364 @@
+module Json = Dise_telemetry.Json
+module Cache = Dise_service.Cache
+module Server = Dise_service.Server
+module Request = Dise_service.Request
+module Rng = Dise_workload.Rng
+
+type report = { passed : int; failures : (string * string) list }
+
+let run_checks checks =
+  let passed = ref 0 and failures = ref [] in
+  List.iter
+    (fun (name, f) ->
+      match f () with
+      | Ok () -> incr passed
+      | Error detail -> failures := (name, detail) :: !failures
+      | exception ex ->
+        failures := (name, "raised " ^ Printexc.to_string ex) :: !failures)
+    checks;
+  { passed = !passed; failures = List.rev !failures }
+
+let merge a b =
+  { passed = a.passed + b.passed; failures = a.failures @ b.failures }
+
+let pp_report ppf r =
+  if r.failures = [] then
+    Format.fprintf ppf "%d fault-injection checks passed" r.passed
+  else begin
+    Format.fprintf ppf "%d passed, %d FAILED:" r.passed
+      (List.length r.failures);
+    List.iter
+      (fun (name, detail) -> Format.fprintf ppf "@\n  [%s] %s" name detail)
+      r.failures
+  end
+
+(* --- helpers ------------------------------------------------------------ *)
+
+let temp_dir stem =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s.%d.%d" stem (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let write_raw path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_raw path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- cache faults ------------------------------------------------------- *)
+
+let payload = Json.Obj [ ("v", Json.Int 42) ]
+let request = Json.Obj [ ("probe", Json.Bool true) ]
+
+let payload_ok = function
+  | None -> true
+  | Some p -> p = payload
+
+(* Corruptions exercised against every entry. Each returns the bytes
+   to plant in place of a valid entry. *)
+let corruptions valid =
+  [
+    ("truncated", String.sub valid 0 (String.length valid / 2));
+    ("empty", "");
+    ("garbage", "{\"salt\": not json at all");
+    ( "first-byte-flip",
+      "X" ^ String.sub valid 1 (String.length valid - 1) );
+    ( "stale-salt",
+      Printf.sprintf
+        "{\"salt\":\"bogus\",\"key\":\"k\",\"request\":{},\"payload\":{}}\n" );
+  ]
+
+let cache_recovery () =
+  let dir = temp_dir "dise-fuzz-cache" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let c = Cache.create ~dir in
+      let k = Cache.key "fuzz-probe" in
+      Cache.store c ~key:k ~request ~payload;
+      if Cache.find c ~key:k <> Some payload then
+        Error "fresh entry does not read back"
+      else begin
+        let valid = read_raw (Cache.path c ~key:k) in
+        let rec go = function
+          | [] -> Ok ()
+          | (name, bytes) :: rest -> (
+            write_raw (Cache.path c ~key:k) bytes;
+            match Cache.find c ~key:k with
+            | exception ex ->
+              Error
+                (Printf.sprintf "%s corruption: find raised %s" name
+                   (Printexc.to_string ex))
+            | Some p when p <> payload && name <> "first-byte-flip" ->
+              Error (Printf.sprintf "%s corruption: wrong payload" name)
+            | _ ->
+              (* recovery must be idempotent and must not block a
+                 subsequent store+find round trip *)
+              if Cache.find c ~key:k <> None then
+                Error
+                  (Printf.sprintf "%s corruption: entry not retired" name)
+              else begin
+                Cache.store c ~key:k ~request ~payload;
+                if Cache.find c ~key:k <> Some payload then
+                  Error
+                    (Printf.sprintf "%s corruption: cannot re-store" name)
+                else go rest
+              end)
+        in
+        go (corruptions valid)
+      end)
+
+let cache_invalidate_idempotent () =
+  let dir = temp_dir "dise-fuzz-cache" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let c = Cache.create ~dir in
+      let k = Cache.key "fuzz-invalidate" in
+      Cache.store c ~key:k ~request ~payload;
+      Cache.invalidate c ~key:k;
+      Cache.invalidate c ~key:k;
+      (* twice: second is a no-op *)
+      if Cache.find c ~key:k <> None then Error "entry survived invalidate"
+      else begin
+        Cache.store c ~key:k ~request ~payload;
+        if Cache.find c ~key:k <> Some payload then
+          Error "cannot store after invalidate"
+        else Ok ()
+      end)
+
+(* Several domains hammer one key with find/store/invalidate while
+   corruption is injected underneath them: the documented contract is
+   that no call ever raises and every find returns either a miss or
+   the valid payload. *)
+let cache_hammer ~seed () =
+  let dir = temp_dir "dise-fuzz-cache" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let c = Cache.create ~dir in
+      let k = Cache.key "fuzz-hammer" in
+      Cache.store c ~key:k ~request ~payload;
+      let worker d =
+        Domain.spawn (fun () ->
+            let rng = Rng.create (seed + (d * 1_000_003)) in
+            let bad = ref None in
+            for i = 1 to 250 do
+              match
+                match Rng.int rng 4 with
+                | 0 -> Cache.store c ~key:k ~request ~payload
+                | 1 -> write_raw (Cache.path c ~key:k) "{garbage"
+                | 2 -> Cache.invalidate c ~key:k
+                | _ ->
+                  if not (payload_ok (Cache.find c ~key:k)) then
+                    failwith "wrong payload observed"
+              with
+              | () -> ()
+              | exception ex ->
+                if !bad = None then
+                  bad :=
+                    Some
+                      (Printf.sprintf "domain %d iteration %d: %s" d i
+                         (Printexc.to_string ex))
+            done;
+            !bad)
+      in
+      let domains = List.init 4 worker in
+      let errors = List.filter_map Domain.join domains in
+      match errors with
+      | [] ->
+        Cache.store c ~key:k ~request ~payload;
+        if Cache.find c ~key:k <> Some payload then
+          Error "cache unusable after hammer"
+        else Ok ()
+      | e :: _ -> Error e)
+
+let cache_faults ~seed =
+  run_checks
+    [
+      ("cache corrupt-entry recovery", cache_recovery);
+      ("cache invalidate idempotent", cache_invalidate_idempotent);
+      ("cache multi-domain hammer", cache_hammer ~seed);
+    ]
+
+(* --- serve faults ------------------------------------------------------- *)
+
+let job ?(dyn = 2_000) id =
+  match Request.to_json (Request.v ~dyn_target:dyn "tiny") with
+  | Json.Obj members -> Json.to_string (Json.Obj (("id", Json.Int id) :: members))
+  | _ -> assert false
+
+(* Run one JSONL stream through Server.serve_channel via temp files,
+   exactly as the CLI does over pipes. [input] is raw bytes (some
+   checks need missing newlines). *)
+let serve_raw ?opts input =
+  let inp = Filename.temp_file "dise-fuzz-serve-in" ".jsonl" in
+  let out = Filename.temp_file "dise-fuzz-serve-out" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove inp with Sys_error _ -> ());
+      try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      write_raw inp input;
+      let ic = open_in_bin inp in
+      let oc = open_out_bin out in
+      let summary =
+        Fun.protect
+          ~finally:(fun () ->
+            close_in_noerr ic;
+            close_out_noerr oc)
+          (fun () -> Server.serve_channel ?opts ic oc)
+      in
+      let contents = read_raw out in
+      let lines =
+        String.split_on_char '\n' contents
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      (summary, lines))
+
+let response_shape line =
+  match Json.parse line with
+  | exception Json.Parse_error msg -> Error ("response not JSON: " ^ msg)
+  | doc -> (
+    let id = Json.member "id" doc in
+    match Json.member "ok" doc with
+    | Some (Json.Bool true) -> Ok (id, None)
+    | Some (Json.Bool false) -> (
+      match Option.bind (Json.member "error" doc) (Json.member "kind") with
+      | Some (Json.String kind) -> Ok (id, Some kind)
+      | _ -> Error "error response without kind")
+    | _ -> Error "response without ok")
+
+let expect_stream input expected =
+  let _, lines = serve_raw input in
+  if List.length lines <> List.length expected then
+    Error
+      (Printf.sprintf "%d responses for %d jobs" (List.length lines)
+         (List.length expected))
+  else
+    let rec go i = function
+      | [], [] -> Ok ()
+      | line :: ls, (want_id, want_kind) :: ws -> (
+        match response_shape line with
+        | Error e -> Error (Printf.sprintf "response %d: %s" i e)
+        | Ok (id, kind) ->
+          if want_id <> None && id <> want_id then
+            Error (Printf.sprintf "response %d: out of order (wrong id)" i)
+          else if kind <> want_kind then
+            Error
+              (Printf.sprintf "response %d: kind %s, wanted %s" i
+                 (Option.value kind ~default:"ok")
+                 (Option.value want_kind ~default:"ok"))
+          else go (i + 1) (ls, ws)
+        | exception ex -> Error (Printexc.to_string ex))
+      | _ -> assert false
+    in
+    go 0 (lines, expected)
+
+let serve_malformed () =
+  expect_stream
+    (String.concat "\n" [ job 1; "{this is not json"; job 3 ] ^ "\n")
+    [
+      (Some (Json.Int 1), None);
+      (None, Some "parse");
+      (Some (Json.Int 3), None);
+    ]
+
+let serve_oversized () =
+  let big =
+    "{\"id\":2,\"bench\":\"tiny\",\"pad\":\""
+    ^ String.make (Server.max_line_bytes + 64) 'x'
+    ^ "\"}"
+  in
+  expect_stream
+    (String.concat "\n" [ job 1; big; job 3 ] ^ "\n")
+    [
+      (Some (Json.Int 1), None);
+      (None, Some "parse");
+      (Some (Json.Int 3), None);
+    ]
+
+let serve_partial_valid () =
+  (* final line lacks its newline but is complete JSON: a normal job *)
+  expect_stream
+    (job 1 ^ "\n" ^ job 2)
+    [ (Some (Json.Int 1), None); (Some (Json.Int 2), None) ]
+
+let serve_partial_truncated () =
+  (* stream ends mid-job: that line still gets its (error) response *)
+  expect_stream
+    (job 1 ^ "\n" ^ "{\"id\":2,\"bench\":\"ti")
+    [ (Some (Json.Int 1), None); (None, Some "parse") ]
+
+let serve_sigint_drain () =
+  let jobs = List.init 40 (fun i -> job ~dyn:(30_000 + i) (i + 1)) in
+  let input = String.concat "\n" jobs ^ "\n" in
+  let prev =
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Server.request_stop ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.reset_stop ();
+      Sys.set_signal Sys.sigint prev)
+    (fun () ->
+      let pid = Unix.getpid () in
+      let killer =
+        Domain.spawn (fun () ->
+            Unix.sleepf 0.02;
+            Unix.kill pid Sys.sigint)
+      in
+      let summary, lines =
+        serve_raw ~opts:{ Server.jobs = 2; queue = 4 } input
+      in
+      Domain.join killer;
+      (* The drain contract: no exception, every emitted response line
+         is complete JSON, and responses were emitted in order. The
+         signal may land after the last chunk on a fast machine, so
+         served <= jobs is the strongest count claim available. *)
+      if summary.Server.served <> List.length lines then
+        Error
+          (Printf.sprintf "summary says %d served but %d lines written"
+             summary.Server.served (List.length lines))
+      else if summary.Server.served > List.length jobs then
+        Error "served more responses than jobs"
+      else
+        let rec go i = function
+          | [] -> Ok ()
+          | line :: rest -> (
+            match response_shape line with
+            | Error e -> Error (Printf.sprintf "response %d: %s" i e)
+            | Ok (Some (Json.Int id), _) when id <> i + 1 ->
+              Error (Printf.sprintf "response %d carries id %d" i id)
+            | Ok _ -> go (i + 1) rest)
+        in
+        go 0 lines)
+
+let serve_faults ~seed:_ =
+  run_checks
+    [
+      ("serve malformed line", serve_malformed);
+      ("serve oversized line", serve_oversized);
+      ("serve partial final line (valid)", serve_partial_valid);
+      ("serve partial final line (truncated)", serve_partial_truncated);
+      ("serve SIGINT drain", serve_sigint_drain);
+    ]
+
+let run_all ~seed = merge (cache_faults ~seed) (serve_faults ~seed)

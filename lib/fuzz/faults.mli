@@ -1,0 +1,33 @@
+(** Fault injection against the service layer's documented recovery
+    guarantees.
+
+    Cache faults: entries are bit-flipped, truncated, emptied,
+    replaced by garbage, or given a stale salt — {!Dise_service.Cache}
+    documents that lookups never raise, corrupt entries are retired
+    and recomputed, and concurrent recovery is idempotent. A
+    multi-domain hammer has several domains find/store/invalidate one
+    key while it is repeatedly corrupted, asserting no domain ever
+    raises or observes a wrong payload.
+
+    Serve faults: JSONL streams with malformed, oversized, and
+    partial lines — {!Dise_service.Server} documents one in-order
+    response per job with kind ["parse"] for bad lines and no stream
+    desync. The drain check delivers a real SIGINT mid-batch through
+    the same handler wiring [disesim serve] installs and asserts the
+    loop finishes its chunk, flushes whole response lines, and
+    returns.
+
+    See doc/fuzzing.md for the full fault matrix. *)
+
+type report = {
+  passed : int;
+  failures : (string * string) list;  (** check name, detail *)
+}
+
+val cache_faults : seed:int -> report
+val serve_faults : seed:int -> report
+
+val run_all : seed:int -> report
+(** All of the above; reports are concatenated. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,42 @@
+let candidates (c : Case.t) : Case.t list =
+  List.concat
+    [
+      (if c.dyn_target > 2_000 then
+         [ { c with dyn_target = max 2_000 (c.dyn_target / 2) } ]
+       else []);
+      (if c.cold_kb > 0 then [ { c with cold_kb = 0 } ] else []);
+      (if c.hot_kb > 1 then [ { c with hot_kb = max 1 (c.hot_kb / 2) } ]
+       else []);
+      (if c.data_kb > 1 then [ { c with data_kb = max 1 (c.data_kb / 2) } ]
+       else []);
+      (if c.idiom_pool > 1 then
+         [ { c with idiom_pool = max 1 (c.idiom_pool / 2) } ]
+       else []);
+      (if c.boundary_imms then [ { c with boundary_imms = false } ] else []);
+      (match c.mode with
+      | Case.Plain when c.n_prods > 1 ->
+        [
+          { c with n_prods = max 1 (c.n_prods / 2) };
+          { c with n_prods = c.n_prods - 1 };
+        ]
+      | _ -> []);
+    ]
+
+let minimize ?mutation ?(budget = 48) c0 =
+  let spent = ref 0 in
+  let fails c =
+    incr spent;
+    match Oracle.check ?mutation c with
+    | Oracle.Fail _ -> true
+    | Oracle.Pass _ -> false
+  in
+  if not (fails c0) then c0
+  else
+    let rec go c =
+      if !spent >= budget then c
+      else
+        match List.find_opt fails (candidates c) with
+        | Some smaller -> go smaller
+        | None -> c
+    in
+    go c0

@@ -1,0 +1,16 @@
+(** Greedy case minimization.
+
+    Because a {!Case.t} is knobs rather than bytes, shrinking is a
+    walk through knob space: repeatedly try the candidate reductions
+    (halve the dynamic target, shed cold code, drop productions,
+    disable boundary immediates, ...) and keep the first that still
+    fails the oracle, until no reduction reproduces the failure or the
+    re-check budget runs out. Any failure counts as "still fails" —
+    pinning the exact failure string would reject the common case
+    where a smaller run trips the same bug one check earlier. *)
+
+val minimize :
+  ?mutation:Oracle.mutation -> ?budget:int -> Case.t -> Case.t
+(** [minimize c] for a failing [c] returns a case that still fails and
+    is minimal under the candidate moves ([budget] caps oracle
+    re-runs, default 48). A passing [c] is returned unchanged. *)

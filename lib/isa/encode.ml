@@ -13,15 +13,24 @@ let imm16 v =
 
 let sign16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
 
+(* Branch offsets are signed 16-bit halfword deltas from the
+   fall-through address: reachable targets are
+   [pc + 4 - 0x10000, pc + 4 + 0xFFFE] in steps of 2. Anything else
+   must be rejected loudly — [delta asr 1] followed by [land 0xFFFF]
+   would otherwise silently wrap an out-of-range or odd delta onto a
+   different (valid-looking) target. *)
 let branch_off ~pc target =
   match target with
   | Insn.Lab l -> fail "unresolved label %s" l
   | Insn.Abs a ->
     let delta = a - (pc + 4) in
-    if delta land 1 <> 0 then fail "branch target misaligned: 0x%x" a;
+    if delta land 1 <> 0 then
+      fail "branch target 0x%x misaligned (odd delta %d from pc 0x%x)" a delta
+        pc;
     let off = delta asr 1 in
     if off < -32768 || off > 32767 then
-      fail "branch offset %d out of range" off
+      fail "branch target 0x%x out of range from pc 0x%x (offset %d halfwords)"
+        a pc off
     else off land 0xFFFF
 
 let jump_field target =
@@ -53,8 +62,20 @@ let encode ~pc (i : Insn.t) =
   | Djmp off ->
     if off < 0 || off > 0x3FFFFFF then fail "djmp offset out of range"
     else (op lsl 26) lor off
-  | Codeword { p1; p2; p3; tag; _ } ->
-    pack ~op ~a:p1 ~b:p2 ((p3 lsl 11) lor tag)
+  | Codeword { op = cw_op; p1; p2; p3; tag } ->
+    (* The fields share one word with no hardware range enforcement:
+       an oversized parameter would wrap into the opcode bits and an
+       oversized tag into p3, decoding as a different instruction. *)
+    if cw_op < 0 || cw_op > 3 then fail "codeword opcode %d out of range" cw_op;
+    let param name v =
+      if v < 0 || v > 0x1F then
+        fail "codeword parameter %s=%d out of 5-bit range" name v
+      else v
+    in
+    if tag < 0 || tag > 0x7FF then
+      fail "codeword tag %d out of 11-bit range" tag;
+    pack ~op ~a:(param "p1" p1) ~b:(param "p2" p2)
+      ((param "p3" p3 lsl 11) lor tag)
   | Nop | Halt -> op lsl 26
 
 let nth_rop n = List.nth Opcode.all_rops n
@@ -100,6 +121,26 @@ let encode_image img =
 
 let decode_image ~base words =
   Array.mapi (fun i w -> decode ~pc:(base + (4 * i)) w) words
+
+(* Exception-free entry points: encoding failures are user-input
+   defects (a program that cannot exist as binary), so they surface as
+   parse-class diagnostics (exit code 2), not crashes. *)
+let diag msg = Diag.Parse { source = "encode"; line = 0; msg }
+
+let encode_result ~pc i =
+  match encode ~pc i with
+  | word -> Ok word
+  | exception Error msg -> Error (diag msg)
+
+let encode_image_result img =
+  match encode_image img with
+  | words -> Ok words
+  | exception Error msg -> Error (diag msg)
+
+let decode_result ~pc word =
+  match decode ~pc word with
+  | i -> Ok i
+  | exception Error msg -> Error (diag msg)
 
 let encodable i =
   let arch r = Reg.is_arch r in

@@ -20,11 +20,24 @@ exception Error of string
 val encode : pc:int -> Insn.t -> int
 (** [encode ~pc i] is the 32-bit encoding of [i] at byte address [pc].
     Raises {!Error} if [i] names a dedicated register, has an
-    unresolved label target, or a field out of range. *)
+    unresolved label target, or a field out of range — including
+    branch targets that are misaligned or beyond the signed 16-bit
+    halfword offset reach, and codeword parameter/tag fields that
+    would wrap into neighbouring fields. Nothing is ever silently
+    truncated: every representable encoding round-trips through
+    {!decode}, and everything else is an error. *)
 
 val decode : pc:int -> int -> Insn.t
 (** Inverse of {!encode}. Raises {!Error} on an unknown primary
     opcode. *)
+
+val encode_result : pc:int -> Insn.t -> (int, Diag.t) result
+(** Exception-free {!encode}: failures become
+    [Error (Diag.Parse _)] (exit-code class "parse"), reported through
+    the shared {!Diag} printer. *)
+
+val decode_result : pc:int -> int -> (Insn.t, Diag.t) result
+(** Exception-free {!decode}. *)
 
 val encodable : Insn.t -> bool
 (** True iff {!encode} would succeed (at some pc; offset-range issues
@@ -35,6 +48,9 @@ val encode_image : Program.Image.t -> int array
     order. Requires a uniform 4-byte layout (compressed images with
     2-byte codewords have no single-word encoding). Raises {!Error}
     otherwise. *)
+
+val encode_image_result : Program.Image.t -> (int array, Diag.t) result
+(** Exception-free {!encode_image}. *)
 
 val decode_image : base:int -> int array -> Insn.t array
 (** Decode a word array laid out contiguously from [base]; inverse of

@@ -37,37 +37,83 @@ let key canonical = Digest.to_hex (Digest.string (salt ^ "\n" ^ canonical))
 let subdir t key = Filename.concat t.root (String.sub key 0 2)
 let path t ~key = Filename.concat (subdir t key) (key ^ ".json")
 
+(* [read_file] must not raise even when the file is concurrently
+   replaced: [really_input_string] raises [End_of_file] if the file
+   shrinks between the length query and the read (a racing recovery
+   renamed it away, or a racing writer truncated it). *)
 let read_file p =
-  let ic = open_in_bin p in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match open_in_bin p with
+  | exception Sys_error _ -> None
+  | ic -> (
+    match
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | contents -> Some contents
+    | exception (Sys_error _ | End_of_file) -> None)
+
+let tmp_counter = Atomic.make 0
+
+(* Envelope validation shared by [find] and corrupt-entry recovery:
+   the payload, iff the entry parses and carries the right salt and
+   key. *)
+let payload_of contents ~key:k =
+  match Json.parse contents with
+  | exception _ -> None (* truncated or garbled entry *)
+  | doc -> (
+    let ok =
+      Json.member "salt" doc = Some (Json.String salt)
+      && Json.member "key" doc = Some (Json.String k)
+    in
+    match (ok, Json.member "payload" doc) with
+    | true, Some payload -> Some payload
+    | _ -> None)
+
+(* Corrupt-entry recovery. A plain [Sys.remove p] here would race
+   with a concurrent [store]: between our read of the corrupt bytes
+   and the unlink, another domain may have recomputed the result and
+   renamed a {e good} entry into place — and the unlink would destroy
+   it. Instead each recovering domain {e claims} the entry by renaming
+   it to a private name (rename is atomic, so exactly one claimant
+   wins; the losers see [ENOENT] and simply report a miss). The winner
+   then re-reads what it actually claimed: if a racing store slipped a
+   valid entry in before our rename, we claimed that good entry — so
+   its payload is returned (the caller sees a hit; the entry is gone
+   from disk and the next lookup re-stores it) instead of being lost.
+   The claimed file is always removed, making recovery idempotent. *)
+let reclaim t ~key:k p =
+  let trash =
+    Filename.concat (subdir t k)
+      (Printf.sprintf ".trash.%d.%d.%s" (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_counter 1)
+         k)
+  in
+  match Sys.rename p trash with
+  | exception Sys_error _ -> None (* another domain claimed it first *)
+  | () ->
+    let rescued =
+      match read_file trash with
+      | None -> None
+      | Some contents -> payload_of contents ~key:k
+    in
+    (try Sys.remove trash with Sys_error _ -> ());
+    rescued
 
 (* A lookup must never raise: any defect — unreadable file, JSON that
    does not parse (e.g. a truncated entry), wrong salt (stale version),
-   wrong key (file renamed by hand), missing payload — deletes the
+   wrong key (file renamed by hand), missing payload — retires the
    entry and reports a miss, and the caller recomputes. *)
 let find t ~key:k =
   let p = path t ~key:k in
   match read_file p with
-  | exception Sys_error _ -> None (* absent (or unreadable: treat alike) *)
-  | contents -> (
-    let drop () =
-      (try Sys.remove p with Sys_error _ -> ());
-      None
-    in
-    match Json.parse contents with
-    | exception _ -> drop () (* truncated or garbled entry *)
-    | doc -> (
-      let ok =
-        Json.member "salt" doc = Some (Json.String salt)
-        && Json.member "key" doc = Some (Json.String k)
-      in
-      match (ok, Json.member "payload" doc) with
-      | true, Some payload -> Some payload
-      | _ -> drop ()))
+  | None -> None (* absent (or unreadable: treat alike) *)
+  | Some contents -> (
+    match payload_of contents ~key:k with
+    | Some payload -> Some payload
+    | None -> reclaim t ~key:k p)
 
-let tmp_counter = Atomic.make 0
+let invalidate t ~key:k = ignore (reclaim t ~key:k (path t ~key:k))
 
 let store t ~key:k ~request ~payload =
   let d = subdir t k in

@@ -27,10 +27,22 @@
     and are published with [rename], so readers (including concurrent
     domains and processes) never observe a half-written entry. A
     corrupt or truncated entry — unparseable JSON, wrong salt, wrong
-    key, missing payload — is detected on read, deleted, and reported
+    key, missing payload — is detected on read, retired, and reported
     as a miss; the caller recomputes and rewrites. Lookups never
     raise; only {!store} and {!clear} surface I/O errors, as
-    {!Dise_isa.Diag.Cache}. *)
+    {!Dise_isa.Diag.Cache}.
+
+    {b Concurrent recovery.} Retiring a corrupt entry never unlinks
+    the published path directly: a racing {!store} may have just
+    renamed a fresh, valid entry into place, and a blind delete would
+    destroy it. Recovery instead {e claims} the file by renaming it to
+    a private name (atomically — exactly one domain wins; losers see a
+    plain miss), re-validates what was actually claimed, and returns
+    the payload if a racing store had already repaired the entry.
+    Recovery is idempotent: any number of domains may hit the same
+    corrupt entry concurrently and each either reports a miss or a
+    valid payload, never an error, and the corrupt bytes are removed
+    exactly once. *)
 
 type t
 
@@ -64,7 +76,15 @@ val path : t -> key:string -> string
 
 val find : t -> key:string -> Dise_telemetry.Json.t option
 (** The entry's [payload] member, or [None] on miss. Corrupt entries
-    are deleted and reported as misses; never raises. *)
+    are retired (see {e Concurrent recovery} above) and reported as
+    misses; never raises. *)
+
+val invalidate : t -> key:string -> unit
+(** Retire the entry for [key] (if any) using the same claim-by-rename
+    protocol as corrupt-entry recovery, so it cannot delete an entry a
+    racing {!store} just published over the one being invalidated.
+    For callers that detect a defect in a payload {!find} returned
+    (e.g. a schema mismatch one level up). Never raises. *)
 
 val store :
   t -> key:string -> request:Dise_telemetry.Json.t ->

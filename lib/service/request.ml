@@ -370,7 +370,7 @@ let disk_find decode ~key:k =
         Some v
       | Error _ ->
         note_miss ();
-        (try Sys.remove (Cache.path c ~key:k) with Sys_error _ -> ());
+        Cache.invalidate c ~key:k;
         None))
 
 let disk_store ~key:k ~request payload =

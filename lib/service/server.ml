@@ -12,6 +12,7 @@ type summary = { served : int; errors : int; cache_hits : int }
 
 let stop_flag = Atomic.make false
 let request_stop () = Atomic.set stop_flag true
+let reset_stop () = Atomic.set stop_flag false
 let stopping () = Atomic.get stop_flag
 
 (* One input line, after the sequential parse step. Parse failures
@@ -20,15 +21,31 @@ type job =
   | Run of Json.t * Request.t (* echoed id, decoded request *)
   | Bad of Json.t * Diag.t
 
+(* Any defect in a single line — unparseable JSON, deep nesting
+   blowing the parser's stack, a decoder bug surfacing as an
+   unexpected exception — must stay confined to that line's response
+   slot; only I/O errors on the stream itself may escape. *)
 let parse_line ~lineno line =
-  match Json.parse line with
-  | exception Json.Parse_error msg ->
+  let bad msg =
     Bad (Json.Null, Diag.Parse { source = "serve"; line = lineno; msg })
+  in
+  match Json.parse line with
+  | exception Json.Parse_error msg -> bad msg
+  | exception Stack_overflow -> bad "JSON nesting too deep"
   | doc -> (
     let id = Option.value (Json.member "id" doc) ~default:Json.Null in
     match Request.of_json doc with
     | Ok req -> Run (id, req)
-    | Error d -> Bad (id, d))
+    | Error d -> Bad (id, d)
+    | exception e ->
+      Bad
+        ( id,
+          Diag.Parse
+            {
+              source = "serve";
+              line = lineno;
+              msg = "malformed request: " ^ Printexc.to_string e;
+            } ))
 
 let error_response id d =
   Json.Obj
@@ -65,20 +82,73 @@ let run_job = function
        if cache_hit then `Hit else `Fresh)
     | Error d -> (error_response id d, `Error))
 
-(* Read up to [n] non-blank lines; [None] on immediate EOF. *)
+let max_line_bytes = 1 lsl 20
+
+type raw_line = Line of string | Truncated | Eof
+
+(* Bounded replacement for [input_line]: a line longer than
+   [max_line_bytes] is drained (so the stream stays synchronized on
+   the next newline) and reported as [Truncated] instead of being
+   buffered whole — an adversarial multi-gigabyte line must cost one
+   error response, not the server's heap. A final line without a
+   trailing newline is a normal [Line] (partial last job lines parse
+   or fail on their own merits). *)
+let read_raw_line ic =
+  let buf = Buffer.create 256 in
+  let rec drain () =
+    match input_char ic with
+    | exception End_of_file -> ()
+    | '\n' -> ()
+    | _ -> drain ()
+  in
+  let rec go () =
+    match input_char ic with
+    | exception End_of_file ->
+      if Buffer.length buf = 0 then Eof else Line (Buffer.contents buf)
+    | '\n' -> Line (Buffer.contents buf)
+    | c ->
+      if Buffer.length buf >= max_line_bytes then begin
+        drain ();
+        Truncated
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+  in
+  go ()
+
+(* Read up to [n] non-blank lines; [None] on immediate EOF. An
+   oversized line takes a job slot with a parse-class error so the
+   response stream stays in input order. *)
 let read_chunk ic ~lineno n =
   let jobs = ref [] in
   let count = ref 0 in
-  (try
-     while !count < n && not (stopping ()) do
-       let line = input_line ic in
-       incr lineno;
-       if String.trim line <> "" then begin
-         jobs := parse_line ~lineno:!lineno line :: !jobs;
-         incr count
-       end
-     done
-   with End_of_file -> ());
+  let eof = ref false in
+  while !count < n && (not !eof) && not (stopping ()) do
+    match read_raw_line ic with
+    | Eof -> eof := true
+    | Line line ->
+      incr lineno;
+      if String.trim line <> "" then begin
+        jobs := parse_line ~lineno:!lineno line :: !jobs;
+        incr count
+      end
+    | Truncated ->
+      incr lineno;
+      jobs :=
+        Bad
+          ( Json.Null,
+            Diag.Parse
+              {
+                source = "serve";
+                line = !lineno;
+                msg =
+                  Printf.sprintf "line exceeds %d bytes" max_line_bytes;
+              } )
+        :: !jobs;
+      incr count
+  done;
   match List.rev !jobs with [] -> None | l -> Some (Array.of_list l)
 
 let serve_channel ?opts ic oc =

@@ -12,7 +12,11 @@
       [kind] is a {!Dise_isa.Diag.category} (doc/schema/
       serve_response.schema.json validates both shapes);
     - blank lines are skipped; a malformed line yields an error
-      response (it does not kill the stream).
+      response with kind ["parse"] (it does not kill the stream) —
+      this covers unparseable JSON, schema violations, and lines
+      longer than {!max_line_bytes} (which are drained to the next
+      newline so the response stream never desyncs from input order);
+      a final line without a trailing newline is parsed normally.
 
     {b Scheduling.} Jobs are read in chunks of at most [queue] lines
     and each chunk fans out over the {!Pool} domains ([jobs] wide);
@@ -56,8 +60,17 @@ val serve_socket : ?opts:opts -> path:string -> unit -> unit
     summaries are reported on stderr. Raises
     [Cache.Diag_error (Cache _)] if the socket cannot be bound. *)
 
+val max_line_bytes : int
+(** Upper bound on one input line (1 MiB). Longer lines are consumed
+    up to the next newline and answered with a per-job ["parse"]
+    error, never buffered whole. *)
+
 val request_stop : unit -> unit
 (** Ask the serving loops to drain and return. Async-signal-safe
     (sets an atomic flag); idempotent. *)
+
+val reset_stop : unit -> unit
+(** Clear a previous {!request_stop} so the serving loops can run
+    again in the same process (tests, fault-injection harness). *)
 
 val stopping : unit -> bool

@@ -14,4 +14,5 @@ let () =
       ("props", Test_props.suite);
       ("telemetry", Test_telemetry.suite);
       ("service", Test_service.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
