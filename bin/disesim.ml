@@ -14,7 +14,8 @@
      validate                 check a JSON file against a JSON-Schema file
 
    Exit codes follow Dise_isa.Diag: 2 malformed input, 3 simulation
-   failure, 4 result-cache I/O failure. *)
+   failure, 4 result-cache I/O failure, 5 deadline exceeded, 6
+   overloaded / resource busy, 7 internal fault. *)
 
 open Cmdliner
 module Machine = Dise_machine.Machine
@@ -483,32 +484,111 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
            ~doc:"Listen on a Unix-domain socket at $(docv) instead of \
                  serving stdin; connections are served sequentially, each \
-                 as one JSONL stream.")
+                 as one JSONL stream. If a live server already answers on \
+                 $(docv), refuse to start (exit 6); a stale socket left by \
+                 a crash is reclaimed.")
   in
-  let run jobs queue socket cache_dir no_cache =
+  let deadline_arg =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-job wall-clock budget. An overrunning job is answered \
+                 with an in-order error of kind 'timeout' (exit-code class \
+                 5); its batch-mates are unaffected. Default: unbounded.")
+  in
+  let shed_arg =
+    Arg.(value & opt (some int) None & info [ "shed-above" ] ~docv:"WORK"
+           ~doc:"Admission high-water mark per chunk, in dynamic-instruction \
+                 (dyn_target) units: jobs beyond it are answered with kind \
+                 'overloaded' instead of queueing. The first job of a chunk \
+                 is always admitted. Default: never shed.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR"
+           ~doc:"Crash-safe job journal: append every admitted job to \
+                 $(docv)/journal.jsonl before it executes and mark it done \
+                 once answered. On startup, jobs a previous crash \
+                 interrupted are replayed into the result cache. See \
+                 doc/resilience.md.")
+  in
+  let serve_manifest_arg =
+    Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"Write one JSONL 'serve_summary' telemetry record per \
+                 served stream (served/error/timeout/shed/isolated counts, \
+                 resilience counters, breaker state) to $(docv).")
+  in
+  let breaker_arg =
+    Arg.(value & opt int 8 & info [ "breaker" ] ~docv:"N"
+           ~doc:"Trip the result-cache circuit breaker after $(docv) \
+                 consecutive store failures and serve cache-less (degraded) \
+                 until a half-open probe succeeds. 0 disables the breaker.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(value & opt int 5000 & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+           ~doc:"How long the breaker stays open before admitting a \
+                 half-open probe.")
+  in
+  let run jobs queue socket deadline_ms shed_above journal manifest_path
+      breaker breaker_cooldown_ms cache_dir no_cache =
     setup_cache cache_dir no_cache;
     let jobs = max 1 jobs in
+    if breaker > 0 then
+      S.Request.set_cache_breaker
+        (Some
+           (S.Resilience.Breaker.create ~threshold:breaker
+              ~cooldown_s:(float_of_int (max 0 breaker_cooldown_ms) /. 1000.)
+              ()));
+    (* Replay whatever a previous crash left begun-but-unfinished,
+       then start this run's journal from a clean file (everything
+       recorded is now either cached or just re-executed). *)
+    let journal_t =
+      match journal with
+      | None -> None
+      | Some dir ->
+        let replayed =
+          guarded (fun () -> S.Server.replay_journal ~jobs ~dir ())
+        in
+        if replayed > 0 then
+          Format.eprintf "disesim serve: replayed %d interrupted job%s from %s@."
+            replayed
+            (if replayed = 1 then "" else "s")
+            (S.Resilience.Journal.file ~dir);
+        S.Resilience.Journal.clear ~dir;
+        Some (guarded (fun () -> S.Resilience.Journal.open_ ~dir))
+    in
+    let manifest_chan = Option.map open_out manifest_path in
+    let manifest_t = Option.map T.Manifest.to_channel manifest_chan in
     let opts =
-      { S.Server.jobs;
-        queue = (match queue with Some q -> max 1 q | None -> 4 * jobs) }
+      S.Server.opts ~jobs ?queue ?deadline_ms ?shed_above ?journal:journal_t
+        ?manifest:manifest_t ()
     in
     (* Graceful drain: finish the in-flight batch, flush its
        responses, stop reading. *)
     let stop _ = S.Server.request_stop () in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-    match socket with
-    | None ->
-      let s = S.Server.serve_channel ~opts stdin stdout in
-      Format.eprintf "disesim serve: %a@." S.Server.pp_summary s
-    | Some path -> (
-      Format.eprintf "disesim serve: listening on %s@." path;
-      try S.Server.serve_socket ~opts ~path ()
-      with S.Cache.Diag_error d -> die d)
+    let finish () =
+      (match journal_t with
+      | Some j -> S.Resilience.Journal.close j
+      | None -> ());
+      match (manifest_t, manifest_chan) with
+      | Some m, Some c ->
+        T.Manifest.close m;
+        close_out c
+      | _ -> ()
+    in
+    Fun.protect ~finally:finish (fun () ->
+        match socket with
+        | None ->
+          let s = S.Server.serve_channel ~opts stdin stdout in
+          Format.eprintf "disesim serve: %a@." S.Server.pp_summary s
+        | Some path -> (
+          Format.eprintf "disesim serve: listening on %s@." path;
+          try S.Server.serve_socket ~opts ~path ()
+          with S.Cache.Diag_error d -> die d))
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ jobs_arg $ queue_arg $ socket_arg $ cache_dir_arg
-          $ no_cache_arg)
+    Term.(const run $ jobs_arg $ queue_arg $ socket_arg $ deadline_arg
+          $ shed_arg $ journal_arg $ serve_manifest_arg $ breaker_arg
+          $ breaker_cooldown_arg $ cache_dir_arg $ no_cache_arg)
 
 (* --- cache: inspect / clear the result cache ---------------------------- *)
 
@@ -796,6 +876,9 @@ let fuzz_cmd =
           $ replay_arg $ faults_arg)
 
 let () =
+  (* Re-exec dispatch for the fault matrix's SIGKILL victim (see
+     Dise_fuzz.Faults): a no-op unless the dispatch variable is set. *)
+  Dise_fuzz.Faults.journal_child_main ();
   let doc = "DISE: programmable macro engine reproduction (ISCA 2003)" in
   let info = Cmd.info "disesim" ~doc in
   exit

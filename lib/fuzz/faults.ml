@@ -2,6 +2,7 @@ module Json = Dise_telemetry.Json
 module Cache = Dise_service.Cache
 module Server = Dise_service.Server
 module Request = Dise_service.Request
+module Resilience = Dise_service.Resilience
 module Rng = Dise_workload.Rng
 
 type report = { passed : int; failures : (string * string) list }
@@ -246,8 +247,8 @@ let response_shape line =
       | _ -> Error "error response without kind")
     | _ -> Error "response without ok")
 
-let expect_stream input expected =
-  let _, lines = serve_raw input in
+let expect_stream ?opts input expected =
+  let _, lines = serve_raw ?opts input in
   if List.length lines <> List.length expected then
     Error
       (Printf.sprintf "%d responses for %d jobs" (List.length lines)
@@ -326,7 +327,7 @@ let serve_sigint_drain () =
             Unix.kill pid Sys.sigint)
       in
       let summary, lines =
-        serve_raw ~opts:{ Server.jobs = 2; queue = 4 } input
+        serve_raw ~opts:(Server.opts ~jobs:2 ~queue:4 ()) input
       in
       Domain.join killer;
       (* The drain contract: no exception, every emitted response line
@@ -361,4 +362,281 @@ let serve_faults ~seed:_ =
       ("serve SIGINT drain", serve_sigint_drain);
     ]
 
-let run_all ~seed = merge (cache_faults ~seed) (serve_faults ~seed)
+(* --- resilience faults --------------------------------------------------- *)
+
+(* Set a chaos directive for the duration of one check. There is no
+   unsetenv in the stdlib; the empty string parses to "no chaos". *)
+let with_chaos spec f =
+  Unix.putenv Resilience.Chaos.env_var spec;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv Resilience.Chaos.env_var "")
+    f
+
+let count_occurrences needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let n = ref 0 in
+  if nl > 0 then
+    for i = 0 to hl - nl do
+      if String.sub hay i nl = needle then incr n
+    done;
+  !n
+
+(* A poisoned job — one that raises an exception the request layer
+   does not recognize — must cost exactly its own slot: one in-order
+   [internal] response, batch-mates unharmed, server still serving. *)
+let serve_poisoned_job () =
+  with_chaos "raise=2" (fun () ->
+      expect_stream
+        ~opts:(Server.opts ~jobs:2 ~queue:4 ())
+        (String.concat "\n" [ job ~dyn:41_001 1; job ~dyn:41_002 2; job ~dyn:41_003 3 ] ^ "\n")
+        [
+          (Some (Json.Int 1), None);
+          (Some (Json.Int 2), Some "internal");
+          (Some (Json.Int 3), None);
+        ])
+
+(* A stalled job overruns its wall-clock budget and is answered
+   [timeout], in order, without losing its slot or its batch-mates.
+   The chaos stall burns the budget before the simulator starts, so
+   the check is deterministic on any machine. *)
+let serve_deadline_overrun () =
+  with_chaos "sleep=2:200" (fun () ->
+      expect_stream
+        ~opts:(Server.opts ~jobs:2 ~queue:4 ~deadline_ms:25 ())
+        (String.concat "\n" [ job ~dyn:41_011 1; job ~dyn:41_012 2; job ~dyn:41_013 3 ] ^ "\n")
+        [
+          (Some (Json.Int 1), None);
+          (Some (Json.Int 2), Some "timeout");
+          (Some (Json.Int 3), None);
+        ])
+
+(* Admission shedding: with the high-water mark below the chunk's
+   cumulative work, the first job is admitted and the rest are
+   answered [overloaded] without executing. *)
+let serve_shedding () =
+  let input = String.concat "\n" (List.init 4 (fun i -> job ~dyn:2_000 (i + 1))) ^ "\n" in
+  let summary, _ =
+    serve_raw ~opts:(Server.opts ~jobs:2 ~queue:4 ~shed_above:2_500 ()) input
+  in
+  if summary.Server.shed <> 3 then
+    Error (Printf.sprintf "%d jobs shed, wanted 3" summary.Server.shed)
+  else
+    expect_stream
+      ~opts:(Server.opts ~jobs:2 ~queue:4 ~shed_above:2_500 ())
+      input
+      [
+        (Some (Json.Int 1), None);
+        (Some (Json.Int 2), Some "overloaded");
+        (Some (Json.Int 3), Some "overloaded");
+        (Some (Json.Int 4), Some "overloaded");
+      ]
+
+(* Trip the result-cache breaker by making every store fail: a
+   regular file planted where the cache wants its two-hex-char
+   subdirectory makes the entry path unusable (works for root too,
+   unlike a chmod). The server must keep answering ok (degraded);
+   the breaker must trip, be visible in the manifest record, and
+   close again after a successful half-open probe. *)
+let serve_breaker_trip_and_recover () =
+  let dir = temp_dir "dise-fuzz-breaker" in
+  let prev_cache = Request.disk_cache () in
+  let prev_breaker = Request.cache_breaker () in
+  Fun.protect
+    ~finally:(fun () ->
+      Request.set_cache_breaker prev_breaker;
+      Request.set_disk_cache prev_cache;
+      rm_rf dir)
+    (fun () ->
+      let c = Cache.create ~dir in
+      let dyns = List.init 6 (fun i -> 41_021 + i) in
+      let block_paths =
+        List.sort_uniq compare
+          (List.map
+             (fun d ->
+               let key = Request.key (Request.v ~dyn_target:d "tiny") in
+               Filename.dirname (Cache.path c ~key))
+             dyns)
+      in
+      List.iter (fun p -> write_raw p "not a directory") block_paths;
+      Request.set_disk_cache (Some c);
+      let b = Resilience.Breaker.create ~threshold:2 ~cooldown_s:0.05 () in
+      Request.set_cache_breaker (Some b);
+      let buf = Buffer.create 256 in
+      let manifest = Dise_telemetry.Manifest.to_buffer buf in
+      let input =
+        String.concat "\n" (List.mapi (fun i d -> job ~dyn:d (i + 1)) dyns)
+        ^ "\n"
+      in
+      let summary, lines =
+        serve_raw
+          ~opts:(Server.opts ~jobs:2 ~queue:6 ~manifest ()) input
+      in
+      let all_ok =
+        List.for_all
+          (fun l -> match response_shape l with Ok (_, None) -> true | _ -> false)
+          lines
+      in
+      if summary.Server.errors <> 0 || not all_ok then
+        Error "server did not keep answering ok while the cache was sick"
+      else if Resilience.Breaker.trips b < 1 then
+        Error "breaker never tripped"
+      else if not (Resilience.Breaker.blocked b) then
+        Error "breaker closed while every store still fails"
+      else if count_occurrences "serve_summary" (Buffer.contents buf) <> 1 then
+        Error "no serve_summary manifest record"
+      else if count_occurrences "\"breaker\"" (Buffer.contents buf) < 1 then
+        Error "manifest record carries no breaker state"
+      else begin
+        (* Recovery: heal the cache, wait out the cooldown, serve one
+           more job; its store is the half-open probe. *)
+        List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) block_paths;
+        Unix.sleepf 0.06;
+        let _, lines =
+          serve_raw ~opts:(Server.opts ~jobs:1 ~queue:1 ())
+            (job ~dyn:41_031 7 ^ "\n")
+        in
+        match List.map response_shape lines with
+        | [ Ok (_, None) ] ->
+          if Resilience.Breaker.state b <> Resilience.Breaker.Closed then
+            Error "breaker did not close after a successful probe"
+          else Ok ()
+        | _ -> Error "recovery job did not succeed"
+      end)
+
+(* Crash-safety: SIGKILL a journalling server mid-batch (after the
+   begins are fsynced, before any job finishes — a chaos stall holds
+   the batch open), then replay the journal in the parent and assert
+   every interrupted job landed in the result cache.
+
+   OCaml 5 forbids [Unix.fork] once any domain has ever been spawned,
+   and both the pool and earlier checks spawn domains, so the victim
+   server is a fresh process instead: the host executable re-execs
+   itself and [journal_child_main] (called first thing by both
+   [disesim] and the test runner) diverts the child into the serving
+   role before any normal startup runs. *)
+let journal_child_env = "DISE_FAULTS_JOURNAL_CHILD"
+
+let journal_child_main () =
+  match Sys.getenv_opt journal_child_env with
+  | None | Some "" -> ()
+  | Some spec ->
+    let code =
+      try
+        match String.split_on_char '|' spec with
+        | [ cdir; jdir; inp; out ] ->
+          (* Serial (domain-free) journalling server; the inherited
+             chaos stall on job 1 holds the batch open so the
+             parent's SIGKILL lands mid-execution. *)
+          Request.set_disk_cache (Some (Cache.create ~dir:cdir));
+          let j = Resilience.Journal.open_ ~dir:jdir in
+          let ic = open_in_bin inp and oc = open_out_bin out in
+          ignore
+            (Server.serve_channel
+               ~opts:(Server.opts ~jobs:1 ~queue:4 ~journal:j ())
+               ic oc);
+          0
+        | _ -> 1
+      with _ -> 1
+    in
+    (* [_exit] skips the host's at_exit/flush machinery. *)
+    Unix._exit code
+
+let serve_journal_sigkill_replay () =
+  let jdir = temp_dir "dise-fuzz-journal" in
+  let cdir = temp_dir "dise-fuzz-jcache" in
+  let inp = Filename.temp_file "dise-fuzz-journal-in" ".jsonl" in
+  let out = Filename.temp_file "dise-fuzz-journal-out" ".jsonl" in
+  let prev_cache = Request.disk_cache () in
+  Fun.protect
+    ~finally:(fun () ->
+      Request.set_disk_cache prev_cache;
+      rm_rf jdir;
+      rm_rf cdir;
+      (try Sys.remove inp with Sys_error _ -> ());
+      try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let dyns = [ 41_041; 41_042; 41_043 ] in
+      write_raw inp
+        (String.concat "\n" (List.mapi (fun i d -> job ~dyn:d (i + 1)) dyns)
+        ^ "\n");
+      let exe = Sys.executable_name in
+      let spec = String.concat "|" [ cdir; jdir; inp; out ] in
+      Unix.putenv journal_child_env spec;
+      Unix.putenv Resilience.Chaos.env_var "sleep=1:5000";
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+      let pid =
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close devnull;
+            Unix.putenv journal_child_env "";
+            Unix.putenv Resilience.Chaos.env_var "")
+          (fun () ->
+            Unix.create_process exe [| exe |] devnull Unix.stdout Unix.stderr)
+      in
+      begin
+        let jfile = Resilience.Journal.file ~dir:jdir in
+        let deadline = Unix.gettimeofday () +. 10. in
+        let rec wait_for_begins () =
+          if Unix.gettimeofday () > deadline then false
+          else if
+            Sys.file_exists jfile
+            && count_occurrences "\"begin\"" (read_raw jfile)
+               >= List.length dyns
+          then true
+          else begin
+            Unix.sleepf 0.005;
+            wait_for_begins ()
+          end
+        in
+        let saw = wait_for_begins () in
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        if not saw then Error "journal begins never appeared"
+        else begin
+          let pending = Resilience.Journal.pending ~dir:jdir in
+          if List.length pending <> List.length dyns then
+            Error
+              (Printf.sprintf "%d pending jobs after SIGKILL, wanted %d"
+                 (List.length pending) (List.length dyns))
+          else begin
+            Request.set_disk_cache (Some (Cache.create ~dir:cdir));
+            let replayed = Server.replay_journal ~jobs:2 ~dir:jdir () in
+            if replayed <> List.length dyns then
+              Error
+                (Printf.sprintf "replayed %d jobs, wanted %d" replayed
+                   (List.length dyns))
+            else begin
+              let c = Cache.create ~dir:cdir in
+              let missing =
+                List.filter
+                  (fun (_, doc) ->
+                    match Request.of_json doc with
+                    | Ok req -> Cache.find c ~key:(Request.key req) = None
+                    | Error _ -> true)
+                  pending
+              in
+              if missing <> [] then
+                Error
+                  (Printf.sprintf
+                     "%d replayed jobs missing from the result cache"
+                     (List.length missing))
+              else Ok ()
+            end
+          end
+        end
+      end)
+
+let resilience_faults ~seed:_ =
+  run_checks
+    [
+      ("serve poisoned job isolated", serve_poisoned_job);
+      ("serve deadline overrun", serve_deadline_overrun);
+      ("serve load shedding", serve_shedding);
+      ("cache breaker trip and recovery", serve_breaker_trip_and_recover);
+      ("journal SIGKILL replay", serve_journal_sigkill_replay);
+    ]
+
+let run_all ~seed =
+  merge
+    (merge (cache_faults ~seed) (serve_faults ~seed))
+    (resilience_faults ~seed)

@@ -17,6 +17,16 @@
     loop finishes its chunk, flushes whole response lines, and
     returns.
 
+    Resilience faults (doc/resilience.md): chaos directives
+    ({!Dise_service.Resilience.Chaos}) poison or stall individual
+    jobs to assert the serve layer's isolation ([internal] responses
+    in order), deadline ([timeout]) and shedding ([overloaded])
+    guarantees; planted non-directory files make every cache store
+    fail to trip the circuit breaker and observe half-open recovery;
+    and a forked, journalling server is SIGKILLed mid-batch to assert
+    {!Dise_service.Server.replay_journal} re-executes exactly the
+    interrupted jobs into the result cache.
+
     See doc/fuzzing.md for the full fault matrix. *)
 
 type report = {
@@ -26,6 +36,15 @@ type report = {
 
 val cache_faults : seed:int -> report
 val serve_faults : seed:int -> report
+val resilience_faults : seed:int -> report
+
+val journal_child_main : unit -> unit
+(** Host-executable hook for the SIGKILL replay check. If the
+    dispatch environment variable is set, diverts this process into
+    the journalling-server victim role and [_exit]s; otherwise a
+    no-op. Call it first thing from any executable that runs
+    {!resilience_faults} — OCaml 5 forbids [Unix.fork] once domains
+    have been spawned, so the victim is a re-exec of the host. *)
 
 val run_all : seed:int -> report
 (** All of the above; reports are concatenated. *)

@@ -7,6 +7,14 @@
 
 val default_jobs : unit -> int
 
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
+
+val run_outcomes :
+  ?jobs:int ->
+  ?probe:(int -> domain:int -> float -> unit) ->
+  (unit -> 'a) array ->
+  'a outcome array
+
 val run :
   ?jobs:int ->
   ?probe:(int -> domain:int -> float -> unit) ->

@@ -4,16 +4,25 @@ type t =
   | Runtime of string
   | Expansion of string
   | Cache of string
+  | Timeout of string
+  | Overloaded of string
+  | Internal of string
 
 let category = function
   | Parse _ | Invalid _ -> "parse"
   | Runtime _ | Expansion _ -> "simulation"
   | Cache _ -> "cache"
+  | Timeout _ -> "timeout"
+  | Overloaded _ -> "overloaded"
+  | Internal _ -> "internal"
 
 let exit_code t =
   match category t with
   | "parse" -> 2
   | "simulation" -> 3
+  | "timeout" -> 5
+  | "overloaded" -> 6
+  | "internal" -> 7
   | _ -> 4
 
 let pp ppf = function
@@ -25,5 +34,8 @@ let pp ppf = function
   | Runtime msg -> Format.fprintf ppf "runtime error: %s" msg
   | Expansion msg -> Format.fprintf ppf "expansion error: %s" msg
   | Cache msg -> Format.fprintf ppf "cache error: %s" msg
+  | Timeout msg -> Format.fprintf ppf "deadline exceeded: %s" msg
+  | Overloaded msg -> Format.fprintf ppf "overloaded: %s" msg
+  | Internal msg -> Format.fprintf ppf "internal error: %s" msg
 
 let to_string t = Format.asprintf "%a" pp t

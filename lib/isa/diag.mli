@@ -13,7 +13,12 @@
       {b 2};
     - simulation-time failures (runtime errors, expansion errors,
       trapped workloads): {b 3};
-    - result-cache I/O failures: {b 4}.
+    - result-cache I/O failures: {b 4};
+    - per-job wall-clock deadline exceeded: {b 5};
+    - load shed / resource busy (admission queue high-water, socket
+      path held by a live server): {b 6};
+    - internal faults (an unexpected exception confined to one job or
+      connection by the resilience layer): {b 7}.
 
     The categories double as the ["kind"] field of `disesim serve`
     error responses (see doc/service.md). *)
@@ -31,15 +36,28 @@ type t =
   | Expansion of string
       (** The DISE engine could not expand a matched trigger. *)
   | Cache of string  (** Result-cache I/O failure. *)
+  | Timeout of string
+      (** The job exceeded its wall-clock budget (serve
+          [--deadline-ms]); see doc/resilience.md. *)
+  | Overloaded of string
+      (** Load shed: the job was refused to protect the server
+          (admission high-water mark), or a resource is held by
+          another live process. *)
+  | Internal of string
+      (** An unexpected exception that the resilience layer confined
+          to one job slot or one connection instead of letting it
+          kill the server. *)
 
 val category : t -> string
-(** ["parse"], ["simulation"], or ["cache"] — the coarse class used
-    for exit codes and serve-protocol error kinds. [Parse] and
-    [Invalid] are both ["parse"] (bad input); [Runtime] and
-    [Expansion] are ["simulation"]. *)
+(** ["parse"], ["simulation"], ["cache"], ["timeout"],
+    ["overloaded"], or ["internal"] — the coarse class used for exit
+    codes and serve-protocol error kinds. [Parse] and [Invalid] are
+    both ["parse"] (bad input); [Runtime] and [Expansion] are
+    ["simulation"]. *)
 
 val exit_code : t -> int
-(** 2 / 3 / 4 for parse / simulation / cache, per the policy above. *)
+(** 2 / 3 / 4 / 5 / 6 / 7 for parse / simulation / cache / timeout /
+    overloaded / internal, per the policy above. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

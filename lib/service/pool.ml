@@ -17,18 +17,22 @@ let timed probe i ~domain task =
     p i ~domain (Unix.gettimeofday () -. t0);
     r
 
-let run_serial probe tasks =
+let outcome_of probe i ~domain task =
+  try Ok (timed probe i ~domain task)
+  with e -> Error (e, Printexc.get_raw_backtrace ())
+
+let run_outcomes_serial probe tasks =
   let n = Array.length tasks in
   if n = 0 then [||]
   else begin
-    let results = Array.make n (timed probe 0 ~domain:0 tasks.(0)) in
+    let results = Array.make n (outcome_of probe 0 ~domain:0 tasks.(0)) in
     for i = 1 to n - 1 do
-      results.(i) <- timed probe i ~domain:0 tasks.(i)
+      results.(i) <- outcome_of probe i ~domain:0 tasks.(i)
     done;
     results
   end
 
-let run_parallel ~jobs probe (tasks : (unit -> 'a) array) =
+let run_outcomes_parallel ~jobs probe (tasks : (unit -> 'a) array) =
   let n = Array.length tasks in
   let results : 'a outcome option array = Array.make n None in
   let next = Atomic.make 0 in
@@ -36,11 +40,7 @@ let run_parallel ~jobs probe (tasks : (unit -> 'a) array) =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        let r =
-          try Ok (timed probe i ~domain tasks.(i))
-          with e -> Error (e, Printexc.get_raw_backtrace ())
-        in
-        results.(i) <- Some r;
+        results.(i) <- Some (outcome_of probe i ~domain tasks.(i));
         loop ()
       end
     in
@@ -51,20 +51,24 @@ let run_parallel ~jobs probe (tasks : (unit -> 'a) array) =
   in
   worker 0 ();
   Array.iter Domain.join spawned;
-  (* Re-raise the lowest-indexed failure, deterministically. *)
-  for i = 0 to n - 1 do
-    match results.(i) with
-    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-    | Some (Ok _) -> ()
-    | None -> assert false (* every index < n was claimed and joined *)
-  done;
   Array.init n (fun i ->
-      match results.(i) with Some (Ok v) -> v | _ -> assert false)
+      match results.(i) with
+      | Some r -> r
+      | None -> assert false (* every index < n was claimed and joined *))
+
+let run_outcomes ?jobs ?probe tasks =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  if jobs = 1 || Array.length tasks <= 1 then run_outcomes_serial probe tasks
+  else run_outcomes_parallel ~jobs probe tasks
 
 let run ?jobs ?probe tasks =
-  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
-  if jobs = 1 || Array.length tasks <= 1 then run_serial probe tasks
-  else run_parallel ~jobs probe tasks
+  let outcomes = run_outcomes ?jobs ?probe tasks in
+  (* Re-raise the lowest-indexed failure, deterministically. *)
+  Array.iter
+    (function
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+    outcomes;
+  Array.map (function Ok v -> v | Error _ -> assert false) outcomes
 
 let map_list ?jobs f xs =
   Array.to_list (run ?jobs (Array.of_list (List.map (fun x () -> f x) xs)))

@@ -32,6 +32,24 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the CLI default for
     [--jobs]. *)
 
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
+(** Per-task result: the task's value, or the exception (with
+    backtrace) it raised. *)
+
+val run_outcomes :
+  ?jobs:int ->
+  ?probe:(int -> domain:int -> float -> unit) ->
+  (unit -> 'a) array ->
+  'a outcome array
+(** Like {!run}, but a raising task records an [Error] in its own slot
+    instead of aborting the batch: every task runs to an outcome, and
+    [result.(i)] still corresponds to [tasks.(i)]. The serve loop's
+    job-isolation primitive — a poisoned job becomes one in-order
+    error response while its batch-mates complete normally (see
+    doc/resilience.md). [Out_of_memory] and [Stack_overflow] are
+    captured like any other exception; callers that must not survive
+    them should re-raise from the outcome. *)
+
 val run :
   ?jobs:int ->
   ?probe:(int -> domain:int -> float -> unit) ->

@@ -338,6 +338,18 @@ let set_disk_cache c = disk := c
 let disk_cache () = !disk
 let clear_disk () = match !disk with None -> 0 | Some c -> Cache.clear c
 
+(* Optional circuit breaker over the disk cache, installed by
+   [disesim serve --breaker]. Reads are skipped outright while the
+   breaker is not closed; stores go through [Breaker.allow] so the
+   half-open probe discipline applies. Without a breaker the store
+   path keeps its historical contract (a persistent I/O failure
+   raises [Cache.Diag_error]); with one, exhausted stores degrade to
+   counted drops so a sick cache cannot fail jobs whose statistics
+   already exist. *)
+let breaker : Resilience.Breaker.t option ref = ref None
+let set_cache_breaker b = breaker := b
+let cache_breaker () = !breaker
+
 (* Domain-local hit/miss counters: a worker snapshots them around one
    cell to get a race-free per-cell delta (the harness emits the
    deltas into run manifests). *)
@@ -358,6 +370,13 @@ let cache_counters () =
 let disk_find decode ~key:k =
   match !disk with
   | None -> None
+  | Some _
+    when match !breaker with
+         | Some b -> Resilience.Breaker.blocked b
+         | None -> false ->
+    (* Degraded mode: the cache is suspect, serve without it. The read
+       never happens, so neither counter moves. *)
+    None
   | Some c -> (
     match Cache.find c ~key:k with
     | None ->
@@ -373,23 +392,44 @@ let disk_find decode ~key:k =
         Cache.invalidate c ~key:k;
         None))
 
+(* Worth one more try before giving up on a store: the failure modes
+   are all environmental (ENOSPC races, NFS hiccups, a concurrent
+   [clear]), never a function of the payload. *)
+let transient_exn = function
+  | Cache.Diag_error _ | Unix.Unix_error _ | Sys_error _ -> true
+  | _ -> false
+
 let disk_store ~key:k ~request payload =
   match !disk with
   | None -> ()
-  | Some c -> Cache.store c ~key:k ~request ~payload
+  | Some c -> (
+    let store () =
+      Resilience.with_retries ~transient:transient_exn (fun () ->
+          Cache.store c ~key:k ~request ~payload)
+    in
+    match !breaker with
+    | None -> store ()
+    | Some b ->
+      if Resilience.Breaker.allow b then (
+        match store () with
+        | () -> Resilience.Breaker.success b
+        | exception e when transient_exn e ->
+          Resilience.Breaker.failure b;
+          Resilience.Counters.incr Resilience.Counters.store_drops)
+      else Resilience.Counters.incr Resilience.Counters.store_drops)
 
 (* --- simulation --------------------------------------------------------- *)
 
 let max_steps = 100_000_000
 
-let run_machine t ?prodset ?trace ?profile m =
+let run_machine t ?prodset ?trace ?profile ?poll m =
   let controller =
     match (t.controller, prodset) with
     | Some cfg, Some ps -> Some (Controller.create cfg ps)
     | Some cfg, None -> Some (Controller.create cfg Prodset.empty)
     | None, _ -> None
   in
-  Pipeline.run ~max_steps ?controller ?trace ?profile t.machine m
+  Pipeline.run ~max_steps ?controller ?trace ?profile ?poll t.machine m
 
 let check_clean name m =
   if Machine.exit_code m <> 0 then
@@ -431,18 +471,18 @@ let compress_result ~scheme ?(rewritten = false) (entry : Suite.entry) =
       in
       Compress.compress ~scheme prog)
 
-let simulate ?trace ?profile t (entry : Suite.entry) =
+let simulate ?trace ?profile ?poll t (entry : Suite.entry) =
   match t.acf with
   | Baseline ->
     let m = Machine.create entry.Suite.image in
-    let stats = run_machine t ?trace ?profile m in
+    let stats = run_machine t ?trace ?profile ?poll m in
     check_clean "baseline" m;
     stats
   | Mfi_dise variant ->
     let prodset = Mfi.productions_for ~variant entry.Suite.image in
     let m = with_engine entry.Suite.image prodset in
     install_mfi m;
-    let stats = run_machine t ~prodset ?trace ?profile m in
+    let stats = run_machine t ~prodset ?trace ?profile ?poll m in
     check_clean "mfi_dise" m;
     stats
   | Mfi_rewrite variant ->
@@ -455,7 +495,7 @@ let simulate ?trace ?profile t (entry : Suite.entry) =
     in
     let image = Dise_isa.Program.layout ~base:Codegen.code_base prog in
     let m = Machine.create image in
-    let stats = run_machine t ?trace ?profile m in
+    let stats = run_machine t ?trace ?profile ?poll m in
     check_clean "mfi_rewrite" m;
     stats
   | Decompress { scheme; mfi; rewritten } ->
@@ -467,23 +507,37 @@ let simulate ?trace ?profile t (entry : Suite.entry) =
     in
     let m = with_engine result.Compress.image prodset in
     (match mfi with `Composed -> install_mfi m | `None -> ());
-    let stats = run_machine t ~prodset ?trace ?profile m in
+    let stats = run_machine t ~prodset ?trace ?profile ?poll m in
     check_clean "decompress" m;
     stats
 
 (* --- the one run path --------------------------------------------------- *)
 
-let run_cached ?entry t =
+(* A deadline is an absolute wall-clock instant; the simulator polls
+   it every few thousand events (see [Pipeline.run ?poll]) — OCaml
+   domains cannot be cancelled from outside, so budgets have to be
+   enforced cooperatively. [max_steps] bounds every simulation, so a
+   deadline-free run can never hang; the deadline only bounds how
+   long it takes. *)
+let poll_of_deadline = function
+  | None -> None
+  | Some d ->
+    Some
+      (fun () ->
+        if Unix.gettimeofday () > d then raise Resilience.Deadline_exceeded)
+
+let run_cached ?entry ?deadline t =
   let canon = canonical t in
   let k = Cache.key canon in
   let fresh = ref false in
+  let poll = poll_of_deadline deadline in
   let compute () =
     match disk_find Stats.of_json ~key:k with
     | Some stats -> stats
     | None ->
       fresh := true;
       let entry = match entry with Some e -> e | None -> derive_entry t in
-      let stats = simulate t entry in
+      let stats = simulate ?poll t entry in
       disk_store ~key:k ~request:(Json.parse canon)
         (Stats.to_json stats);
       stats
@@ -505,19 +559,42 @@ let run ?entry ?trace ?profile t =
     let entry = match entry with Some e -> e | None -> derive_entry t in
     simulate ?trace ?profile t entry
 
+(* Exactly the exceptions the simulation stack raises on purpose.
+   Anything else — a chaos injection, a plain bug, Out_of_memory — is
+   NOT converted to a polite [Runtime] diagnostic: it escapes
+   [run_ext] so the pool ([Pool.run_outcomes]) can confine it to its
+   slot and the server can answer [internal], backtrace on stderr. *)
+let known_exn = function
+  | Invalid_argument _ | Failure _ | Machine.Runtime_error _
+  | Engine.Expansion_error _ | Cache.Diag_error _
+  | Resilience.Deadline_exceeded ->
+    true
+  | _ -> false
+
 let diag_of_exn = function
   | Invalid_argument msg -> Diag.Invalid msg
   | Failure msg -> Diag.Runtime msg
   | Machine.Runtime_error msg -> Diag.Runtime msg
   | Engine.Expansion_error msg -> Diag.Expansion msg
   | Cache.Diag_error d -> d
+  | Resilience.Deadline_exceeded ->
+    Diag.Timeout "simulation exceeded its wall-clock budget"
   | e -> Diag.Runtime (Printexc.to_string e)
 
-let run_ext ?entry t =
-  match run_cached ?entry t with
-  | result -> Ok result
-  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
-  | exception e -> Error (diag_of_exn e)
+let run_ext ?entry ?deadline t =
+  let expired () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  (* Upfront check: a job whose budget is already gone (it sat in the
+     queue, or chaos stalled it) times out without simulating. *)
+  if expired () then
+    Error (Diag.Timeout "deadline expired before the simulation started")
+  else
+    match run_cached ?entry ?deadline t with
+    | result -> Ok result
+    | exception e when known_exn e -> Error (diag_of_exn e)
 
 let relative stats ~baseline =
   float_of_int stats.Stats.cycles /. float_of_int baseline.Stats.cycles

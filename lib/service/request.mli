@@ -108,6 +108,7 @@ val run :
 
 val run_ext :
   ?entry:Dise_workload.Suite.entry ->
+  ?deadline:float ->
   t ->
   (Dise_uarch.Stats.t * bool, Dise_isa.Diag.t) result
 (** Like {!run} (sink-free), returning [stats, cache_hit]. The flag
@@ -115,7 +116,20 @@ val run_ext :
     (in-memory memo or disk). Failures map onto {!Dise_isa.Diag}:
     unknown benchmark → [Invalid], trapped workload / machine fault →
     [Runtime], engine fault → [Expansion], disk-cache write failure →
-    [Cache]. *)
+    [Cache] (breaker-free configurations only; see below), deadline
+    overrun → [Timeout].
+
+    [deadline] is an {e absolute} [Unix.gettimeofday] instant. An
+    already-expired deadline fails fast; otherwise the simulator
+    polls it every few thousand events and aborts with [Timeout]
+    (cooperative — see {!Dise_uarch.Pipeline.run}). Cache hits beat
+    the deadline by construction.
+
+    Only {e expected} failures become [Error]: an exception outside
+    the simulation stack's documented set (a bug, an injected chaos
+    fault, [Out_of_memory]) escapes, to be confined per-slot by
+    {!Pool.run_outcomes} and reported as kind [internal] by the
+    server. *)
 
 val relative :
   Dise_uarch.Stats.t -> baseline:Dise_uarch.Stats.t -> float
@@ -168,6 +182,21 @@ val set_disk_cache : Cache.t option -> unit
     spawning worker domains. *)
 
 val disk_cache : unit -> Cache.t option
+
+val set_cache_breaker : Resilience.Breaker.t option -> unit
+(** Install (or remove, [None] — the initial state) a circuit breaker
+    over the disk cache ([disesim serve --breaker]). While installed:
+    cache {e reads} are skipped whenever the breaker is not closed
+    (degraded mode — jobs simulate instead of failing); cache
+    {e stores} flow through {!Resilience.Breaker.allow}, and a store
+    that still fails after bounded retries trips the breaker and is
+    {e dropped} (counted in {!Resilience.Counters.store_drops})
+    rather than raised — a sick cache must not fail a job whose
+    statistics already exist. Without a breaker, stores keep the
+    historical contract: transient failures are retried, persistent
+    ones raise [Cache.Diag_error]. *)
+
+val cache_breaker : unit -> Resilience.Breaker.t option
 
 val cache_counters : unit -> int * int
 (** This domain's cumulative disk-cache [(hits, misses)]. Counters

@@ -1,14 +1,34 @@
 module Json = Dise_telemetry.Json
+module Manifest = Dise_telemetry.Manifest
 module Stats = Dise_uarch.Stats
 module Diag = Dise_isa.Diag
 
-type opts = { jobs : int; queue : int }
+type opts = {
+  jobs : int;
+  queue : int;
+  deadline_ms : int option;
+  shed_above : int option;
+  journal : Resilience.Journal.t option;
+  manifest : Manifest.t option;
+}
 
-let default_opts () =
-  let jobs = Pool.default_jobs () in
-  { jobs; queue = 4 * jobs }
+let opts ?jobs ?queue ?deadline_ms ?shed_above ?journal ?manifest () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  let queue = match queue with Some q -> max 1 q | None -> 4 * jobs in
+  { jobs; queue; deadline_ms; shed_above; journal; manifest }
 
-type summary = { served : int; errors : int; cache_hits : int }
+let default_opts () = opts ()
+
+type summary = {
+  served : int;
+  errors : int;
+  cache_hits : int;
+  timeouts : int;
+  shed : int;
+  isolated : int;
+}
 
 let stop_flag = Atomic.make false
 let request_stop () = Atomic.set stop_flag true
@@ -20,6 +40,8 @@ let stopping () = Atomic.get stop_flag
 type job =
   | Run of Json.t * Request.t (* echoed id, decoded request *)
   | Bad of Json.t * Diag.t
+
+let job_id = function Run (id, _) | Bad (id, _) -> id
 
 (* Any defect in a single line — unparseable JSON, deep nesting
    blowing the parser's stack, a decoder bug surfacing as an
@@ -71,16 +93,39 @@ let ok_response id req ~cache_hit ~wall_s stats =
       ("stats", Stats.to_json stats);
     ]
 
-let run_job = function
-  | Bad (id, d) -> (error_response id d, `Error)
+(* The per-job budget starts when a worker picks the job up, and the
+   chaos stall (if any) burns it — that is exactly how the fault
+   matrix forces a deterministic timeout without simulating a huge
+   workload. A chaos [raise] escapes to the pool on purpose: it
+   exercises the [internal] isolation path. *)
+let run_job ~chaos ~deadline_ms = function
+  | Bad (id, d) -> (error_response id d, `Error (Diag.category d))
   | Run (id, req) -> (
     let t0 = Unix.gettimeofday () in
-    match Request.run_ext req with
+    let deadline =
+      Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.)) deadline_ms
+    in
+    Resilience.Chaos.apply chaos ~id;
+    match Request.run_ext ?deadline req with
     | Ok (stats, cache_hit) ->
       let wall_s = Unix.gettimeofday () -. t0 in
-      (ok_response id req ~cache_hit ~wall_s stats,
-       if cache_hit then `Hit else `Fresh)
-    | Error d -> (error_response id d, `Error))
+      ( ok_response id req ~cache_hit ~wall_s stats,
+        if cache_hit then `Hit else `Fresh )
+    | Error d -> (error_response id d, `Error (Diag.category d)))
+
+(* A job the pool isolated: an exception [run_ext] does not recognize
+   (chaos injection, a plain bug) confined to its slot. The response
+   says [internal]; the backtrace goes to stderr, where operators
+   look for bugs — it must not leak into the protocol. *)
+let isolated_response id e bt =
+  Format.eprintf "disesim serve: job isolated after unexpected exception: %s@.%s@."
+    (Printexc.to_string e)
+    (Printexc.raw_backtrace_to_string bt);
+  Resilience.Counters.incr Resilience.Counters.isolated;
+  ( error_response id
+      (Diag.Internal
+         ("job failed with unexpected exception: " ^ Printexc.to_string e)),
+    `Error "internal" )
 
 let max_line_bytes = 1 lsl 20
 
@@ -144,39 +189,160 @@ let read_chunk ic ~lineno n =
                 source = "serve";
                 line = !lineno;
                 msg =
-                  Printf.sprintf "line exceeds %d bytes" max_line_bytes;
+                  Printf.sprintf "input line %d exceeds %d bytes" !lineno
+                    max_line_bytes;
               } )
         :: !jobs;
       incr count
   done;
   match List.rev !jobs with [] -> None | l -> Some (Array.of_list l)
 
+(* Work-budget admission. The unit is the job's [dyn_target] (its
+   dynamic-instruction count — the one size signal a request carries
+   that is proportional to simulation cost); a chunk admits jobs in
+   order while their cumulative work stays within [shed_above], and
+   answers the rest [overloaded] without executing them. The first
+   runnable job is always admitted, however large: shedding must
+   bound latency, not deadlock a heavy-but-legitimate job. *)
+let shed_chunk ~shed_above chunk =
+  match shed_above with
+  | None -> chunk
+  | Some hw ->
+    let admitted = ref 0 in
+    Array.map
+      (function
+        | Bad _ as j -> j
+        | Run (id, req) as j ->
+          let w = req.Request.dyn_target in
+          if !admitted > 0 && !admitted + w > hw then
+            Bad
+              ( id,
+                Diag.Overloaded
+                  (Printf.sprintf
+                     "load shed: job of %d dynamic instructions would push \
+                      the in-flight work past the high-water mark of %d"
+                     w hw) )
+          else begin
+            admitted := !admitted + w;
+            j
+          end)
+      chunk
+
+(* Replay journal format: the request document with the client id
+   merged back in, so [Request.of_json] decodes it directly. *)
+let journal_doc id req =
+  match Request.to_json req with
+  | Json.Obj fields -> Json.Obj (("id", id) :: fields)
+  | j -> j
+
+let emit_summary m s =
+  let fields =
+    [
+      ("record", Json.String "serve_summary");
+      ("served", Json.Int s.served);
+      ("errors", Json.Int s.errors);
+      ("cache_hits", Json.Int s.cache_hits);
+      ("timeouts", Json.Int s.timeouts);
+      ("shed", Json.Int s.shed);
+      ("isolated", Json.Int s.isolated);
+      ( "counters",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Int v))
+             (Resilience.Counters.snapshot ())) );
+    ]
+    @
+    match Request.cache_breaker () with
+    | None -> []
+    | Some b -> [ ("breaker", Resilience.Breaker.to_json b) ]
+  in
+  Manifest.emit m fields
+
 let serve_channel ?opts ic oc =
-  let { jobs; queue } = match opts with Some o -> o | None -> default_opts () in
-  let queue = max 1 queue in
+  let o = match opts with Some o -> o | None -> default_opts () in
+  let chaos = Resilience.Chaos.of_env () in
   let lineno = ref 0 in
   let served = ref 0 and errors = ref 0 and hits = ref 0 in
+  let timeouts = ref 0 and shed = ref 0 and isolated = ref 0 in
   let rec loop () =
     if not (stopping ()) then
-      match read_chunk ic ~lineno queue with
+      match read_chunk ic ~lineno o.queue with
       | None -> ()
       | Some chunk ->
-        let responses = Pool.run ~jobs (Array.map (fun j () -> run_job j) chunk) in
-        Array.iter
-          (fun (resp, outcome) ->
-            (match outcome with
-            | `Error -> incr errors
+        let chunk = shed_chunk ~shed_above:o.shed_above chunk in
+        (* Durability point: every admitted job is journalled — and
+           the journal synced — before any of them executes, so a
+           crash mid-batch can lose work but never forget it. *)
+        let seqs =
+          match o.journal with
+          | None -> [||]
+          | Some j ->
+            let seqs =
+              Array.map
+                (function
+                  | Run (id, req) ->
+                    Some (Resilience.Journal.append_begin j (journal_doc id req))
+                  | Bad _ -> None)
+                chunk
+            in
+            Resilience.Journal.sync j;
+            seqs
+        in
+        let outcomes =
+          Pool.run_outcomes ~jobs:o.jobs
+            (Array.map
+               (fun j () -> run_job ~chaos ~deadline_ms:o.deadline_ms j)
+               chunk)
+        in
+        Array.iteri
+          (fun i outcome ->
+            let resp, tag =
+              match outcome with
+              | Ok r -> r
+              | Error (e, bt) -> isolated_response (job_id chunk.(i)) e bt
+            in
+            (match tag with
+            | `Error cat -> (
+              incr errors;
+              match cat with
+              | "timeout" ->
+                incr timeouts;
+                Resilience.Counters.incr Resilience.Counters.timeouts
+              | "overloaded" ->
+                incr shed;
+                Resilience.Counters.incr Resilience.Counters.shed
+              | "internal" -> incr isolated
+              | _ -> ())
             | `Hit -> incr hits
             | `Fresh -> ());
             incr served;
             output_string oc (Json.to_string resp);
             output_char oc '\n')
-          responses;
+          outcomes;
         flush oc;
-        if Array.length chunk = queue then loop ()
+        (match o.journal with
+        | None -> ()
+        | Some j ->
+          Array.iter
+            (function
+              | Some seq -> Resilience.Journal.mark_done j seq | None -> ())
+            seqs;
+          Resilience.Journal.sync j);
+        if Array.length chunk = o.queue then loop ()
   in
   loop ();
-  { served = !served; errors = !errors; cache_hits = !hits }
+  let s =
+    {
+      served = !served;
+      errors = !errors;
+      cache_hits = !hits;
+      timeouts = !timeouts;
+      shed = !shed;
+      isolated = !isolated;
+    }
+  in
+  (match o.manifest with None -> () | Some m -> emit_summary m s);
+  s
 
 let pp_summary ppf s =
   Format.fprintf ppf "served %d job%s (%d error%s, %d cache hit%s)" s.served
@@ -184,17 +350,91 @@ let pp_summary ppf s =
     s.errors
     (if s.errors = 1 then "" else "s")
     s.cache_hits
-    (if s.cache_hits = 1 then "" else "s")
+    (if s.cache_hits = 1 then "" else "s");
+  if s.timeouts > 0 || s.shed > 0 || s.isolated > 0 then
+    Format.fprintf ppf " [%d timed out, %d shed, %d isolated]" s.timeouts
+      s.shed s.isolated
+
+(* Replay begun-but-unfinished journal entries after a crash. Each
+   entry re-enters through [Request.run_ext], so a completed replay
+   lands in the content-addressed result cache under the same key the
+   original would have used — replaying is idempotent, and a job that
+   did finish before the crash is a pure cache hit. Failures
+   (including a corrupt entry that no longer decodes) are logged and
+   skipped; replay must never prevent the server from starting. *)
+let replay_journal ?jobs ~dir () =
+  match Resilience.Journal.pending ~dir with
+  | [] -> 0
+  | pending ->
+    let tasks =
+      List.map
+        (fun (seq, doc) () ->
+          match Request.of_json doc with
+          | Ok req -> ignore (Request.run_ext req)
+          | Error d ->
+            Format.eprintf
+              "disesim serve: journal entry %d is not replayable: %s@." seq
+              (Diag.to_string d))
+        pending
+    in
+    let outcomes = Pool.run_outcomes ?jobs (Array.of_list tasks) in
+    Array.iter
+      (function
+        | Error (e, _) ->
+          Format.eprintf "disesim serve: journal replay failed (isolated): %s@."
+            (Printexc.to_string e)
+        | Ok () -> ())
+      outcomes;
+    let n = List.length pending in
+    Resilience.Counters.add Resilience.Counters.journal_replayed n;
+    n
+
+(* Does a live server answer on [path]? Distinguishes "another
+   instance is running" (refuse to start — stealing its socket would
+   silently split the service) from a stale socket left by a crash
+   (safe to remove). *)
+let socket_live path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> false
+  | probe ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> true
+        | exception Unix.Unix_error _ -> false)
 
 let serve_socket ?opts ~path () =
-  (try if Sys.file_exists path then Unix.unlink path
-   with Unix.Unix_error _ -> ());
+  if Sys.file_exists path then
+    if socket_live path then
+      raise
+        (Cache.Diag_error
+           (Diag.Overloaded
+              (Printf.sprintf
+                 "socket %s is in use by a live server; refusing to start \
+                  (stop the other instance or pick another path)"
+                 path)))
+    else (
+      (* Stale socket from a crashed server: safe to reclaim. *)
+      try Unix.unlink path with Unix.Unix_error _ -> ());
+  (* A client that hangs up mid-response must surface as [Sys_error]
+     on this connection's channel — not as a process-killing SIGPIPE. *)
+  let prev_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore_sigpipe () =
+    match prev_sigpipe with
+    | Some b -> ( try Sys.set_signal Sys.sigpipe b with _ -> ())
+    | None -> ()
+  in
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind sock (Unix.ADDR_UNIX path);
      Unix.listen sock 8
    with Unix.Unix_error (e, _, _) ->
      Unix.close sock;
+     restore_sigpipe ();
      raise
        (Cache.Diag_error
           (Diag.Cache
@@ -204,6 +444,14 @@ let serve_socket ?opts ~path () =
     if not (stopping ()) then begin
       (match Unix.accept sock with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (e, _, _) ->
+        (* Transient accept failures (ECONNABORTED, EMFILE under fd
+           pressure): log, back off briefly, keep listening. *)
+        if not (stopping ()) then begin
+          Format.eprintf "disesim serve: accept failed: %s@."
+            (Unix.error_message e);
+          Unix.sleepf 0.05
+        end
       | conn, _ ->
         let ic = Unix.in_channel_of_descr conn in
         let oc = Unix.out_channel_of_descr conn in
@@ -220,13 +468,19 @@ let serve_socket ?opts ~path () =
           finish ();
           Format.eprintf "disesim serve: connection done: %a@." pp_summary s
         | exception e ->
+          (* Connection-level containment: a stream that dies (client
+             reset, I/O error, even a server bug) costs one
+             connection, never the listener. *)
           finish ();
-          raise e));
+          Resilience.Counters.incr Resilience.Counters.conn_failures;
+          Format.eprintf "disesim serve: connection failed (isolated): %s@."
+            (Printexc.to_string e)));
       accept_loop ()
     end
   in
   Fun.protect
     ~finally:(fun () ->
+      restore_sigpipe ();
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
     accept_loop

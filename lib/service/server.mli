@@ -25,27 +25,76 @@
     unit: a client piping a large job file never has more than
     [queue] jobs buffered in the server.
 
+    {b Fault tolerance} (doc/resilience.md has the full semantics):
+
+    - {e job isolation} — jobs run under {!Pool.run_outcomes}; an
+      exception the request layer does not recognize is confined to
+      its slot and answered in order with kind ["internal"]
+      (backtrace on stderr), while its batch-mates complete normally;
+    - {e deadlines} — with [deadline_ms] set, each job gets that
+      wall-clock budget from the moment a worker picks it up;
+      overruns are answered ["timeout"] (cooperatively — see
+      {!Request.run_ext});
+    - {e load shedding} — with [shed_above] set, a chunk admits jobs
+      in input order while their cumulative [dyn_target] stays within
+      the mark and answers the rest ["overloaded"] without running
+      them (the first runnable job is always admitted);
+    - {e crash-safe journal} — with [journal] set, every admitted job
+      is appended and fsynced before its batch executes and marked
+      done after its response is flushed; {!replay_journal} re-runs
+      whatever a crash interrupted;
+    - the result-cache circuit breaker lives one layer down
+      ({!Request.set_cache_breaker}); its state is included in the
+      manifest record this module emits.
+
     {b Shutdown.} {!request_stop} (wired to SIGINT/SIGTERM by
     [disesim serve]) drains gracefully: the in-flight chunk finishes,
     its responses are flushed, and the loop exits instead of reading
     further input. *)
 
 type opts = {
-  jobs : int;      (** worker domains, as {!Pool.run}'s [jobs] *)
-  queue : int;     (** max jobs in flight (chunk size), >= 1 *)
+  jobs : int;  (** worker domains, as {!Pool.run}'s [jobs] *)
+  queue : int;  (** max jobs in flight (chunk size), >= 1 *)
+  deadline_ms : int option;
+      (** per-job wall-clock budget; [None] (default): unbounded *)
+  shed_above : int option;
+      (** admission high-water mark in [dyn_target] units per chunk;
+          [None] (default): never shed *)
+  journal : Resilience.Journal.t option;
+      (** crash journal to append admitted jobs to *)
+  manifest : Dise_telemetry.Manifest.t option;
+      (** emit one ["serve_summary"] record per stream *)
 }
 
+val opts :
+  ?jobs:int ->
+  ?queue:int ->
+  ?deadline_ms:int ->
+  ?shed_above:int ->
+  ?journal:Resilience.Journal.t ->
+  ?manifest:Dise_telemetry.Manifest.t ->
+  unit ->
+  opts
+(** Smart constructor: [jobs] defaults to {!Pool.default_jobs}
+    (clamped >= 1), [queue] to [4 * jobs] (clamped >= 1), every
+    resilience feature to off. *)
+
 val default_opts : unit -> opts
-(** [{ jobs = Pool.default_jobs (); queue = 4 * jobs }]. *)
+(** [opts ()]. *)
 
 type summary = {
-  served : int;      (** responses written (ok and error alike) *)
-  errors : int;      (** of which ["ok": false] *)
+  served : int;  (** responses written (ok and error alike) *)
+  errors : int;  (** of which ["ok": false] *)
   cache_hits : int;  (** of which served without simulating *)
+  timeouts : int;  (** of the errors, kind ["timeout"] *)
+  shed : int;  (** of the errors, kind ["overloaded"] *)
+  isolated : int;  (** of the errors, kind ["internal"] *)
 }
 
 val pp_summary : Format.formatter -> summary -> unit
-(** ["served N jobs (E errors, H cache hits)"]. *)
+(** ["served N jobs (E errors, H cache hits)"], with a
+    [" [T timed out, S shed, I isolated]"] suffix when any of those
+    is nonzero. *)
 
 val serve_channel : ?opts:opts -> in_channel -> out_channel -> summary
 (** Serve one JSONL stream to completion (EOF or {!request_stop}).
@@ -54,16 +103,37 @@ val serve_channel : ?opts:opts -> in_channel -> out_channel -> summary
     mode. *)
 
 val serve_socket : ?opts:opts -> path:string -> unit -> unit
-(** Listen on a Unix-domain socket at [path] (unlinking any stale
-    one), serving connections sequentially — each connection is one
-    {!serve_channel} stream — until {!request_stop}. Per-connection
-    summaries are reported on stderr. Raises
-    [Cache.Diag_error (Cache _)] if the socket cannot be bound. *)
+(** Listen on a Unix-domain socket at [path], serving connections
+    sequentially — each connection is one {!serve_channel} stream —
+    until {!request_stop}. Per-connection summaries are reported on
+    stderr, and a connection that dies (client reset, I/O error, a
+    contained server bug) is counted, logged, and survived: the
+    listener keeps accepting. SIGPIPE is ignored for the listener's
+    lifetime so client hangups surface as per-connection errors.
+
+    If [path] already exists, it is {e probed} first: when a live
+    server answers, this call refuses to start with
+    [Cache.Diag_error (Diag.Overloaded _)] (exit-code class 6) —
+    stealing the socket would silently split the service; only a
+    dead (stale) socket is unlinked and reclaimed. Raises
+    [Cache.Diag_error (Diag.Cache _)] if the socket cannot be
+    bound. *)
+
+val replay_journal : ?jobs:int -> dir:string -> unit -> int
+(** Re-run every job the journal at [dir] records as begun but not
+    done (a crash's leftovers), returning how many were replayed (0
+    when there is no journal). Each job re-enters through
+    {!Request.run_ext}, so completed work is a cache hit and
+    interrupted work lands in the result cache under its original
+    key — replay is idempotent. Per-job failures are logged and
+    skipped; the caller decides when to {!Resilience.Journal.clear}.
+    [disesim serve --journal DIR] calls this on startup before
+    opening the journal for the new run. *)
 
 val max_line_bytes : int
 (** Upper bound on one input line (1 MiB). Longer lines are consumed
     up to the next newline and answered with a per-job ["parse"]
-    error, never buffered whole. *)
+    error naming the offending line number, never buffered whole. *)
 
 val request_stop : unit -> unit
 (** Ask the serving loops to drain and return. Async-signal-safe

@@ -423,7 +423,19 @@ let finish t =
   end;
   t.stats
 
-let run ?max_steps ?controller ?trace ?profile cfg machine =
+let run ?max_steps ?controller ?trace ?profile ?poll cfg machine =
   let p = create ?controller ?trace ?profile cfg in
-  ignore (Machine.run_events ?max_steps machine (fun ev -> consume p ev));
+  (match poll with
+  | None ->
+    ignore (Machine.run_events ?max_steps machine (fun ev -> consume p ev))
+  | Some poll ->
+    (* Amortized cooperative cancellation point: one poll every 2048
+       events keeps the overhead below the noise floor while bounding
+       how long a deadline overrun can go unnoticed. *)
+    let k = ref 0 in
+    ignore
+      (Machine.run_events ?max_steps machine (fun ev ->
+           incr k;
+           if !k land 2047 = 0 then poll ();
+           consume p ev)));
   finish p

@@ -63,8 +63,16 @@ val run :
   ?controller:Dise_core.Controller.t ->
   ?trace:Dise_telemetry.Trace.t ->
   ?profile:Dise_telemetry.Profile.t ->
+  ?poll:(unit -> unit) ->
   Config.t ->
   Dise_machine.Machine.t ->
   Stats.t
 (** Convenience driver: step the machine to completion, feeding every
-    event through a fresh pipeline. *)
+    event through a fresh pipeline.
+
+    [poll] is a cooperative cancellation hook: when given, it is
+    called once every ~2048 events and may abort the run by raising
+    (the service layer raises [Resilience.Deadline_exceeded] from it
+    to enforce per-job wall-clock budgets — OCaml domains cannot be
+    cancelled from outside, so long simulations must poll). Without
+    [poll] the event loop is unchanged. *)

@@ -139,6 +139,11 @@ let test_serve_fault_matrix () =
   fail_on_failures r;
   check bool_ "serve checks ran" true (r.F.Faults.passed >= 5)
 
+let test_resilience_fault_matrix () =
+  let r = F.Faults.resilience_faults ~seed:11 in
+  fail_on_failures r;
+  check bool_ "resilience checks ran" true (r.F.Faults.passed >= 5)
+
 (* --- the fuzzer itself ------------------------------------------------ *)
 
 let test_case_json_roundtrip () =
@@ -221,6 +226,7 @@ let suite =
     ("dense memo re-layout", `Quick, test_dense_memo_relayout);
     ("cache fault matrix", `Quick, test_cache_fault_matrix);
     ("serve fault matrix", `Quick, test_serve_fault_matrix);
+    ("resilience fault matrix", `Quick, test_resilience_fault_matrix);
     ("case JSON round-trip", `Quick, test_case_json_roundtrip);
     ("oracle pass + mutation detection", `Quick,
      test_oracle_passes_and_detects_mutation);

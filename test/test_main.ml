@@ -1,5 +1,9 @@
 (* Test runner: one alcotest suite per library area. *)
 
+(* Re-exec dispatch for the fault matrix's SIGKILL victim: must run
+   before anything else so the child never enters alcotest. *)
+let () = Dise_fuzz.Faults.journal_child_main ()
+
 let () =
   Alcotest.run "dise"
     [
@@ -14,5 +18,6 @@ let () =
       ("props", Test_props.suite);
       ("telemetry", Test_telemetry.suite);
       ("service", Test_service.suite);
+      ("resilience", Test_resilience.suite);
       ("fuzz", Test_fuzz.suite);
     ]
