@@ -75,6 +75,24 @@ let setup_cache dir no_cache =
     | c -> S.Request.set_disk_cache (Some c)
     | exception S.Cache.Diag_error d -> die d
 
+(* --- superblock-JIT knobs (see doc/jit.md) ----------------------------- *)
+
+let no_jit_arg =
+  Arg.(value & flag & info [ "no-jit" ]
+         ~doc:"Disable the functional machine's trace/superblock JIT.                Purely a performance knob: statistics and figure CSVs are                identical either way (the differential fuzzer proves it),                but JIT-on and JIT-off runs cache under distinct keys.")
+
+let jit_threshold_arg =
+  Arg.(value & opt int Machine.default_jit_threshold
+       & info [ "jit-threshold" ] ~docv:"K"
+           ~doc:"Compile a trace after its PC has been dispatched $(docv)                  times (default 8). Lower compiles sooner; 1 compiles on                  first sight.")
+
+let setup_jit no_jit threshold =
+  if threshold < 1 then begin
+    Format.eprintf "--jit-threshold must be >= 1@.";
+    exit 2
+  end;
+  S.Request.set_default_jit ~enabled:(not no_jit) ~threshold
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -190,8 +208,9 @@ let cpi_stack_arg =
 let run_cmd =
   let doc = "Simulate one workload under one ACF and machine configuration." in
   let run bench dyn icache width acf rt rt_assoc stats_json trace_path cpi
-      cache_dir no_cache =
+      cache_dir no_cache no_jit jit_threshold =
     setup_cache cache_dir no_cache;
+    setup_jit no_jit jit_threshold;
     let entry = entry_of bench dyn in
     let spec = spec_of dyn icache width rt rt_assoc (acf = `Composed) in
     let trace_chan = Option.map open_out trace_path in
@@ -266,7 +285,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ bench_arg $ dyn_arg $ icache_arg $ width_arg $ acf_arg
           $ rt_arg $ rt_assoc_arg $ stats_json_arg $ trace_out_arg
-          $ cpi_stack_arg $ cache_dir_arg $ no_cache_arg)
+          $ cpi_stack_arg $ cache_dir_arg $ no_cache_arg $ no_jit_arg
+          $ jit_threshold_arg)
 
 (* --- compress ---------------------------------------------------------- *)
 
@@ -288,8 +308,10 @@ let compress_cmd =
     Arg.(value & opt int 0 & info [ "show-dictionary" ] ~docv:"N"
            ~doc:"Print the $(docv) most-used dictionary entries.")
   in
-  let run bench dyn scheme show stats_json cache_dir no_cache =
+  let run bench dyn scheme show stats_json cache_dir no_cache no_jit
+      jit_threshold =
     setup_cache cache_dir no_cache;
+    setup_jit no_jit jit_threshold;
     let entry = entry_of bench dyn in
     (* A sizes-only invocation goes through the disk-cacheable summary
        (warm reruns skip the compressor); dumping dictionary entries
@@ -360,7 +382,8 @@ let compress_cmd =
   in
   Cmd.v (Cmd.info "compress" ~doc)
     Term.(const run $ bench_arg $ dyn_arg $ scheme_arg $ show_arg
-          $ stats_json_arg $ cache_dir_arg $ no_cache_arg)
+          $ stats_json_arg $ cache_dir_arg $ no_cache_arg $ no_jit_arg
+          $ jit_threshold_arg)
 
 (* --- figures ------------------------------------------------------------ *)
 
@@ -390,8 +413,10 @@ let figures_cmd =
                  benchmark, worker domain, wall-clock) plus per-panel \
                  pool-utilization summaries to $(docv).")
   in
-  let run ids quick dyn csv jobs manifest_path cpi cache_dir no_cache =
+  let run ids quick dyn csv jobs manifest_path cpi cache_dir no_cache no_jit
+      jit_threshold =
     setup_cache cache_dir no_cache;
+    setup_jit no_jit jit_threshold;
     let opts =
       if quick then H.Figures.quick_opts
       else { H.Figures.default_opts with H.Figures.dyn_target = dyn }
@@ -459,7 +484,8 @@ let figures_cmd =
   in
   Cmd.v (Cmd.info "figures" ~doc)
     Term.(const run $ ids_arg $ quick_arg $ dyn_arg $ csv_arg $ jobs_arg
-          $ manifest_arg $ cpi_stack_arg $ cache_dir_arg $ no_cache_arg)
+          $ manifest_arg $ cpi_stack_arg $ cache_dir_arg $ no_cache_arg
+          $ no_jit_arg $ jit_threshold_arg)
 
 (* --- serve: batch JSONL simulation service ------------------------------ *)
 
@@ -527,8 +553,11 @@ let serve_cmd =
                  half-open probe.")
   in
   let run jobs queue socket deadline_ms shed_above journal manifest_path
-      breaker breaker_cooldown_ms cache_dir no_cache =
+      breaker breaker_cooldown_ms cache_dir no_cache no_jit jit_threshold =
     setup_cache cache_dir no_cache;
+    (* The default applies to every request that leaves the jit member
+       out; requests spelling it out still win. *)
+    setup_jit no_jit jit_threshold;
     let jobs = max 1 jobs in
     if breaker > 0 then
       S.Request.set_cache_breaker
@@ -588,7 +617,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ jobs_arg $ queue_arg $ socket_arg $ deadline_arg
           $ shed_arg $ journal_arg $ serve_manifest_arg $ breaker_arg
-          $ breaker_cooldown_arg $ cache_dir_arg $ no_cache_arg)
+          $ breaker_cooldown_arg $ cache_dir_arg $ no_cache_arg $ no_jit_arg
+          $ jit_threshold_arg)
 
 (* --- cache: inspect / clear the result cache ---------------------------- *)
 

@@ -26,21 +26,34 @@ type dense = {
 }
 
 type t = {
-  prodset : Prodset.t;
-  dispatch : Production.t list array;  (* by opcode key, precedence order *)
+  mutable prodset : Prodset.t;
+  mutable dispatch : Production.t list array;
+      (* by opcode key, precedence order *)
   dense : dense option;
-  cache : (int * I.t, Machine.expansion option) Hashtbl.t;
-      (* sparse fallback, keyed by the (pc, instruction) pair: a PC in
-         a non-dense (codeword) image can be re-laid-out with a
-         different instruction, so PC alone is not a sound key — and
-         the opcode key alone cannot tell two loads apart *)
+  cache : (int, I.t * Machine.expansion option) Hashtbl.t;
+      (* Sparse fallback, keyed by PC with the memoized trigger stored
+         alongside the result — the same staleness discipline as the
+         dense memo: a hit requires the stored trigger to match the
+         probe (physical equality first), because a re-laid-out image
+         can put a different instruction at the same address. Keying
+         by the bare int also avoids allocating a (pc, insn) tuple and
+         deep-hashing the instruction on every probe. *)
+  generation : int ref;
+      (* Bumped by [set_prodset] and [invalidate]; machines attached
+         via [attach_jit] share this ref and retire their superblocks
+         when it moves. *)
+  mutable jit : Machine.jit_state option;
+      (* Superblock state warmed by previously attached machines.
+         [attach_jit] re-adopts it so traces compiled while serving
+         one machine keep paying off for every later machine over the
+         same image — compilation is per engine, not per machine. *)
   mutable performed : int;
 }
 
+let build_dispatch prodset =
+  Array.init I.num_keys (fun key -> Prodset.patterns_for_key prodset key)
+
 let create ?image prodset =
-  let dispatch =
-    Array.init I.num_keys (fun key -> Prodset.patterns_for_key prodset key)
-  in
   let dense =
     match image with
     | Some img when Image.is_dense img ->
@@ -54,9 +67,44 @@ let create ?image prodset =
         }
     | Some _ | None -> None
   in
-  { prodset; dispatch; dense; cache = Hashtbl.create 4096; performed = 0 }
+  {
+    prodset;
+    dispatch = build_dispatch prodset;
+    dense;
+    cache = Hashtbl.create 4096;
+    generation = ref 0;
+    jit = None;
+    performed = 0;
+  }
 
 let prodset t = t.prodset
+let generation t = !(t.generation)
+
+let clear_memos t =
+  (match t.dense with
+  | Some d ->
+    Bytes.fill d.known 0 (Bytes.length d.known) '\000';
+    Array.fill d.slots 0 (Array.length d.slots) None
+  | None -> ());
+  Hashtbl.reset t.cache
+
+let invalidate t =
+  clear_memos t;
+  incr t.generation
+
+let set_prodset t prodset =
+  t.prodset <- prodset;
+  t.dispatch <- build_dispatch prodset;
+  invalidate t
+
+let attach_jit ?threshold t m =
+  let adopted =
+    match t.jit with Some js -> Machine.adopt_jit m js | None -> false
+  in
+  if not adopted then begin
+    Machine.enable_jit ?threshold ~generation:t.generation m;
+    t.jit <- Machine.jit_state m
+  end
 
 let compute t ~pc insn =
   let rec first = function
@@ -80,12 +128,11 @@ let compute t ~pc insn =
         fail "instantiating R%d for trigger at 0x%x: %s" rsid pc msg))
 
 let sparse_lookup t ~pc insn =
-  let key = (pc, insn) in
-  match Hashtbl.find_opt t.cache key with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find_opt t.cache pc with
+  | Some (t0, r) when t0 == insn || I.equal t0 insn -> r
+  | Some _ | None ->
     let r = compute t ~pc insn in
-    Hashtbl.replace t.cache key r;
+    Hashtbl.replace t.cache pc (insn, r);
     r
 
 let expand t ~pc insn =
@@ -127,7 +174,8 @@ let expansions_performed t = t.performed
 
 let distinct_triggers t =
   let sparse =
-    Hashtbl.fold (fun _ v acc -> match v with Some _ -> acc + 1 | None -> acc)
+    Hashtbl.fold
+      (fun _ (_, v) acc -> match v with Some _ -> acc + 1 | None -> acc)
       t.cache 0
   in
   match t.dense with

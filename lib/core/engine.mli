@@ -38,6 +38,36 @@ val create : ?image:Dise_isa.Program.Image.t -> Prodset.t -> t
 
 val prodset : t -> Prodset.t
 
+val set_prodset : t -> Prodset.t -> unit
+(** Swap the live production set: rebuilds the dispatch table, clears
+    both memos, and bumps the invalidation generation so any machine
+    attached via {!attach_jit} retires its superblocks. *)
+
+val invalidate : t -> unit
+(** Invalidate derived state without changing the production set —
+    the hook for PT/RT writes by the controller: clears the memos and
+    bumps the generation counter. *)
+
+val generation : t -> int
+(** Current invalidation generation (starts at 0; {!set_prodset} and
+    {!invalidate} each bump it once). *)
+
+val attach_jit : ?threshold:int -> t -> Dise_machine.Machine.t -> unit
+(** Enable the machine's superblock JIT wired to this engine's
+    generation counter, so {!set_prodset}/{!invalidate} retire its
+    compiled traces. [threshold] defaults to
+    {!Dise_machine.Machine.default_jit_threshold}.
+
+    Superblock state is owned by the engine, not the machine: the
+    first attach creates it, and every later attach over the same
+    image re-adopts it ({!Dise_machine.Machine.adopt_jit}), so traces
+    compiled while serving one machine start the next machine at
+    steady state. A [threshold] passed after the first attach is
+    ignored while the cached state remains valid. Machines sharing the
+    state must run to completion one at a time — interleaved stepping
+    risks a generation bump from one machine retiring traces the other
+    is executing. *)
+
 val expand : t -> pc:int -> Dise_isa.Insn.t -> Dise_machine.Machine.expansion option
 (** [None] when no production matches. An identity production yields
     [Some] with the trigger as the single element (it is still an

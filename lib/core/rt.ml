@@ -8,12 +8,25 @@ type t = {
   n_sets : int;
   assoc : int;
   entries_per_block : int;
+  index_mask : int;
+      (* n_sets - 1 when n_sets is a power of two (the common case),
+         letting [set_index] mask instead of divide; -1 selects the
+         general modulus. Identical indices either way. *)
+  blocks_for_len : int array;
+      (* len -> ceil(len / entries_per_block), precomputed at
+         construction for every length up to [max_precomputed_len] so
+         the access path never divides. *)
   sets : way array array;
   mutable clock : int;
   mutable accesses : int;
   mutable misses : int;
   mutable resident : int;
 }
+
+let max_precomputed_len = 256
+
+let precompute_blocks epb =
+  Array.init (max_precomputed_len + 1) (fun len -> (len + epb - 1) / epb)
 
 let create ?(entries_per_block = 1) ~entries ~assoc () =
   if entries <= 0 || assoc <= 0 || entries_per_block <= 0 then
@@ -26,6 +39,8 @@ let create ?(entries_per_block = 1) ~entries ~assoc () =
     n_sets;
     assoc;
     entries_per_block;
+    index_mask = (if n_sets land (n_sets - 1) = 0 then n_sets - 1 else -1);
+    blocks_for_len = precompute_blocks entries_per_block;
     sets =
       Array.init n_sets (fun _ ->
           Array.init assoc (fun _ -> { tag = -1; lru = 0 }));
@@ -41,6 +56,8 @@ let perfect () =
     n_sets = 0;
     assoc = 0;
     entries_per_block = 1;
+    index_mask = -1;
+    blocks_for_len = [||];
     sets = [||];
     clock = 0;
     accesses = 0;
@@ -56,7 +73,8 @@ let block_tag ~rsid ~blk = (rsid lsl 12) lor blk
    the tag (which lives above bit 12). *)
 let set_index t tag =
   let h = tag * 0x9E3779B1 land max_int in
-  (h lsr 16) mod t.n_sets
+  let h = h lsr 16 in
+  if t.index_mask >= 0 then h land t.index_mask else h mod t.n_sets
 
 let probe t tag =
   let set = t.sets.(set_index t tag) in
@@ -81,7 +99,9 @@ let fill t tag =
   !victim.lru <- t.clock
 
 let blocks_of_len t len =
-  (len + t.entries_per_block - 1) / t.entries_per_block
+  if len <= max_precomputed_len && not t.perfect then
+    Array.unsafe_get t.blocks_for_len len
+  else (len + t.entries_per_block - 1) / t.entries_per_block
 
 let access t ~rsid ~len =
   t.accesses <- t.accesses + 1;

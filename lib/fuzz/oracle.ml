@@ -207,9 +207,28 @@ let run_checks ?mutation (b : Case.built) =
   let m_naive = machine (Naive.expander prodset) in
   let m_dense = machine (mutate mutation (Engine.expander (dense_engine ()))) in
   let m_hash = machine (Engine.expander (Engine.create prodset)) in
+  (* Fourth side: the superblock JIT over an unmutated engine, with a
+     threshold low enough that hot traces compile within the budget —
+     every fuzz iteration proves the compiled path produces the same
+     event stream, instruction for instruction. (Mutated expanders are
+     stateful — the mutation counts calls — and the JIT's compile-ahead
+     would perturb the count sequence, so the JIT side is never
+     mutated; the mutated dense side still diverges from naive, which
+     is what mutation detection relies on.) *)
+  let m_jit =
+    let eng = dense_engine () in
+    let m = machine (Engine.expander eng) in
+    Engine.attach_jit ~threshold:2 eng m;
+    m
+  in
   let* steps =
     lockstep ~budget
-      [| ("naive", m_naive); ("engine-memo", m_dense); ("engine-hash", m_hash) |]
+      [|
+        ("naive", m_naive);
+        ("engine-memo", m_dense);
+        ("engine-hash", m_hash);
+        ("engine-jit", m_jit);
+      |]
   in
   let expansions = Machine.expansions m_dense in
   let* () =

@@ -59,6 +59,34 @@ module Event : sig
   }
 end
 
+(** The allocation-free twin of {!Event.t}: a single mutable record
+    per machine, overwritten by each executed instruction. {!run_raw}
+    passes it to the sink instead of allocating an event; read the
+    fields before the next step. *)
+module Raw : sig
+  type t = {
+    mutable pc : int;
+    mutable insn : Dise_isa.Insn.t;
+    mutable rsid : int;  (** [-1] for an application instruction *)
+    mutable offset : int;
+    mutable len : int;
+    mutable expansion_start : bool;
+    mutable fetched_new_pc : bool;
+    mutable mem_addr : int;  (** effective address, or {!no_mem} *)
+    mutable branch : int;
+        (** [-1] = no branch; else bit 0 = taken, bit 1 = dise_internal *)
+    mutable target : int;
+  }
+
+  val no_mem : int
+  (** Sentinel stored in [mem_addr] when the instruction made no memory
+      access. *)
+
+  val make : unit -> t
+  (** A fresh scratch record (for callers translating {!Event.t}
+      values back into raw form). *)
+end
+
 type t
 
 val create :
@@ -118,5 +146,72 @@ val run : ?max_steps:int -> t -> int
 val run_events : ?max_steps:int -> t -> (Event.t -> unit) -> int
 (** Like {!run} but streams every event to the callback. *)
 
+val raw : t -> Raw.t
+(** The machine's scratch record, valid after any successful step. *)
+
+val run_raw : ?max_steps:int -> ?poll:(unit -> unit) -> t -> (Raw.t -> unit) -> int
+(** Like {!run_events} but streams the machine's single mutable
+    {!Raw.t} scratch record to the sink — zero allocation per dynamic
+    instruction. The sink must copy out anything it wants to keep.
+    [poll] (if given) is called once every 2048 events, a cooperative
+    cancellation point for deadline enforcement. *)
+
 val exit_code : t -> int
 (** Value of r2 at halt, the program's exit-convention register. *)
+
+(** {2 Trace/superblock JIT}
+
+    Once an application PC has been dispatched [threshold] times at an
+    expansion boundary, the straight-line code reachable from it — with
+    every production expansion already applied — is flattened into a
+    contiguous arena the run loop executes with zero per-fetch
+    matching, hashing, or allocation. Soundness is generation-stamped:
+    the engine bumps the shared [generation] counter on any production
+    set swap or PT/RT write, which retires every superblock at the
+    next application-instruction boundary. See [doc/jit.md]. *)
+
+val default_jit_threshold : int
+(** Dispatches of one PC before its trace is compiled (8). *)
+
+val enable_jit : ?threshold:int -> ?generation:int ref -> t -> unit
+(** Attach the superblock JIT. [generation] is the invalidation
+    counter shared with the engine (see [Engine.attach_jit], which
+    passes its own); when omitted the JIT can never be invalidated,
+    which is only sound for a fixed production set. The expander must
+    be pure and idempotent: compilation replays it ahead of
+    execution. *)
+
+val jit_enabled : t -> bool
+
+type jit_state
+(** A machine's superblock state — threshold, hot-PC counters, the
+    compiled-trace arena, and the compile/hit/invalidation totals —
+    detached from any particular machine. The arena is a pure function
+    of the image text and the expander (production-set drift is
+    covered by the generation stamp), so a state warmed by one machine
+    can be re-adopted by a later machine over the same image and start
+    at steady state. *)
+
+val jit_state : t -> jit_state option
+(** The machine's superblock state, for re-adoption elsewhere. *)
+
+val adopt_jit : t -> jit_state -> bool
+(** [adopt_jit m js] attaches an existing superblock state to [m],
+    reusing every already-compiled trace. Returns [false] — leaving
+    [m] untouched — unless [m]'s image text is physically the text
+    [js] was compiled over. The caller is responsible for expander
+    compatibility: adopting a state across engines with different
+    production sets but a shared generation counter is unsound (going
+    through {!Dise_core.Engine.attach_jit} gets this right). Two live
+    machines may share a state, but only run-to-completion style:
+    interleaved stepping risks one machine retiring superblocks (a
+    generation bump) while the other is mid-trace. *)
+
+val jit_compiles : t -> int
+(** Superblocks compiled (0 when the JIT is disabled). *)
+
+val jit_hits : t -> int
+(** Dispatches served by an already-compiled superblock. *)
+
+val jit_invalidations : t -> int
+(** Superblocks retired by generation bumps. *)

@@ -9,7 +9,7 @@ let cache_error fmt =
    timing behaviour, the canonical request encoding, or the payload
    schema. The salt is hashed into every key AND embedded in every
    envelope, so stale entries miss twice over. *)
-let version = "1"
+let version = "2"
 let salt = "dise-result-cache-v" ^ version
 
 type t = { root : string }

@@ -32,11 +32,24 @@ type t = {
   machine : Config.t;
   controller : Controller.config option;
   acf : acf;
+  jit : bool;
+  jit_threshold : int;
 }
 
-let v ?(dyn_target = 300_000) ?(machine = Config.default) ?controller
-    ?(acf = Baseline) bench =
-  { bench; dyn_target; machine; controller; acf }
+(* Process-wide default for requests that do not spell out a [jit]
+   member (and for [v] calls without the optional arguments): the CLI
+   sets it from --no-jit/--jit-threshold, so `disesim serve --no-jit`
+   turns the JIT off for every request that leaves the choice open
+   while explicit requests still win. *)
+let default_jit = ref (true, Machine.default_jit_threshold)
+let set_default_jit ~enabled ~threshold = default_jit := (enabled, max 1 threshold)
+
+let v ?dyn_target:(dyn_target = 300_000) ?(machine = Config.default) ?controller
+    ?(acf = Baseline) ?jit ?jit_threshold bench =
+  let d_enabled, d_threshold = !default_jit in
+  let jit = Option.value jit ~default:d_enabled in
+  let jit_threshold = Option.value jit_threshold ~default:d_threshold in
+  { bench; dyn_target; machine; controller; acf; jit; jit_threshold }
 
 (* --- canonical JSON encoding ------------------------------------------- *)
 
@@ -109,6 +122,16 @@ let to_json t =
         | None -> Json.Null
         | Some c -> controller_to_json c );
       ("acf", acf_to_json t.acf);
+      (* Always present in the canonical form: a JIT-off run and a
+         JIT-on run get distinct cache/memo keys (the timing model is
+         identical by construction — the fuzz oracle proves it — but
+         the jit counters inside the cached stats differ). *)
+      ( "jit",
+        Json.Obj
+          [
+            ("enabled", Json.Bool t.jit);
+            ("threshold", Json.Int t.jit_threshold);
+          ] );
     ]
 
 let canonical t = Json.to_string (to_json t)
@@ -253,7 +276,16 @@ let of_json j =
       | Some a -> acf_of_json a
       | None -> Ok Baseline
     in
-    Ok { bench; dyn_target; machine; controller; acf }
+    let* jit, jit_threshold =
+      match Json.member "jit" j with
+      | None -> Ok !default_jit
+      | Some jj ->
+        let* enabled = bool_field "jit" jj "enabled" in
+        let* threshold = int_field "jit" jj "threshold" in
+        if threshold < 1 then parse_error "jit.threshold: must be >= 1"
+        else Ok (enabled, threshold)
+    in
+    Ok { bench; dyn_target; machine; controller; acf; jit; jit_threshold }
   | _ -> parse_error "request: expected object"
 
 (* --- cross-cell memo tables --------------------------------------------- *)
@@ -429,7 +461,20 @@ let run_machine t ?prodset ?trace ?profile ?poll m =
     | Some cfg, None -> Some (Controller.create cfg Prodset.empty)
     | None, _ -> None
   in
-  Pipeline.run ~max_steps ?controller ?trace ?profile ?poll t.machine m
+  let stats =
+    Pipeline.run ~max_steps ?controller ?trace ?profile ?poll t.machine m
+  in
+  (* Aggregate into the process-wide counters the serve summary
+     records (per-run values live in the stats themselves). *)
+  if stats.Stats.jit_compiles <> 0 then
+    Resilience.Counters.add Resilience.Counters.jit_compiles
+      stats.Stats.jit_compiles;
+  if stats.Stats.jit_hits <> 0 then
+    Resilience.Counters.add Resilience.Counters.jit_hits stats.Stats.jit_hits;
+  if stats.Stats.jit_invalidations <> 0 then
+    Resilience.Counters.add Resilience.Counters.jit_invalidations
+      stats.Stats.jit_invalidations;
+  stats
 
 let check_clean name m =
   if Machine.exit_code m <> 0 then
@@ -437,9 +482,19 @@ let check_clean name m =
       (Printf.sprintf "experiment %s: workload trapped (exit %d)" name
          (Machine.exit_code m))
 
-let with_engine image prodset =
+let with_engine t image prodset =
   let engine = Engine.create ~image prodset in
-  Machine.create ~expander:(Engine.expander engine) image
+  let m = Machine.create ~expander:(Engine.expander engine) image in
+  if t.jit then Engine.attach_jit ~threshold:t.jit_threshold engine m;
+  m
+
+(* Expander-free machines (baseline, statically rewritten binaries)
+   have no engine whose generation could move, so a detached JIT is
+   sound. *)
+let plain_machine t image =
+  let m = Machine.create image in
+  if t.jit then Machine.enable_jit ~threshold:t.jit_threshold m;
+  m
 
 let install_mfi m =
   Mfi.install m ~data_seg:Codegen.data_segment_id
@@ -474,13 +529,13 @@ let compress_result ~scheme ?(rewritten = false) (entry : Suite.entry) =
 let simulate ?trace ?profile ?poll t (entry : Suite.entry) =
   match t.acf with
   | Baseline ->
-    let m = Machine.create entry.Suite.image in
+    let m = plain_machine t entry.Suite.image in
     let stats = run_machine t ?trace ?profile ?poll m in
     check_clean "baseline" m;
     stats
   | Mfi_dise variant ->
     let prodset = Mfi.productions_for ~variant entry.Suite.image in
-    let m = with_engine entry.Suite.image prodset in
+    let m = with_engine t entry.Suite.image prodset in
     install_mfi m;
     let stats = run_machine t ~prodset ?trace ?profile ?poll m in
     check_clean "mfi_dise" m;
@@ -494,7 +549,7 @@ let simulate ?trace ?profile ?poll t (entry : Suite.entry) =
           ~code_seg:Codegen.code_segment_id entry.Suite.gen.Codegen.program
     in
     let image = Dise_isa.Program.layout ~base:Codegen.code_base prog in
-    let m = Machine.create image in
+    let m = plain_machine t image in
     let stats = run_machine t ?trace ?profile ?poll m in
     check_clean "mfi_rewrite" m;
     stats
@@ -505,7 +560,7 @@ let simulate ?trace ?profile ?poll t (entry : Suite.entry) =
       | `None -> result.Compress.prodset
       | `Composed -> Dise_acf.Acf_compose.for_compressed result
     in
-    let m = with_engine result.Compress.image prodset in
+    let m = with_engine t result.Compress.image prodset in
     (match mfi with `Composed -> install_mfi m | `None -> ());
     let stats = run_machine t ~prodset ?trace ?profile ?poll m in
     check_clean "decompress" m;

@@ -57,6 +57,13 @@ type t = {
   controller : Dise_core.Controller.config option;
       (** [None]: DISE is free (no PT/RT modelling). *)
   acf : acf;
+  jit : bool;
+      (** Run the functional machine through the superblock JIT (see
+          doc/jit.md). Purely a performance knob — statistics are
+          identical either way — but part of the canonical form, so
+          JIT-on and JIT-off results cache under distinct keys. *)
+  jit_threshold : int;
+      (** Dispatches of a PC before its trace is compiled (>= 1). *)
 }
 
 val v :
@@ -64,10 +71,21 @@ val v :
   ?machine:Dise_uarch.Config.t ->
   ?controller:Dise_core.Controller.config ->
   ?acf:acf ->
+  ?jit:bool ->
+  ?jit_threshold:int ->
   string ->
   t
 (** [v bench] with the paper's defaults: 300K dynamic instructions,
-    default machine, free DISE, [Baseline]. *)
+    default machine, free DISE, [Baseline], and the process-wide JIT
+    default ({!set_default_jit}) for [jit]/[jit_threshold]. *)
+
+val set_default_jit : enabled:bool -> threshold:int -> unit
+(** Process-wide default applied by {!v} and by {!of_json} when the
+    incoming request has no ["jit"] member — how [--no-jit] and
+    [--jit-threshold] act on whole CLI invocations (including serve
+    sessions) without overriding requests that spell the knob out.
+    Initially enabled with {!Dise_machine.Machine.default_jit_threshold}.
+    [threshold] is clamped to >= 1. *)
 
 (** {1 Canonical encoding} *)
 
@@ -78,7 +96,8 @@ val to_json : t -> Dise_telemetry.Json.t
 
 val of_json : Dise_telemetry.Json.t -> (t, Dise_isa.Diag.t) result
 (** Member order free; unknown members ignored (the serve protocol
-    adds ["id"]); [bench] must name a known profile. Errors are
+    adds ["id"]); [bench] must name a known profile; a missing
+    ["jit"] member takes the {!set_default_jit} default. Errors are
     [Diag.Parse]/[Diag.Invalid] (exit-code class "parse"). *)
 
 val canonical : t -> string

@@ -25,6 +25,9 @@ module Counters = struct
   let breaker_closes = make "breaker_closes"
   let conn_failures = make "conn_failures"
   let journal_replayed = make "journal_replayed"
+  let jit_compiles = make "jit_compiles"
+  let jit_hits = make "jit_hits"
+  let jit_invalidations = make "jit_invalidations"
 
   let incr c = Atomic.incr c.cell
   let add c n = ignore (Atomic.fetch_and_add c.cell n)

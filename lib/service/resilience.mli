@@ -55,6 +55,15 @@ module Counters : sig
   val journal_replayed : t
   (** Jobs re-executed from a crash journal. *)
 
+  val jit_compiles : t
+  (** Superblocks compiled across all jobs (see doc/jit.md). *)
+
+  val jit_hits : t
+  (** JIT dispatches served from an already-compiled superblock. *)
+
+  val jit_invalidations : t
+  (** Superblocks retired by production-set/PT/RT generation bumps. *)
+
   val incr : t -> unit
   val add : t -> int -> unit
   val get : t -> int

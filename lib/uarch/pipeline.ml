@@ -43,6 +43,10 @@ type t = {
   mutable dmiss : bool;
       (* the instruction currently being consumed took an L1-D load miss *)
   mutable finished : bool;
+  raw_scratch : Machine.Raw.t;
+      (* backing store for the [consume] (event-typed) entry point:
+         events are translated into raw form so there is exactly one
+         consumption path *)
 }
 
 let make_cache = function
@@ -86,6 +90,7 @@ let create ?controller ?trace ?profile (cfg : Config.t) =
     pending_redirect = redirect_none;
     dmiss = false;
     finished = false;
+    raw_scratch = Machine.Raw.make ();
   }
 
 (* Penalty of an L1 miss: the L2 access, plus memory on an L2 miss.
@@ -160,15 +165,19 @@ let serialize_stall t bucket cycles =
         ~args:[ ("cycles", Json.Int cycles) ]
   end
 
-let latency_of t (ev : Event.t) =
-  match ev.insn with
+(* [mem_addr] is the raw-form effective address ([Machine.Raw.no_mem]
+   when the instruction made no access; loads/stores always set it, so
+   the sentinel is defensively treated as address 0, matching the old
+   event path's [None -> 0]). *)
+let latency_of t insn ~mem_addr =
+  match insn with
   | I.Rop (Op.Mul, _, _, _) | I.Ropi (Op.Mul, _, _, _) -> t.cfg.mul_latency
   | I.Mem ((Op.Ldq | Op.Ldbu), _, _, _) -> (
     t.stats.Stats.dcache_accesses <- t.stats.Stats.dcache_accesses + 1;
     match t.dcache with
     | None -> t.cfg.l1_latency
     | Some dc -> (
-      let addr = match ev.mem_addr with Some a -> a | None -> 0 in
+      let addr = if mem_addr = Machine.Raw.no_mem then 0 else mem_addr in
       match Cache.access dc addr with
       | `Hit -> t.cfg.l1_latency
       | `Miss ->
@@ -182,7 +191,7 @@ let latency_of t (ev : Event.t) =
     (match t.dcache with
     | None -> ()
     | Some dc -> (
-      let addr = match ev.mem_addr with Some a -> a | None -> 0 in
+      let addr = if mem_addr = Machine.Raw.no_mem then 0 else mem_addr in
       match Cache.access dc addr with
       | `Hit -> ()
       | `Miss ->
@@ -202,7 +211,11 @@ let branch_kind insn =
 
 let is_call = function I.Jal _ | I.Jalr _ -> true | _ -> false
 
-let consume t (ev : Event.t) =
+(* The single consumption path, over the machine's raw (allocation
+   free) step record. [rsid < 0] means an application instruction;
+   [branch < 0] no branch, else bit 0 = taken / bit 1 = dise_internal;
+   [mem_addr = Raw.no_mem] no memory access. *)
+let consume_raw t (r : Machine.Raw.t) =
   let cfg = t.cfg in
   let stats = t.stats in
   (* The redirect bubble set by a previous instruction is attributed
@@ -216,16 +229,16 @@ let consume t (ev : Event.t) =
     t.fetch_cycle <- t.fetch_cycle + 1;
     t.fetch_count <- 0
   end;
-  if ev.fetched_new_pc then begin
+  if r.Machine.Raw.fetched_new_pc then begin
     stats.Stats.app_instrs <- stats.Stats.app_instrs + 1;
     (match t.icache with
     | None -> ()
     | Some ic ->
-      let line = Cache.line_of ic ev.pc in
+      let line = Cache.line_of ic r.Machine.Raw.pc in
       if line <> t.last_line then begin
         t.last_line <- line;
         stats.Stats.icache_accesses <- stats.Stats.icache_accesses + 1;
-        match Cache.access ic ev.pc with
+        match Cache.access ic r.Machine.Raw.pc with
         | `Hit -> ()
         | `Miss ->
           stats.Stats.icache_misses <- stats.Stats.icache_misses + 1;
@@ -234,25 +247,31 @@ let consume t (ev : Event.t) =
           (* Instruction misses starve the whole core: the decoupling
              queue drains in a couple of cycles, so unlike data misses
              the latency is essentially exposed. *)
-          serialize_stall t `Icache (l1_miss_penalty ~prefetched t ev.pc)
+          serialize_stall t `Icache (l1_miss_penalty ~prefetched t r.Machine.Raw.pc)
       end);
     (* PT inspection happens on every application fetch. *)
     match t.controller with
     | None -> ()
     | Some c ->
-      let stall = Controller.on_fetch c ~key:(I.key ev.insn) in
+      let stall = Controller.on_fetch c ~key:(I.key r.Machine.Raw.insn) in
       if stall > 0 then begin
         stats.Stats.dise_stall_cycles <- stats.Stats.dise_stall_cycles + stall;
         serialize_stall t `Ptrt stall
       end
   end
   else stats.Stats.rep_instrs <- stats.Stats.rep_instrs + 1;
-  (match ev.origin with
-  | Event.Rep { offset = 0; rsid; len; _ } when ev.expansion_start ->
+  (* An expansion is charged once, at its first instruction. An
+     interrupt resumption re-enters a sequence at offset > 0 with
+     [expansion_start] set; that re-expansion is not a new dynamic
+     expansion, so the offset guard excludes it — exactly the
+     [Rep { offset = 0; _ } when expansion_start] match of the event
+     path. *)
+  if r.Machine.Raw.expansion_start && r.Machine.Raw.offset = 0 then begin
+    let rsid = r.Machine.Raw.rsid and len = r.Machine.Raw.len in
     stats.Stats.expansions <- stats.Stats.expansions + 1;
     (match t.profile with
     | None -> ()
-    | Some p -> Profile.on_expansion p ~rsid ~pc:ev.pc);
+    | Some p -> Profile.on_expansion p ~rsid ~pc:r.Machine.Raw.pc);
     (match t.controller with
     | None -> ()
     | Some c ->
@@ -271,9 +290,10 @@ let consume t (ev : Event.t) =
       stats.Stats.dise_stall_cycles <- stats.Stats.dise_stall_cycles + 1;
       serialize_stall t `Decode 1
     | Config.Free | Config.Extra_stage -> ())
-  | _ -> ());
-  (match t.profile, ev.origin with
-  | Some p, Event.Rep { rsid; _ } -> Profile.on_rep_instr p ~rsid
+  end;
+  (match t.profile with
+  | Some p when r.Machine.Raw.rsid >= 0 ->
+    Profile.on_rep_instr p ~rsid:r.Machine.Raw.rsid
   | _ -> ());
   let fetch = t.fetch_cycle in
   t.fetch_count <- t.fetch_count + 1;
@@ -289,7 +309,8 @@ let consume t (ev : Event.t) =
   t.fetch_cycle <- max t.fetch_cycle fetch;
   (* ---- issue / execute ---- *)
   let src_ready =
-    I.fold_uses (fun acc r -> max acc t.reg_ready.(Reg.index r)) 0 ev.insn
+    I.fold_uses (fun acc reg -> max acc t.reg_ready.(Reg.index reg)) 0
+      r.Machine.Raw.insn
   in
   (* Issue bandwidth: at most [width] instructions may begin execution
      per cycle; the [width]-th previous issue bounds this one. *)
@@ -298,59 +319,59 @@ let consume t (ev : Event.t) =
   let start = max (max fetch src_ready) bandwidth_ready in
   t.issue_ring.(t.issue_head) <- start;
   t.issue_head <- (t.issue_head + 1) mod Array.length t.issue_ring;
-  let lat = latency_of t ev in
+  let lat = latency_of t r.Machine.Raw.insn ~mem_addr:r.Machine.Raw.mem_addr in
   let complete = start + lat in
-  I.iter_defs (fun r -> t.reg_ready.(Reg.index r) <- complete) ev.insn;
+  I.iter_defs (fun reg -> t.reg_ready.(Reg.index reg) <- complete)
+    r.Machine.Raw.insn;
   (* ---- control flow ---- *)
-  (match ev.branch with
-  | None -> ()
-  | Some b ->
-    if b.Event.dise_internal then begin
-      (* A taken DISE branch is interpreted as a misprediction. *)
-      if b.Event.taken then begin
-        stats.Stats.dise_branch_redirects <-
-          stats.Stats.dise_branch_redirects + 1;
-        redirect t ~cause:redirect_replacement complete
-      end
-    end
-    else begin
-      stats.Stats.branches <- stats.Stats.branches + 1;
-      let predicted_normally =
-        match ev.origin with
-        | Event.App -> true
-        | Event.Rep { offset; len; _ } ->
-          (* Only the trigger (last element) was seen by the fetch-side
-             predictor; prediction of other replacement branches is
-             suppressed. *)
-          offset = len - 1
-      in
-      if predicted_normally then begin
-        let fallthrough = ev.pc + 4 in
-        let outcome =
-          if is_call ev.insn then
-            Branch_pred.on_call t.bp ~pc:ev.pc ~target:b.Event.target
-              ~fallthrough
-              ~indirect:(match ev.insn with I.Jalr _ -> true | _ -> false)
-          else
-            match branch_kind ev.insn with
-            | Some kind ->
-              Branch_pred.on_branch t.bp ~pc:ev.pc ~kind ~taken:b.Event.taken
-                ~target:b.Event.target ~fallthrough
-            | None -> `Correct
-        in
-        match outcome with
-        | `Mispredict ->
-          stats.Stats.mispredicts <- stats.Stats.mispredicts + 1;
-          redirect t ~cause:redirect_mispredict complete
-        | `Correct -> if b.Event.taken then break_group t 0
-      end
-      else if b.Event.taken then begin
-        (* Effectively predicted not-taken: a taken replacement branch
-           redirects (this is the fault-isolation trap path). *)
-        stats.Stats.rep_branch_redirects <- stats.Stats.rep_branch_redirects + 1;
-        redirect t ~cause:redirect_replacement complete
-      end
-    end);
+  (if r.Machine.Raw.branch >= 0 then begin
+     let taken = r.Machine.Raw.branch land 1 <> 0 in
+     let target = r.Machine.Raw.target in
+     if r.Machine.Raw.branch land 2 <> 0 then begin
+       (* A taken DISE branch is interpreted as a misprediction. *)
+       if taken then begin
+         stats.Stats.dise_branch_redirects <-
+           stats.Stats.dise_branch_redirects + 1;
+         redirect t ~cause:redirect_replacement complete
+       end
+     end
+     else begin
+       stats.Stats.branches <- stats.Stats.branches + 1;
+       let predicted_normally =
+         (* Only the trigger (last element of a replacement sequence)
+            was seen by the fetch-side predictor; prediction of other
+            replacement branches is suppressed. *)
+         r.Machine.Raw.rsid < 0
+         || r.Machine.Raw.offset = r.Machine.Raw.len - 1
+       in
+       if predicted_normally then begin
+         let fallthrough = r.Machine.Raw.pc + 4 in
+         let outcome =
+           if is_call r.Machine.Raw.insn then
+             Branch_pred.on_call t.bp ~pc:r.Machine.Raw.pc ~target ~fallthrough
+               ~indirect:
+                 (match r.Machine.Raw.insn with I.Jalr _ -> true | _ -> false)
+           else
+             match branch_kind r.Machine.Raw.insn with
+             | Some kind ->
+               Branch_pred.on_branch t.bp ~pc:r.Machine.Raw.pc ~kind ~taken
+                 ~target ~fallthrough
+             | None -> `Correct
+         in
+         match outcome with
+         | `Mispredict ->
+           stats.Stats.mispredicts <- stats.Stats.mispredicts + 1;
+           redirect t ~cause:redirect_mispredict complete
+         | `Correct -> if taken then break_group t 0
+       end
+       else if taken then begin
+         (* Effectively predicted not-taken: a taken replacement branch
+            redirects (this is the fault-isolation trap path). *)
+         stats.Stats.rep_branch_redirects <- stats.Stats.rep_branch_redirects + 1;
+         redirect t ~cause:redirect_replacement complete
+       end
+     end
+   end);
   (* ---- retire ---- *)
   let in_order = if t.seq > 0 then t.rob.((t.seq - 1) mod rob_len) else 0 in
   let bandwidth =
@@ -386,19 +407,19 @@ let consume t (ev : Event.t) =
   | None -> ()
   | Some tr ->
     let origin_args =
-      match ev.origin with
-      | Event.App -> []
-      | Event.Rep { rsid; offset; len } ->
-        [ ("rsid", Json.Int rsid); ("offset", Json.Int offset);
-          ("len", Json.Int len) ]
+      if r.Machine.Raw.rsid < 0 then []
+      else
+        [ ("rsid", Json.Int r.Machine.Raw.rsid);
+          ("offset", Json.Int r.Machine.Raw.offset);
+          ("len", Json.Int r.Machine.Raw.len) ]
     in
     Trace.complete tr
-      ~name:(I.to_string ev.insn)
-      ~cat:(match ev.origin with Event.App -> "app" | Event.Rep _ -> "rep")
+      ~name:(I.to_string r.Machine.Raw.insn)
+      ~cat:(if r.Machine.Raw.rsid < 0 then "app" else "rep")
       ~ts:fetch ~dur:(max 1 (retire - fetch))
       ~tid:(1 + (t.seq mod t.trace_lanes))
       ~args:
-        (("pc", Json.String (Printf.sprintf "0x%x" ev.pc))
+        (("pc", Json.String (Printf.sprintf "0x%x" r.Machine.Raw.pc))
         :: ("seq", Json.Int t.seq)
         :: ("issue", Json.Int start)
         :: ("complete", Json.Int complete)
@@ -408,6 +429,33 @@ let consume t (ev : Event.t) =
   t.last_retire <- retire;
   t.seq <- t.seq + 1;
   stats.Stats.retired <- stats.Stats.retired + 1
+
+(* Event-typed entry point (interactive/debug drivers): translate into
+   the scratch raw record and feed the single consumption path. *)
+let consume t (ev : Event.t) =
+  let r = t.raw_scratch in
+  r.Machine.Raw.pc <- ev.Event.pc;
+  r.Machine.Raw.insn <- ev.Event.insn;
+  (match ev.Event.origin with
+  | Event.App ->
+    r.Machine.Raw.rsid <- -1;
+    r.Machine.Raw.offset <- 0;
+    r.Machine.Raw.len <- 0
+  | Event.Rep { rsid; offset; len } ->
+    r.Machine.Raw.rsid <- rsid;
+    r.Machine.Raw.offset <- offset;
+    r.Machine.Raw.len <- len);
+  r.Machine.Raw.expansion_start <- ev.Event.expansion_start;
+  r.Machine.Raw.fetched_new_pc <- ev.Event.fetched_new_pc;
+  r.Machine.Raw.mem_addr <-
+    (match ev.Event.mem_addr with Some a -> a | None -> Machine.Raw.no_mem);
+  (match ev.Event.branch with
+  | None -> r.Machine.Raw.branch <- -1
+  | Some b ->
+    r.Machine.Raw.branch <-
+      (if b.Event.taken then 1 else 0) lor (if b.Event.dise_internal then 2 else 0);
+    r.Machine.Raw.target <- b.Event.target);
+  consume_raw t r
 
 let finish t =
   if not t.finished then begin
@@ -425,17 +473,12 @@ let finish t =
 
 let run ?max_steps ?controller ?trace ?profile ?poll cfg machine =
   let p = create ?controller ?trace ?profile cfg in
-  (match poll with
-  | None ->
-    ignore (Machine.run_events ?max_steps machine (fun ev -> consume p ev))
-  | Some poll ->
-    (* Amortized cooperative cancellation point: one poll every 2048
-       events keeps the overhead below the noise floor while bounding
-       how long a deadline overrun can go unnoticed. *)
-    let k = ref 0 in
-    ignore
-      (Machine.run_events ?max_steps machine (fun ev ->
-           incr k;
-           if !k land 2047 = 0 then poll ();
-           consume p ev)));
-  finish p
+  (* The raw stream allocates nothing per dynamic instruction (no
+     Event record, no options); polling for deadlines moved into the
+     machine loop at the same 2048-event cadence. *)
+  ignore (Machine.run_raw ?max_steps ?poll machine (fun r -> consume_raw p r));
+  let stats = finish p in
+  stats.Stats.jit_compiles <- Machine.jit_compiles machine;
+  stats.Stats.jit_hits <- Machine.jit_hits machine;
+  stats.Stats.jit_invalidations <- Machine.jit_invalidations machine;
+  stats

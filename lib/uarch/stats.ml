@@ -21,6 +21,9 @@ type t = {
   mutable pt_misses : int;
   mutable rt_misses : int;
   mutable rt_accesses : int;
+  mutable jit_compiles : int;
+  mutable jit_hits : int;
+  mutable jit_invalidations : int;
   cpi : Cpi_stack.t;
 }
 
@@ -45,6 +48,9 @@ let create () =
     pt_misses = 0;
     rt_misses = 0;
     rt_accesses = 0;
+    jit_compiles = 0;
+    jit_hits = 0;
+    jit_invalidations = 0;
     cpi = Cpi_stack.create ();
   }
 
@@ -72,6 +78,9 @@ let to_json t =
       ("pt_misses", Json.Int t.pt_misses);
       ("rt_misses", Json.Int t.rt_misses);
       ("rt_accesses", Json.Int t.rt_accesses);
+      ("jit_compiles", Json.Int t.jit_compiles);
+      ("jit_hits", Json.Int t.jit_hits);
+      ("jit_invalidations", Json.Int t.jit_invalidations);
       ("ipc", Json.Float (ipc t));
       ("cpi_stack", Cpi_stack.to_json t.cpi);
     ]
@@ -82,6 +91,13 @@ let of_json j =
     | Some (Json.Int v) -> Ok v
     | Some _ -> Error (Printf.sprintf "stats.%s: expected integer" name)
     | None -> Error (Printf.sprintf "stats.%s: missing" name)
+  in
+  (* Absent in payloads cached before the JIT existed: default 0. *)
+  let opt_field name =
+    match Json.member name j with
+    | Some (Json.Int v) -> Ok v
+    | Some _ -> Error (Printf.sprintf "stats.%s: expected integer" name)
+    | None -> Ok 0
   in
   let ( let* ) = Result.bind in
   let* cycles = field "cycles" in
@@ -103,6 +119,9 @@ let of_json j =
   let* pt_misses = field "pt_misses" in
   let* rt_misses = field "rt_misses" in
   let* rt_accesses = field "rt_accesses" in
+  let* jit_compiles = opt_field "jit_compiles" in
+  let* jit_hits = opt_field "jit_hits" in
+  let* jit_invalidations = opt_field "jit_invalidations" in
   let* cpi =
     match Json.member "cpi_stack" j with
     | Some c -> Cpi_stack.of_json c
@@ -129,6 +148,9 @@ let of_json j =
       pt_misses;
       rt_misses;
       rt_accesses;
+      jit_compiles;
+      jit_hits;
+      jit_invalidations;
       cpi;
     }
 

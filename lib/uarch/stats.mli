@@ -21,6 +21,9 @@ type t = {
   mutable pt_misses : int;
   mutable rt_misses : int;
   mutable rt_accesses : int;
+  mutable jit_compiles : int;     (** superblocks compiled (0 when JIT off) *)
+  mutable jit_hits : int;         (** dispatches served from a compiled block *)
+  mutable jit_invalidations : int;  (** superblocks retired by generation bumps *)
   cpi : Dise_telemetry.Cpi_stack.t;
       (** per-bucket cycle attribution; the pipeline maintains the
           invariant that the buckets sum to [cycles] exactly *)

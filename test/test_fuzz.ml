@@ -122,6 +122,32 @@ let test_dense_memo_relayout () =
     | None -> Alcotest.fail "codeword production did not match")
   done
 
+(* The sparse twin of the test above, aimed at the hashtable memo on
+   its own (no image, so every probe takes the fallback path): it is
+   keyed by bare PC with the trigger stored alongside, and a hit must
+   notice a changed trigger — the same staleness discipline as the
+   dense memo — while still sharing the memoized expansion on a true
+   re-hit. *)
+let test_sparse_memo_relayout () =
+  let tags = [ 1; 2; 3 ] in
+  let ps = tagged_prodset tags in
+  let sparse = Engine.expander (Engine.create ps) in
+  let naive = F.Naive.expander ps in
+  let rng = Rng.create 99 in
+  for round = 0 to 60 do
+    let tag = if round = 0 then 1 else Rng.pick rng [| 1; 2; 3 |] in
+    let pc = 0x100000 + (4 * Rng.int rng 8) in
+    let insn = Insn.codeword ~op:0 ~p1:0 ~p2:0 ~p3:0 ~tag in
+    let s = sparse ~pc insn and n = naive ~pc insn in
+    if not (exp_eq s n) then
+      Alcotest.failf "round %d: sparse memo stale for tag %d at 0x%x" round
+        tag pc
+  done;
+  let insn = Insn.codeword ~op:0 ~p1:0 ~p2:0 ~p3:0 ~tag:2 in
+  let a = sparse ~pc:0x100000 insn in
+  let b = sparse ~pc:0x100000 insn in
+  check bool_ "re-hit shares the memoized expansion" true (a == b)
+
 (* --- fault-injection matrices ----------------------------------------- *)
 
 let fail_on_failures (r : F.Faults.report) =
@@ -224,6 +250,7 @@ let suite =
     ("branch out of range", `Quick, test_branch_out_of_range);
     ("codeword field validation", `Quick, test_codeword_field_validation);
     ("dense memo re-layout", `Quick, test_dense_memo_relayout);
+    ("sparse memo re-layout", `Quick, test_sparse_memo_relayout);
     ("cache fault matrix", `Quick, test_cache_fault_matrix);
     ("serve fault matrix", `Quick, test_serve_fault_matrix);
     ("resilience fault matrix", `Quick, test_resilience_fault_matrix);

@@ -480,6 +480,209 @@ let test_codeword_without_production_errors () =
   | exception Machine.Runtime_error _ -> ()
   | _ -> Alcotest.fail "unexpanded codeword should be a runtime error"
 
+(* --- superblock JIT -------------------------------------------------- *)
+
+module Engine = Dise_core.Engine
+
+let mfi_set src =
+  Dise_core.Prodset.resolve_labels
+    (fun _ -> Some 0x9000)
+    (Dise_core.Lang.parse src)
+
+(* Store-checking productions in the style of the paper's memory fault
+   isolation: an ACF prefix that computes 0 and never branches, so the
+   run is transparent and every store expands. *)
+let check_stores_set =
+  mfi_set
+    {|
+    P1: T.OPCLASS == store -> R1
+    R1: srl T.RS, #26, $dr1
+        xor $dr1, $dr1, $dr1
+        bne $dr1, __error
+        T.INSN
+    |}
+
+let count_stores_set =
+  mfi_set {|
+    P1: T.OPCLASS == store -> R1
+    R1: add $dr2, #1, $dr2
+        T.INSN
+    |}
+
+(* A hot loop with stores and loads: the body compiles into one
+   superblock (per expansion generation) that is re-entered every
+   iteration. *)
+let jit_image () =
+  Program.layout
+    (Asm.parse
+       {|
+       main:
+         lui #1024, r1
+         add zero, #12, r3
+       loop:
+         add r3, r3, r4
+         xor r4, #5, r4
+         stq r4, 0(r1)
+         ldq r5, 0(r1)
+         add r5, r6, r6
+         add r1, #4, r1
+         add r3, #-1, r3
+         bgt r3, loop
+         halt
+       |})
+
+let engine_machine ?jit_threshold prodset img =
+  let eng = Engine.create ~image:img prodset in
+  let m = Machine.create ~expander:(Engine.expander eng) img in
+  (match jit_threshold with
+  | Some threshold -> Engine.attach_jit ~threshold eng m
+  | None -> ());
+  (m, eng)
+
+let same_arch_state label a b =
+  check bool_ (label ^ ": same registers") true
+    (Regfile.arch_equal (Machine.regs a) (Machine.regs b));
+  check int_ (label ^ ": same memory")
+    (Memory.checksum (Machine.memory a))
+    (Memory.checksum (Machine.memory b));
+  check int_ (label ^ ": same executed") (Machine.executed a)
+    (Machine.executed b);
+  check int_ (label ^ ": same fetches") (Machine.app_fetched a)
+    (Machine.app_fetched b);
+  check int_ (label ^ ": same expansions") (Machine.expansions a)
+    (Machine.expansions b);
+  check int_ (label ^ ": same exit") (Machine.exit_code a)
+    (Machine.exit_code b)
+
+let test_jit_run_equivalence () =
+  let img = jit_image () in
+  let interp, _ = engine_machine check_stores_set img in
+  let jit, _ = engine_machine ~jit_threshold:2 check_stores_set img in
+  ignore (Machine.run interp);
+  ignore (Machine.run jit);
+  same_arch_state "run" interp jit;
+  check bool_ "traces compiled" true (Machine.jit_compiles jit > 0);
+  check bool_ "traces reused" true (Machine.jit_hits jit > 0)
+
+let test_jit_step_equivalence () =
+  let img = jit_image () in
+  let interp, _ = engine_machine check_stores_set img in
+  let jit, _ = engine_machine ~jit_threshold:1 check_stores_set img in
+  let rec go n =
+    match (Machine.step interp, Machine.step jit) with
+    | None, None -> n
+    | Some a, Some b ->
+      let open Machine.Event in
+      check int_ (Printf.sprintf "event %d: pc" n) a.pc b.pc;
+      check bool_ (Printf.sprintf "event %d: insn" n) true
+        (Insn.equal a.insn b.insn);
+      check bool_ (Printf.sprintf "event %d: origin" n) true
+        (a.origin = b.origin);
+      check bool_ (Printf.sprintf "event %d: flags" n) true
+        (a.expansion_start = b.expansion_start
+        && a.mem_addr = b.mem_addr && a.branch = b.branch
+        && a.fetched_new_pc = b.fetched_new_pc);
+      go (n + 1)
+    | Some _, None -> Alcotest.failf "jit halted first at event %d" n
+    | None, Some _ -> Alcotest.failf "interpreter halted first at event %d" n
+  in
+  let n = go 0 in
+  check bool_ "stream covers the loop" true (n > 50);
+  same_arch_state "step" interp jit
+
+(* The compiled block does not check the step ceiling per entry, so
+   the dispatcher must refuse whole-block entries that could overrun
+   it: for every budget the JIT must trap (or complete) on exactly the
+   step the interpreter does. *)
+let test_jit_max_steps_parity () =
+  let img = jit_image () in
+  let outcome m ~max_steps =
+    match Machine.run ~max_steps m with
+    | n -> Ok n
+    | exception Machine.Runtime_error _ -> Error (Machine.executed m)
+  in
+  List.iter
+    (fun budget ->
+      let interp, _ = engine_machine check_stores_set img in
+      let jit, _ = engine_machine ~jit_threshold:1 check_stores_set img in
+      let a = outcome interp ~max_steps:budget in
+      let b = outcome jit ~max_steps:budget in
+      match (a, b) with
+      | Ok n, Ok n' when n = n' -> ()
+      | Error n, Error n' when n = n' -> ()
+      | _ ->
+        Alcotest.failf "budget %d: interpreter %s but jit %s" budget
+          (match a with
+          | Ok n -> Printf.sprintf "finished at %d" n
+          | Error n -> Printf.sprintf "trapped at %d" n)
+          (match b with
+          | Ok n -> Printf.sprintf "finished at %d" n
+          | Error n -> Printf.sprintf "trapped at %d" n))
+    [ 1; 7; 30; 31; 32; 33; 61; 100; 1000 ]
+
+(* An RT/PT write (Engine.invalidate) while the machine is mid-trace:
+   the bump is observed at the next application-instruction boundary,
+   compiled traces are retired, and the re-compiled stream must agree
+   with the interpreter. *)
+let test_jit_invalidate_mid_trace () =
+  let img = jit_image () in
+  let interp, _ = engine_machine check_stores_set img in
+  let jit, eng = engine_machine ~jit_threshold:1 check_stores_set img in
+  for _ = 1 to 15 do
+    ignore (Machine.step jit)
+  done;
+  Engine.invalidate eng;
+  let rec drain m = if Option.is_some (Machine.step m) then drain m in
+  drain jit;
+  ignore (Machine.run interp);
+  same_arch_state "invalidate" interp jit;
+  check bool_ "superblocks retired" true (Machine.jit_invalidations jit > 0);
+  check bool_ "traces recompiled" true (Machine.jit_compiles jit > 1)
+
+(* Swapping the production set between two runs over the same engine:
+   the second machine re-adopts the warmed superblock state, must
+   retire every stale trace, and must execute the new expansions. *)
+let test_jit_prodset_swap_between_runs () =
+  let img = jit_image () in
+  let m1, eng = engine_machine ~jit_threshold:1 check_stores_set img in
+  ignore (Machine.run m1);
+  check bool_ "warm state compiled" true (Machine.jit_compiles m1 > 0);
+  Engine.set_prodset eng count_stores_set;
+  let m2 = Machine.create ~expander:(Engine.expander eng) img in
+  Engine.attach_jit ~threshold:1 eng m2;
+  ignore (Machine.run m2);
+  let ref_m, _ = engine_machine count_stores_set img in
+  ignore (Machine.run ref_m);
+  same_arch_state "swap" ref_m m2;
+  check int_ "new productions executed: one count per store" 12
+    (Regfile.get (Machine.regs m2) (Reg.d 2));
+  check bool_ "stale traces retired" true (Machine.jit_invalidations m2 > 0)
+
+(* Steady state across machines: a fresh machine adopting a warmed
+   state replays compiled traces without compiling anything new, and
+   adoption refuses a state built over different text. *)
+let test_jit_state_adoption () =
+  let img = jit_image () in
+  let m1, eng = engine_machine ~jit_threshold:1 check_stores_set img in
+  ignore (Machine.run m1);
+  let compiled = Machine.jit_compiles m1 in
+  let hits = Machine.jit_hits m1 in
+  check bool_ "warmed" true (compiled > 0);
+  let m2 = Machine.create ~expander:(Engine.expander eng) img in
+  Engine.attach_jit eng m2;
+  ignore (Machine.run m2);
+  same_arch_state "adopted" m1 m2;
+  check int_ "no recompilation at steady state" compiled
+    (Machine.jit_compiles m2);
+  check bool_ "every hot fetch served from the arena" true
+    (Machine.jit_hits m2 > hits);
+  let other = Program.layout (Asm.parse "main:\n halt\n") in
+  let m3 = Machine.create other in
+  (match Machine.jit_state m1 with
+  | Some js ->
+    check bool_ "foreign text refused" false (Machine.adopt_jit m3 js)
+  | None -> Alcotest.fail "warmed machine has no jit state")
+
 let suite =
   [
     ("memory read/write", `Quick, test_memory_rw);
@@ -509,4 +712,11 @@ let suite =
     ("precise interrupt/resume", `Quick, test_precise_interrupt_resume);
     ("codeword without production", `Quick,
      test_codeword_without_production_errors);
+    ("jit run equivalence", `Quick, test_jit_run_equivalence);
+    ("jit step equivalence", `Quick, test_jit_step_equivalence);
+    ("jit max-steps parity", `Quick, test_jit_max_steps_parity);
+    ("jit invalidate mid-trace", `Quick, test_jit_invalidate_mid_trace);
+    ("jit prodset swap between runs", `Quick,
+     test_jit_prodset_swap_between_runs);
+    ("jit state adoption", `Quick, test_jit_state_adoption);
   ]

@@ -219,6 +219,52 @@ let prop_machine_deterministic =
       in
       run () = run ())
 
+(* --- pipeline stats are jit-invariant --------------------------------------- *)
+
+(* Store/load-checking productions (the paper's MFI shape): every
+   memory access expands, so the superblock JIT has real work on any
+   generated workload. *)
+let mfi_like_set =
+  Prodset.resolve_labels
+    (fun _ -> Some 0x9000)
+    (Lang.parse
+       {|
+       P1: T.OPCLASS == store -> R1
+       P2: T.OPCLASS == load -> R1
+       R1: srl T.RS, #26, $dr1
+           xor $dr1, $dr1, $dr1
+           bne $dr1, __error
+           T.INSN
+       |})
+
+(* The JIT is a fetch-path optimization: with it on or off, the
+   pipeline must see the identical event stream, so every simulated
+   statistic — cycles, cache traffic, redirects, the whole CPI stack —
+   must be bit-identical. Only the jit_* telemetry counters may
+   differ, so they are masked before comparing. *)
+let prop_pipeline_stats_jit_invariant =
+  QCheck.Test.make ~name:"pipeline stats identical with jit on and off"
+    ~count:10
+    (QCheck.make (QCheck.Gen.int_bound 1000))
+    (fun seed ->
+      let profile = { W.Profile.tiny with W.Profile.seed = 9000 + seed } in
+      let gen = W.Codegen.generate ~dyn_target:5_000 profile in
+      let img = W.Codegen.layout gen in
+      let stats ~jit =
+        let eng = Engine.create ~image:img mfi_like_set in
+        let m = Machine.create ~expander:(Engine.expander eng) img in
+        if jit then Engine.attach_jit ~threshold:2 eng m;
+        let s =
+          Dise_uarch.Pipeline.run ~max_steps:1_000_000
+            Dise_uarch.Config.default m
+        in
+        s.Dise_uarch.Stats.jit_compiles <- 0;
+        s.Dise_uarch.Stats.jit_hits <- 0;
+        s.Dise_uarch.Stats.jit_invalidations <- 0;
+        Dise_uarch.Stats.to_json s
+      in
+      stats ~jit:false = stats ~jit:true)
+
 (* --- compression losslessness over random programs -------------------------- *)
 
 let data_digest m =
@@ -287,6 +333,7 @@ let suite =
     t prop_cache_rehit;
     t prop_machine_matches_reference;
     t prop_machine_deterministic;
+    t prop_pipeline_stats_jit_invariant;
     t prop_compression_lossless_random_seeds;
     t prop_merge_length;
     t prop_safety_accepts_literal_sequences;

@@ -520,14 +520,14 @@ let test_socket_supervision () =
 
 let test_counters () =
   let snap = Resilience.Counters.snapshot () in
-  check int_ "ten counters registered" 10 (List.length snap);
+  check int_ "thirteen counters registered" 13 (List.length snap);
   List.iter
     (fun name ->
       check bool_ (name ^ " present") true (List.mem_assoc name snap))
     [
       "isolated"; "timeouts"; "shed"; "retries"; "store_drops";
       "breaker_trips"; "breaker_probes"; "breaker_closes"; "conn_failures";
-      "journal_replayed";
+      "journal_replayed"; "jit_compiles"; "jit_hits"; "jit_invalidations";
     ];
   let before = Resilience.Counters.get Resilience.Counters.shed in
   Resilience.Counters.incr Resilience.Counters.shed;

@@ -102,10 +102,12 @@ let gen_request =
       ]
   in
   map
-    (fun (bench, (dyn_target, (machine, (controller, acf)))) ->
-      { Request.bench; dyn_target; machine; controller; acf })
+    (fun (bench, (dyn_target, (machine, (controller, (acf, (jit, jit_threshold)))))) ->
+      { Request.bench; dyn_target; machine; controller; acf; jit; jit_threshold })
     (pair bench
-       (pair (int_range 1_000 500_000) (pair machine (pair controller acf))))
+       (pair (int_range 1_000 500_000)
+          (pair machine
+             (pair controller (pair acf (pair bool (int_range 1 32)))))))
 
 let arbitrary_request =
   QCheck.make ~print:(fun r -> Request.canonical r) gen_request
@@ -147,7 +149,7 @@ let test_of_json_rejects () =
    re-pin. *)
 let test_key_golden () =
   let r = Request.v ~dyn_target:20_000 "tiny" in
-  check string_ "cache key is stable" "a19a3d5f843ceb348dd7cb7d2538d56a"
+  check string_ "cache key is stable" "e911a59c4145b05613ec1a29fe491860"
     (Request.key r);
   check bool_ "canonical starts with bench member" true
     (String.length (Request.canonical r) > 16
@@ -363,6 +365,70 @@ let test_serve_stream () =
                   errs)
             rs))
 
+(* Production-set swap between serve chunks: with queue = 1 every
+   request is its own chunk, and the stream alternates production
+   sets (MFI dise3 / baseline / dise4 / dise3 again). Each request
+   builds its engine afresh, so compiled superblocks must never leak
+   across the swaps: a JIT-enabled serve must produce exactly the
+   simulated statistics of a --no-jit serve, response for response.
+   (The cache keys differ by design — the jit knob is part of the
+   request key — so the comparison is over the stats objects with the
+   jit telemetry counters masked.) *)
+let test_serve_prodset_swap_chunks () =
+  let stream jit =
+    let j = Printf.sprintf {|"jit":{"enabled":%b,"threshold":1}|} jit in
+    [
+      Printf.sprintf
+        {|{"id":1,"bench":"tiny","dyn_target":20000,"acf":{"kind":"mfi_dise","variant":"dise3"},%s}|}
+        j;
+      Printf.sprintf {|{"id":2,"bench":"tiny","dyn_target":20000,%s}|} j;
+      Printf.sprintf
+        {|{"id":3,"bench":"tiny","dyn_target":20000,"acf":{"kind":"mfi_dise","variant":"dise4"},%s}|}
+        j;
+      Printf.sprintf
+        {|{"id":4,"bench":"tiny","dyn_target":20000,"acf":{"kind":"mfi_dise","variant":"dise3"},%s}|}
+        j;
+    ]
+  in
+  let masked_stats rs =
+    List.map
+      (fun r ->
+        check bool_ "response ok" true (member "ok" r = Json.Bool true);
+        match member "stats" r with
+        | Json.Obj ms ->
+          Json.Obj
+            (List.filter
+               (fun (k, _) ->
+                 k <> "jit_compiles" && k <> "jit_hits"
+                 && k <> "jit_invalidations")
+               ms)
+        | other -> other)
+      rs
+  in
+  let _, with_jit = serve (stream true) in
+  let _, without = serve (stream false) in
+  check int_ "four jit responses" 4 (List.length with_jit);
+  check int_ "four interpreter responses" 4 (List.length without);
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "chunk %d: jit and no-jit stats differ" (i + 1))
+    (List.combine (masked_stats with_jit) (masked_stats without))
+
+(* The jit knob is part of the memo key: results cached from a JIT
+   run and an interpreter run must never collide. *)
+let test_jit_knob_distinct_keys () =
+  let base = Request.v ~dyn_target:20_000 "tiny" in
+  let on = Request.v ~dyn_target:20_000 ~jit:true ~jit_threshold:8 "tiny" in
+  let off = Request.v ~dyn_target:20_000 ~jit:false "tiny" in
+  let tuned = Request.v ~dyn_target:20_000 ~jit:true ~jit_threshold:2 "tiny" in
+  check bool_ "jit on and off keys differ" true
+    (Request.key on <> Request.key off);
+  check bool_ "threshold is part of the key" true
+    (Request.key on <> Request.key tuned);
+  check string_ "default spells out the process default"
+    (Request.key base) (Request.key on)
+
 let t = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -378,4 +444,7 @@ let suite =
     ("cold vs warm CSV identical", `Quick, test_cold_warm_csv_identical);
     ("cold vs warm ratio panel", `Quick, test_cold_warm_ratio_panel);
     ("serve JSONL stream", `Quick, test_serve_stream);
+    ("serve prodset swap between chunks", `Quick,
+     test_serve_prodset_swap_chunks);
+    ("jit knob distinct cache keys", `Quick, test_jit_knob_distinct_keys);
   ]
