@@ -12,6 +12,8 @@
      dune exec bench/main.exe -- --jobs 4     # 4 worker domains per panel
      dune exec bench/main.exe -- --json out.json  # machine-readable results
      dune exec bench/main.exe -- --manifest run.jsonl  # per-cell telemetry
+     dune exec bench/main.exe -- --trajectory RESULTS_TRACKING.jsonl
+                                              # append a per-commit record
      dune exec bench/main.exe -- --cpi-stack  # CPI-stack table per panel
      dune exec bench/main.exe -- --cache DIR  # on-disk result cache
      dune exec bench/main.exe -- --no-cache   # disable the result cache
@@ -28,8 +30,8 @@ module I = Dise_isa.Insn
 let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--no-micro] [--dyn N] [--jobs N] [--json \
-     FILE] [--manifest FILE] [--cpi-stack] [--cache DIR] [--no-cache] \
-     [--no-jit] [--jit-threshold K] [panel-id ...]";
+     FILE] [--manifest FILE] [--trajectory FILE] [--cpi-stack] [--cache \
+     DIR] [--no-cache] [--no-jit] [--jit-threshold K] [panel-id ...]";
   exit 2
 
 let parse_args () =
@@ -39,6 +41,7 @@ let parse_args () =
   let jobs = ref (H.Pool.default_jobs ()) in
   let json = ref None in
   let manifest = ref None in
+  let trajectory = ref None in
   let cpi = ref false in
   let cache = ref None in
   let no_cache = ref false in
@@ -75,6 +78,9 @@ let parse_args () =
     | "--manifest" :: file :: rest ->
       manifest := Some file;
       go rest
+    | "--trajectory" :: file :: rest ->
+      trajectory := Some file;
+      go rest
     | "--cache" :: dir :: rest ->
       cache := Some dir;
       go rest
@@ -87,15 +93,15 @@ let parse_args () =
     | "--jit-threshold" :: n :: rest ->
       jit_threshold := max 1 (int_arg "--jit-threshold" n);
       go rest
-    | ("--dyn" | "--jobs" | "--json" | "--manifest" | "--cache"
-      | "--jit-threshold") :: [] ->
+    | ("--dyn" | "--jobs" | "--json" | "--manifest" | "--trajectory"
+      | "--cache" | "--jit-threshold") :: [] ->
       usage ()
     | id :: rest ->
       panels := id :: !panels;
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  ( !quick, !micro, !dyn, !jobs, !json, !manifest, !cpi,
+  ( !quick, !micro, !dyn, !jobs, !json, (!manifest, !trajectory), !cpi,
     (!cache, !no_cache), (!no_jit, !jit_threshold), List.rev !panels )
 
 (* --- JSON output (BENCH_*.json trajectory format) ---------------------- *)
@@ -312,8 +318,8 @@ let microbenches () =
     results
 
 let () =
-  let quick, micro, dyn, jobs, json, manifest_path, cpi, (cache, no_cache),
-      (no_jit, jit_threshold), panels =
+  let quick, micro, dyn, jobs, json, (manifest_path, trajectory_path), cpi,
+      (cache, no_cache), (no_jit, jit_threshold), panels =
     parse_args ()
   in
   Dise_service.Request.set_default_jit ~enabled:(not no_jit)
@@ -368,5 +374,39 @@ let () =
     output_string oc (json_of_results ~quick ~dyn ~jobs ~total results);
     close_out oc;
     Format.eprintf "wrote %s@." file);
+  (* One per-commit record in the same trajectory format the
+     conformance monitor appends, so bench wall-clock and per-panel
+     latency quantiles sit in the same RESULTS_TRACKING.jsonl stream
+     (doc/schema/trajectory.schema.json). *)
+  (match trajectory_path with
+  | None -> ()
+  | Some file ->
+    let h = T.Metrics.Histogram.make "bench_panel_ns" in
+    let since = T.Metrics.Histogram.snapshot h in
+    List.iter
+      (fun (_, elapsed, _) -> T.Metrics.Histogram.observe_s h elapsed)
+      results;
+    let d = T.Metrics.Histogram.delta ~since (T.Metrics.Histogram.snapshot h) in
+    let record =
+      {
+        T.Trajectory.tool = "bench";
+        suite = (if quick then "quick" else "full");
+        ts = int_of_float (Unix.time ());
+        commit = T.Trajectory.commit_id ();
+        cells = List.length results;
+        passed = List.length results;
+        wall_s = total;
+        p50_ns = T.Metrics.Histogram.quantile d 0.50;
+        p95_ns = T.Metrics.Histogram.quantile d 0.95;
+        p99_ns = T.Metrics.Histogram.quantile d 0.99;
+        extra =
+          [
+            ("dyn_target", T.Json.Int (if quick then 120_000 else dyn));
+            ("jobs", T.Json.Int jobs);
+          ];
+      }
+    in
+    T.Trajectory.append ~jsonl:file record;
+    Format.eprintf "appended trajectory record to %s@." file);
   if micro then microbenches ();
   Format.printf "@.done.@."

@@ -28,6 +28,7 @@ module A = Dise_acf
 module S = Dise_service
 module H = Dise_harness
 module T = Dise_telemetry
+module Fz = Dise_fuzz
 
 let die d =
   Format.eprintf "disesim: %a@." Diag.pp d;
@@ -239,7 +240,11 @@ let run_cmd =
     (match trace_chan with
     | Some c ->
       close_out c;
-      Format.printf "(trace written to %s)@." (Option.get trace_path)
+      let tr = Option.get trace in
+      if T.Trace.truncated tr then
+        Format.printf "(trace written to %s; %d events, %d dropped at the cap)@."
+          (Option.get trace_path) (T.Trace.emitted tr) (T.Trace.dropped tr)
+      else Format.printf "(trace written to %s)@." (Option.get trace_path)
     | None -> ());
     Format.printf "machine: %a@." Config.pp spec.H.Experiment.machine;
     Format.printf "%a@." Stats.pp stats;
@@ -276,6 +281,16 @@ let run_cmd =
             ( "profile",
               match profile with
               | Some p -> T.Profile.to_json p
+              | None -> T.Json.Null );
+            ( "trace",
+              match trace with
+              | Some tr ->
+                T.Json.Obj
+                  [
+                    ("emitted", T.Json.Int (T.Trace.emitted tr));
+                    ("dropped", T.Json.Int (T.Trace.dropped tr));
+                    ("truncated", T.Json.Bool (T.Trace.truncated tr));
+                  ]
               | None -> T.Json.Null );
           ]
       in
@@ -905,6 +920,161 @@ let fuzz_cmd =
     Term.(const run $ iterations_arg $ seed_arg $ out_arg $ self_test_arg
           $ replay_arg $ faults_arg)
 
+(* --- conformance: the versioned architectural suite ---------------------- *)
+
+let conformance_cmd =
+  let doc =
+    "Run the checked-in architectural conformance vectors (test/arch/) on \
+     all four expander backends (naive reference, dense-memo, \
+     hashtable-memo, superblock JIT), write a per-cell CSV + HTML report, \
+     and optionally append a per-commit trajectory record to \
+     RESULTS_TRACKING.md/.jsonl. Exits non-zero on any signature mismatch \
+     (and, with $(b,--check-regression), on a wall-clock or pass-rate \
+     regression against the previous record). See doc/observability.md."
+  in
+  let dir_arg =
+    Arg.(value & opt dir Fz.Conformance.default_dir
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Suite directory holding manifest.json and the vector \
+                   sources (default test/arch).")
+  in
+  let out_arg =
+    Arg.(value & opt string "_conformance" & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory for report.csv and report.html (default \
+                 _conformance).")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Run only the checked-in vectors (the default; overrides \
+                 $(b,--fuzz)).")
+  in
+  let fuzz_arg =
+    Arg.(value & opt int 0 & info [ "fuzz" ] ~docv:"N"
+           ~doc:"Additionally run N fixed-seed differential-fuzz oracle \
+                 iterations (the \"full\" suite; default 0).")
+  in
+  let update_arg =
+    Arg.(value & flag & info [ "update" ]
+           ~doc:"Recompute every vector's signature from a fresh naive \
+                 reference run and rewrite manifest.json (the authoring \
+                 path for new vectors), instead of checking.")
+  in
+  let track_arg =
+    Arg.(value & flag & info [ "track" ]
+           ~doc:"Append this run's trajectory record to the tracking files.")
+  in
+  let jsonl_arg =
+    Arg.(value & opt string "RESULTS_TRACKING.jsonl"
+         & info [ "jsonl" ] ~docv:"FILE"
+             ~doc:"JSONL trajectory file (default RESULTS_TRACKING.jsonl).")
+  in
+  let md_arg =
+    Arg.(value & opt string "RESULTS_TRACKING.md" & info [ "md" ] ~docv:"FILE"
+           ~doc:"Markdown trajectory table (default RESULTS_TRACKING.md).")
+  in
+  let check_reg_arg =
+    Arg.(value & flag & info [ "check-regression" ]
+           ~doc:"Compare against the previous trajectory record for the \
+                 same suite and fail on a >20% wall-clock regression or a \
+                 pass-rate drop.")
+  in
+  let mkdir_p d =
+    let rec go d =
+      if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+        go (Filename.dirname d);
+        try Unix.mkdir d 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      end
+    in
+    go d
+  in
+  let write_file path s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  let run suite_dir out quick fuzz update track jsonl md check_reg =
+    let vectors =
+      match Fz.Conformance.load_suite ~dir:suite_dir with
+      | Ok vs -> vs
+      | Error d -> die d
+    in
+    if update then begin
+      match Fz.Conformance.update_signatures ~dir:suite_dir vectors with
+      | Error d -> die d
+      | Ok vs ->
+        Fz.Conformance.save_manifest ~dir:suite_dir vs;
+        List.iter
+          (fun v ->
+            Format.printf "%-16s %s@." v.Fz.Conformance.name
+              v.Fz.Conformance.signature)
+          vs;
+        Format.printf "conformance: recorded %d signatures in %s@."
+          (List.length vs)
+          (Filename.concat suite_dir "manifest.json")
+    end
+    else begin
+      let fuzz = if quick then 0 else fuzz in
+      let report = Fz.Conformance.run_suite ~fuzz ~dir:suite_dir vectors in
+      mkdir_p out;
+      write_file (Filename.concat out "report.csv")
+        (Fz.Conformance.csv_of_report report);
+      write_file (Filename.concat out "report.html")
+        (Fz.Conformance.html_of_report report);
+      let total = List.length report.Fz.Conformance.cells in
+      List.iter
+        (fun c ->
+          if not c.Fz.Conformance.pass then
+            Format.eprintf "conformance: FAIL %s/%s: %s@."
+              c.Fz.Conformance.vector c.Fz.Conformance.backend
+              (match c.Fz.Conformance.error with
+              | Some e -> e
+              | None ->
+                Printf.sprintf "signature %s, expected %s"
+                  c.Fz.Conformance.signature c.Fz.Conformance.expected))
+        report.Fz.Conformance.cells;
+      Format.printf
+        "conformance: %s suite: %d/%d cells passed (%d vectors x %d \
+         backends) in %.3fs; p50 %dns p95 %dns p99 %dns; report in %s@."
+        report.Fz.Conformance.suite report.Fz.Conformance.passed total
+        report.Fz.Conformance.vectors
+        (List.length Fz.Conformance.backends)
+        report.Fz.Conformance.wall_s report.Fz.Conformance.p50_ns
+        report.Fz.Conformance.p95_ns report.Fz.Conformance.p99_ns out;
+      if report.Fz.Conformance.fuzz_cases > 0 then
+        Format.printf "conformance: fuzz: %d cases, %d failures@."
+          report.Fz.Conformance.fuzz_cases report.Fz.Conformance.fuzz_failures;
+      let record =
+        Fz.Conformance.trajectory_record
+          ~ts:(int_of_float (Unix.time ()))
+          report
+      in
+      let regression =
+        if not check_reg then Ok ()
+        else
+          match
+            T.Trajectory.last ~jsonl ~tool:"conformance"
+              ~suite:report.Fz.Conformance.suite
+          with
+          | None -> Ok ()
+          | Some prev -> T.Trajectory.check_regression ~prev record
+      in
+      if track then T.Trajectory.append ~md ~jsonl record;
+      (match regression with
+      | Ok () -> ()
+      | Error msg ->
+        Format.eprintf "conformance: REGRESSION: %s@." msg;
+        exit 1);
+      if
+        report.Fz.Conformance.passed <> total
+        || report.Fz.Conformance.fuzz_failures > 0
+      then exit 1
+    end
+  in
+  Cmd.v (Cmd.info "conformance" ~doc)
+    Term.(const run $ dir_arg $ out_arg $ quick_arg $ fuzz_arg $ update_arg
+          $ track_arg $ jsonl_arg $ md_arg $ check_reg_arg)
+
 let () =
   (* Re-exec dispatch for the fault matrix's SIGKILL victim (see
      Dise_fuzz.Faults): a no-op unless the dispatch variable is set. *)
@@ -915,4 +1085,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; compress_cmd; figures_cmd; serve_cmd; fuzz_cmd;
-            cache_cmd; exec_cmd; safety_cmd; disasm_cmd; validate_cmd ]))
+            cache_cmd; exec_cmd; safety_cmd; disasm_cmd; validate_cmd;
+            conformance_cmd ]))

@@ -1,0 +1,105 @@
+(** The versioned architectural conformance suite.
+
+    Where the differential fuzzer ({!Driver}) hunts for divergence on
+    random programs, this module pins down {e known} behaviour: named
+    assembly vectors with expected signatures live in [test/arch/]
+    (one [manifest.json] plus the [.s]/[.dise] sources it names), and
+    every run executes each vector on all four expander backends —
+
+    - [naive] — {!Naive.expander}, the reference semantics;
+    - [engine-memo] — the dense-image memoized {!Dise_core.Engine};
+    - [engine-hash] — the same engine without a dense image
+      (hashtable memoization);
+    - [engine-jit] — the dense engine with the superblock JIT
+      attached at a compile threshold of 2, so hot vectors exercise
+      the compiled path.
+
+    A vector's {e signature} is ["exit:executed:regs:mem"] — exit
+    code, dynamic instruction count, architectural register checksum,
+    and memory checksum after the run. The naive backend must
+    reproduce the manifest's recorded signature; the optimized
+    backends must reproduce the naive run's. [disesim conformance]
+    drives this module, renders the per-cell CSV/HTML report, and
+    appends a {!Dise_telemetry.Trajectory} record so wall-clock and
+    pass-rate move under version control (RESULTS_TRACKING.md).
+
+    Per-cell run latency is observed in the process-wide metrics
+    histogram ["conformance_run_ns"], whose per-run delta supplies
+    the report's quantiles. *)
+
+type vector = {
+  name : string;
+  program : string;  (** [.s] path relative to the suite directory *)
+  productions : string option;  (** [.dise] path, likewise *)
+  drs : (int * int) list;  (** dedicated-register init, [(n, value)] *)
+  max_steps : int;
+  signature : string;  (** expected; [""] until [--update] records it *)
+}
+
+type cell = {
+  vector : string;
+  backend : string;
+  pass : bool;
+  signature : string;  (** [""] when the run failed *)
+  expected : string;
+  steps : int;
+  expansions : int;
+  wall_s : float;
+  error : string option;  (** runtime/expansion error, if any *)
+}
+
+type report = {
+  suite : string;  (** ["quick"] or ["full"] *)
+  cells : cell list;  (** vector x backend, manifest order *)
+  vectors : int;
+  passed : int;  (** cells with [pass = true] *)
+  wall_s : float;
+  p50_ns : int;  (** per-cell run latency quantiles *)
+  p95_ns : int;
+  p99_ns : int;
+  fuzz_cases : int;  (** [full] suite only *)
+  fuzz_failures : int;
+}
+
+val backends : string list
+(** [["naive"; "engine-memo"; "engine-hash"; "engine-jit"]]. *)
+
+val default_dir : string
+(** ["test/arch"]. *)
+
+val load_suite : dir:string -> (vector list, Dise_isa.Diag.t) result
+(** Parse [dir]/manifest.json. Errors are [Diag.Parse] (malformed
+    manifest) or [Diag.Cache] (unreadable file). *)
+
+val run_vector : dir:string -> vector -> cell list
+(** Run one vector on every backend (fresh machines; the naive run
+    first, its signature becoming the optimized backends' [expected]
+    when it succeeds). Source-level failures (unparseable program or
+    production set) yield one failing cell per backend. *)
+
+val run_suite : ?fuzz:int -> dir:string -> vector list -> report
+(** Run the whole suite. [fuzz] > 0 (the ["full"] suite) additionally
+    runs that many fixed-seed {!Oracle.check} iterations, folding
+    failures into [fuzz_failures] (they do not affect [passed], which
+    counts vector cells only). *)
+
+val update_signatures :
+  dir:string -> vector list -> (vector list, Dise_isa.Diag.t) result
+(** Recompute every vector's signature from a fresh naive run —
+    the authoring path for new vectors ([disesim conformance
+    --update]). Fails on the first vector whose naive run fails. *)
+
+val save_manifest : dir:string -> vector list -> unit
+(** Rewrite [dir]/manifest.json (pretty-printed, stable order). *)
+
+val csv_of_report : report -> string
+(** Header [vector,backend,pass,signature,expected,steps,expansions,
+    wall_s,error] then one row per cell. *)
+
+val html_of_report : report -> string
+(** Self-contained single-page report: summary line, quantiles, and
+    the per-cell table with failing rows highlighted. *)
+
+val trajectory_record : ts:int -> report -> Dise_telemetry.Trajectory.record
+(** Tool ["conformance"]; [extra] carries [vectors], [fuzz_cases],
+    and [fuzz_failures]. *)

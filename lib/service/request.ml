@@ -636,6 +636,12 @@ let diag_of_exn = function
     Diag.Timeout "simulation exceeded its wall-clock budget"
   | e -> Diag.Runtime (Printexc.to_string e)
 
+(* Latency of the run path itself (memo/cache lookups included),
+   regardless of which entry point reached it — the serve loop, a
+   journal replay, or a direct caller. Cache hits and misses land in
+   the same histogram; the serve-level split lives one layer up. *)
+let h_run = Dise_telemetry.Metrics.Histogram.make "request_run_ns"
+
 let run_ext ?entry ?deadline t =
   let expired () =
     match deadline with
@@ -646,10 +652,17 @@ let run_ext ?entry ?deadline t =
      queue, or chaos stalled it) times out without simulating. *)
   if expired () then
     Error (Diag.Timeout "deadline expired before the simulation started")
-  else
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let finish r =
+      Dise_telemetry.Metrics.Histogram.observe_s h_run
+        (Unix.gettimeofday () -. t0);
+      r
+    in
     match run_cached ?entry ?deadline t with
-    | result -> Ok result
-    | exception e when known_exn e -> Error (diag_of_exn e)
+    | result -> finish (Ok result)
+    | exception e when known_exn e -> finish (Error (diag_of_exn e))
+  end
 
 let relative stats ~baseline =
   float_of_int stats.Stats.cycles /. float_of_int baseline.Stats.cycles

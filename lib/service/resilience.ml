@@ -5,13 +5,19 @@ exception Deadline_exceeded
 
 (* --- counters ----------------------------------------------------------- *)
 
+(* Backed by the process-wide Metrics registry so these counters show
+   up in every metrics snapshot alongside the latency histograms; this
+   module keeps its own (ordered) list of the resilience counters so
+   [snapshot]/[reset] touch exactly the counters it declared. *)
 module Counters = struct
-  type t = { name : string; cell : int Atomic.t }
+  module M = Dise_telemetry.Metrics
+
+  type t = M.Counter.t
 
   let registry : t list ref = ref []
 
   let make name =
-    let c = { name; cell = Atomic.make 0 } in
+    let c = M.Counter.make name in
     registry := c :: !registry;
     c
 
@@ -29,14 +35,14 @@ module Counters = struct
   let jit_hits = make "jit_hits"
   let jit_invalidations = make "jit_invalidations"
 
-  let incr c = Atomic.incr c.cell
-  let add c n = ignore (Atomic.fetch_and_add c.cell n)
-  let get c = Atomic.get c.cell
+  let incr = M.Counter.incr
+  let add = M.Counter.add
+  let get = M.Counter.get
 
   let snapshot () =
-    List.rev_map (fun c -> (c.name, Atomic.get c.cell)) !registry
+    List.rev_map (fun c -> (M.Counter.name c, M.Counter.get c)) !registry
 
-  let reset () = List.iter (fun c -> Atomic.set c.cell 0) !registry
+  let reset () = List.iter (fun c -> M.Counter.set_for_test c 0) !registry
 end
 
 (* --- circuit breaker ---------------------------------------------------- *)

@@ -1,7 +1,17 @@
 module Json = Dise_telemetry.Json
 module Manifest = Dise_telemetry.Manifest
+module Metrics = Dise_telemetry.Metrics
 module Stats = Dise_uarch.Stats
 module Diag = Dise_isa.Diag
+
+(* Per-request latency, split at the worker-pickup instant: queue wait
+   is admission -> pickup, execute is pickup -> response ready (the
+   pool's per-task probe measures it), and serve_request_ns is the
+   end-to-end sum. Process-wide like every registry instrument;
+   serve_summary reports per-session deltas. *)
+let h_queue_wait = Metrics.Histogram.make "serve_queue_wait_ns"
+let h_execute = Metrics.Histogram.make "serve_execute_ns"
+let h_request = Metrics.Histogram.make "serve_request_ns"
 
 type opts = {
   jobs : int;
@@ -10,14 +20,16 @@ type opts = {
   shed_above : int option;
   journal : Resilience.Journal.t option;
   manifest : Manifest.t option;
+  metrics_every_s : float;
 }
 
-let opts ?jobs ?queue ?deadline_ms ?shed_above ?journal ?manifest () =
+let opts ?jobs ?queue ?deadline_ms ?shed_above ?journal ?manifest
+    ?(metrics_every_s = 1.0) () =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
   let queue = match queue with Some q -> max 1 q | None -> 4 * jobs in
-  { jobs; queue; deadline_ms; shed_above; journal; manifest }
+  { jobs; queue; deadline_ms; shed_above; journal; manifest; metrics_every_s }
 
 let default_opts () = opts ()
 
@@ -98,10 +110,15 @@ let ok_response id req ~cache_hit ~wall_s stats =
    matrix forces a deterministic timeout without simulating a huge
    workload. A chaos [raise] escapes to the pool on purpose: it
    exercises the [internal] isolation path. *)
-let run_job ~chaos ~deadline_ms = function
+let run_job ~chaos ~deadline_ms ~enqueued_at = function
   | Bad (id, d) -> (error_response id d, `Error (Diag.category d))
   | Run (id, req) -> (
     let t0 = Unix.gettimeofday () in
+    Metrics.Histogram.observe_s h_queue_wait (t0 -. enqueued_at);
+    let finish resp tag =
+      Metrics.Histogram.observe_s h_request (Unix.gettimeofday () -. enqueued_at);
+      (resp, tag)
+    in
     let deadline =
       Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.)) deadline_ms
     in
@@ -109,9 +126,10 @@ let run_job ~chaos ~deadline_ms = function
     match Request.run_ext ?deadline req with
     | Ok (stats, cache_hit) ->
       let wall_s = Unix.gettimeofday () -. t0 in
-      ( ok_response id req ~cache_hit ~wall_s stats,
-        if cache_hit then `Hit else `Fresh )
-    | Error d -> (error_response id d, `Error (Diag.category d)))
+      finish
+        (ok_response id req ~cache_hit ~wall_s stats)
+        (if cache_hit then `Hit else `Fresh)
+    | Error d -> finish (error_response id d) (`Error (Diag.category d)))
 
 (* A job the pool isolated: an exception [run_ext] does not recognize
    (chaos injection, a plain bug) confined to its slot. The response
@@ -235,7 +253,19 @@ let journal_doc id req =
   | Json.Obj fields -> Json.Obj (("id", id) :: fields)
   | j -> j
 
-let emit_summary m s =
+(* Everything in the summary is a per-session delta: the counters and
+   the metrics registry are process-wide (they survive across
+   connections), so each stream subtracts the snapshot it took before
+   reading its first chunk. *)
+let emit_summary ~counters0 ~metrics0 m s =
+  let counter_deltas =
+    List.map
+      (fun (k, v) ->
+        let v0 = Option.value (List.assoc_opt k counters0) ~default:0 in
+        (k, Json.Int (v - v0)))
+      (Resilience.Counters.snapshot ())
+  in
+  let metrics_delta = Metrics.delta ~since:metrics0 (Metrics.snapshot ()) in
   let fields =
     [
       ("record", Json.String "serve_summary");
@@ -245,11 +275,8 @@ let emit_summary m s =
       ("timeouts", Json.Int s.timeouts);
       ("shed", Json.Int s.shed);
       ("isolated", Json.Int s.isolated);
-      ( "counters",
-        Json.Obj
-          (List.map
-             (fun (k, v) -> (k, Json.Int v))
-             (Resilience.Counters.snapshot ())) );
+      ("counters", Json.Obj counter_deltas);
+      ("metrics", Metrics.to_json metrics_delta);
     ]
     @
     match Request.cache_breaker () with
@@ -264,11 +291,37 @@ let serve_channel ?opts ic oc =
   let lineno = ref 0 in
   let served = ref 0 and errors = ref 0 and hits = ref 0 in
   let timeouts = ref 0 and shed = ref 0 and isolated = ref 0 in
+  (* Session baselines for per-stream deltas, taken before the first
+     chunk is read. *)
+  let counters0 = Resilience.Counters.snapshot () in
+  let metrics0 = Metrics.snapshot () in
+  let last_metrics_emit = ref (Unix.gettimeofday ()) in
+  (* Periodic observability heartbeat: at most one "metrics_snapshot"
+     manifest record per [metrics_every_s], carrying the cumulative
+     session delta (chunk-granular — the loop only runs between
+     batches). *)
+  let maybe_emit_metrics () =
+    match o.manifest with
+    | None -> ()
+    | Some m ->
+      let now = Unix.gettimeofday () in
+      if now -. !last_metrics_emit >= o.metrics_every_s then begin
+        last_metrics_emit := now;
+        Manifest.emit m
+          [
+            ("record", Json.String "metrics_snapshot");
+            ( "metrics",
+              Metrics.to_json (Metrics.delta ~since:metrics0 (Metrics.snapshot ()))
+            );
+          ]
+      end
+  in
   let rec loop () =
     if not (stopping ()) then
       match read_chunk ic ~lineno o.queue with
       | None -> ()
       | Some chunk ->
+        let enqueued_at = Unix.gettimeofday () in
         let chunk = shed_chunk ~shed_above:o.shed_above chunk in
         (* Durability point: every admitted job is journalled — and
            the journal synced — before any of them executes, so a
@@ -290,8 +343,11 @@ let serve_channel ?opts ic oc =
         in
         let outcomes =
           Pool.run_outcomes ~jobs:o.jobs
+            ~probe:(fun _i ~domain:_ dur ->
+              Metrics.Histogram.observe_s h_execute dur)
             (Array.map
-               (fun j () -> run_job ~chaos ~deadline_ms:o.deadline_ms j)
+               (fun j () ->
+                 run_job ~chaos ~deadline_ms:o.deadline_ms ~enqueued_at j)
                chunk)
         in
         Array.iteri
@@ -328,6 +384,7 @@ let serve_channel ?opts ic oc =
               | Some seq -> Resilience.Journal.mark_done j seq | None -> ())
             seqs;
           Resilience.Journal.sync j);
+        maybe_emit_metrics ();
         if Array.length chunk = o.queue then loop ()
   in
   loop ();
@@ -341,7 +398,9 @@ let serve_channel ?opts ic oc =
       isolated = !isolated;
     }
   in
-  (match o.manifest with None -> () | Some m -> emit_summary m s);
+  (match o.manifest with
+  | None -> ()
+  | Some m -> emit_summary ~counters0 ~metrics0 m s);
   s
 
 let pp_summary ppf s =

@@ -63,7 +63,11 @@ type opts = {
   journal : Resilience.Journal.t option;
       (** crash journal to append admitted jobs to *)
   manifest : Dise_telemetry.Manifest.t option;
-      (** emit one ["serve_summary"] record per stream *)
+      (** emit one ["serve_summary"] record per stream, plus periodic
+          ["metrics_snapshot"] records *)
+  metrics_every_s : float;
+      (** minimum spacing of ["metrics_snapshot"] manifest records
+          (checked between chunks; default 1 s) *)
 }
 
 val opts :
@@ -73,6 +77,7 @@ val opts :
   ?shed_above:int ->
   ?journal:Resilience.Journal.t ->
   ?manifest:Dise_telemetry.Manifest.t ->
+  ?metrics_every_s:float ->
   unit ->
   opts
 (** Smart constructor: [jobs] defaults to {!Pool.default_jobs}
@@ -100,7 +105,19 @@ val serve_channel : ?opts:opts -> in_channel -> out_channel -> summary
 (** Serve one JSONL stream to completion (EOF or {!request_stop}).
     Responses are flushed after every chunk. Used both by
     [disesim serve] on stdin/stdout and per-connection in socket
-    mode. *)
+    mode.
+
+    {b Observability.} Every request's latency is recorded in the
+    process-wide {!Dise_telemetry.Metrics} registry, split into
+    [serve_queue_wait_ns] (chunk admission to worker pickup, recorded
+    in {!Request}-level jobs only), [serve_execute_ns] (the pool's
+    per-task wall-clock), and [serve_request_ns] (end-to-end). With a
+    manifest attached, the stream emits ["metrics_snapshot"] records
+    at most every [metrics_every_s] seconds and one final
+    ["serve_summary"] record whose ["counters"] and ["metrics"]
+    members are {e per-session deltas} (validated by
+    doc/schema/metrics.schema.json); the request-latency quantiles
+    live at [metrics.histograms.serve_request_ns.p50/p95/p99]. *)
 
 val serve_socket : ?opts:opts -> path:string -> unit -> unit
 (** Listen on a Unix-domain socket at [path], serving connections

@@ -1,0 +1,147 @@
+(** Process-wide metrics registry: counters, gauges, and log-bucketed
+    latency histograms.
+
+    Every number the system reports — resilience counters, JIT
+    compile/hit counts, serve latencies — lives in this one registry so
+    snapshots, deltas, and JSON serialization have a single source of
+    truth. All mutation is domain-safe: counters, gauges, and histogram
+    cells are [Atomic.t]; metric {e creation} is serialized by a mutex.
+
+    Instruments are registered by name; [make] is idempotent (the same
+    name returns the same instrument), so modules can declare their
+    instruments at top level without coordinating initialization order.
+    Registering the same name as two different kinds raises
+    [Invalid_argument].
+
+    {b Cost when disabled.} The registry is enabled by default; setting
+    the environment variable [DISESIM_METRICS] to [0], [off], [false],
+    or [no] — or calling {!set_enabled}[ false] — turns every recording
+    operation into a single atomic load and branch, and histogram
+    observation into a no-op. Nothing is allocated on the recording
+    path either way.
+
+    {b Snapshot semantics.} All instruments are monotone except gauges,
+    so a later snapshot minus an earlier one ({!delta}) is a valid
+    snapshot of the interval between them — this is how [serve_summary]
+    reports per-session numbers from process-lifetime instruments.
+
+    This module has no dependencies (not even [Unix]); callers supply
+    timestamps and convert to nanoseconds (or use
+    {!Histogram.observe_s}). *)
+
+val set_enabled : bool -> unit
+(** Enable or disable all recording. Reading (snapshots, [get]) always
+    works. *)
+
+val is_enabled : unit -> bool
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Register (or fetch) the counter [name]. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val name : t -> string
+
+  val set_for_test : t -> int -> unit
+  (** Test-only: force a value (used by [reset] in tests). *)
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> int -> unit
+  val get : t -> int
+  val name : t -> string
+end
+
+module Histogram : sig
+  (** Log-linear bucketing: values 0–7 get exact unit buckets; each
+      subsequent power-of-two range is split into 8 equal sub-buckets,
+      so the relative bucket width — and therefore the worst-case
+      quantile-estimation error — is bounded by 1/8 (12.5%). Values are
+      non-negative integers; latencies are recorded in nanoseconds by
+      convention (suffix instrument names with [_ns]). *)
+
+  type t
+
+  (** Immutable view of a histogram: total observation [count], exact
+      integer [sum] of all observed values, and the non-empty buckets
+      as [(lo, hi, count)] with [lo] inclusive, [hi] exclusive,
+      ascending in [lo]. *)
+  type snapshot = {
+    count : int;
+    sum : int;
+    buckets : (int * int * int) array;
+  }
+
+  val make : string -> t
+  val name : t -> string
+
+  val observe : t -> int -> unit
+  (** Record one non-negative integer observation (negative values
+      clamp to 0). No-op while the registry is disabled. *)
+
+  val observe_s : t -> float -> unit
+  (** Record a duration given in seconds, converted to nanoseconds. *)
+
+  val count : t -> int
+  val sum : t -> int
+
+  val snapshot : t -> snapshot
+
+  val delta : since:snapshot -> snapshot -> snapshot
+  (** [delta ~since later] is the interval histogram: observations
+      recorded after [since] was taken. [later] must come from the same
+      histogram, later in time. *)
+
+  val quantile : snapshot -> float -> int
+  (** [quantile s q] estimates the [q]-quantile ([0 < q <= 1]) as the
+      inclusive upper bound of the bucket holding the exact order
+      statistic of rank [ceil (q * count)] — i.e. the estimate lies in
+      the same bucket as the exact quantile, so it overshoots by less
+      than one bucket width. Returns 0 for an empty snapshot. *)
+
+  val invariant : snapshot -> (unit, string) result
+  (** Exact-sum invariant: bucket counts add up to [count], and [sum]
+      lies within the bounds implied by the bucket ranges. (May report
+      a transient violation if the snapshot raced concurrent
+      observers; single-threaded snapshots always satisfy it.) *)
+
+  val bucket_index : int -> int
+  (** Bucket index a value falls into (exposed for tests). *)
+
+  val bucket_bounds : int -> int * int
+  (** [(lo, hi)] of a bucket index, [lo] inclusive, [hi] exclusive. *)
+
+  val to_json : snapshot -> Json.t
+  (** [{"count", "sum", "p50", "p95", "p99", "buckets":[{"lo","hi","count"},…]}] *)
+end
+
+(** Whole-registry snapshot, in instrument registration order. *)
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * Histogram.snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+
+val delta : since:snapshot -> snapshot -> snapshot
+(** Pairwise {!Histogram.delta} / counter subtraction by name.
+    Instruments registered after [since] was taken appear with their
+    full value; gauges always carry their latest value. *)
+
+val to_json : snapshot -> Json.t
+(** Serialize against [doc/schema/metrics.schema.json]:
+    [{"counters":{…}, "gauges":{…}, "histograms":{…}}]. *)
+
+val find_counter : string -> Counter.t option
+val find_histogram : string -> Histogram.t option
+
+val reset_all : unit -> unit
+(** Test-only: zero every instrument in the registry. *)

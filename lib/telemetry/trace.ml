@@ -3,6 +3,7 @@ type t = {
   chan : out_channel option;  (* flushed-to destination, if any *)
   max_events : int;
   mutable count : int;
+  mutable dropped : int;
   mutable truncated : bool;
   mutable first : bool;
   mutable closed : bool;
@@ -10,8 +11,8 @@ type t = {
 
 let create ?(max_events = 1_000_000) chan buf =
   Buffer.add_string buf "[\n";
-  { buf; chan; max_events; count = 0; truncated = false; first = true;
-    closed = false }
+  { buf; chan; max_events; count = 0; dropped = 0; truncated = false;
+    first = true; closed = false }
 
 let to_channel ?max_events chan =
   create ?max_events (Some chan) (Buffer.create 65536)
@@ -53,7 +54,14 @@ let metadata_thread t ~tid ~name =
 
 let counted t =
   if t.closed || t.count >= t.max_events then begin
-    if t.count >= t.max_events then t.truncated <- true;
+    if t.count >= t.max_events then begin
+      (* Exact drop accounting: every event refused past the cap is
+         counted, so the truncation marker (and the run's stats) can
+         say how much of the timeline is missing, not just that some
+         of it is. Post-close events are bugs, not drops. *)
+      if not t.closed then t.dropped <- t.dropped + 1;
+      t.truncated <- true
+    end;
     false
   end
   else begin
@@ -76,15 +84,22 @@ let instant t ~name ~cat ~ts ~tid ~args =
          :: (match args with [] -> [] | args -> [ ("args", Json.Obj args) ])))
 
 let emitted t = t.count
+let dropped t = t.dropped
 let truncated t = t.truncated
 
 let close t =
   if not t.closed then begin
     if t.truncated then
       event t
-        (common ~name:"trace truncated (event cap reached)" ~cat:"meta"
-           ~ph:"i" ~ts:0 ~tid:0
-           [ ("s", Json.String "g") ]);
+        (common
+           ~name:
+             (Printf.sprintf "trace truncated (event cap reached, %d dropped)"
+                t.dropped)
+           ~cat:"meta" ~ph:"i" ~ts:0 ~tid:0
+           [
+             ("s", Json.String "g");
+             ("args", Json.Obj [ ("dropped", Json.Int t.dropped) ]);
+           ]);
     t.closed <- true;
     Buffer.add_string t.buf "\n]\n";
     match t.chan with

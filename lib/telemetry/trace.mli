@@ -39,8 +39,15 @@ val instant : t -> name:string -> cat:string -> ts:int -> tid:int ->
 val emitted : t -> int
 (** Span/instant events written so far (excludes metadata). *)
 
+val dropped : t -> int
+(** Exact count of span/instant events refused because the cap was
+    already reached — [emitted + dropped] is the number the run tried
+    to record. Also written into the truncation marker's [args] and
+    surfaced by [disesim run --stats-json] as the ["trace"] member. *)
+
 val truncated : t -> bool
-(** True once the event cap dropped at least one event. *)
+(** True once the event cap dropped at least one event
+    ([dropped > 0]). *)
 
 val close : t -> unit
 (** Terminate the JSON array and flush. Idempotent. Does not close

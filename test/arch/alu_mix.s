@@ -1,0 +1,36 @@
+; Conformance vector: ALU op mix over a counted loop.
+; Exercises every register-register and register-immediate ALU form;
+; the running accumulator in r2 becomes the exit code.
+main:
+  add zero, #0, r2       ; accumulator
+  add zero, #1, r3       ; a
+  add zero, #3, r4       ; b
+  add zero, #40, r5      ; loop counter
+loop:
+  add r3, r4, r6
+  sub r6, #1, r6
+  mul r3, r4, r7
+  xor r6, r7, r8
+  and r8, #255, r8
+  or  r8, r3, r8
+  sll r8, #2, r9
+  srl r9, #1, r9
+  sra r9, #1, r9
+  slt r3, r4, r10
+  sltu r4, r3, r11
+  cmpeq r10, r11, r12
+  cmplt r3, r4, r13
+  cmple r4, r4, r14
+  add r8, r9, r8
+  add r8, r10, r8
+  add r8, r12, r8
+  add r8, r13, r8
+  add r8, r14, r8
+  add r2, r8, r2
+  and r2, #65535, r2
+  add r3, #1, r3
+  add r4, #2, r4
+  sub r5, #1, r5
+  bgt r5, loop
+  and r2, #255, r2
+  halt

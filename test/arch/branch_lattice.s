@@ -1,0 +1,51 @@
+; Conformance vector: every branch condition, taken and not-taken.
+; Each arm contributes a distinct weight so any mispredicted path
+; changes the exit code.
+main:
+  add zero, #0, r2       ; accumulator
+  add zero, #1, r3       ; positive
+  sub zero, #1, r4       ; negative
+  add zero, #0, r5       ; zero
+  beq r5, a1
+  add r2, #100, r2       ; skipped
+a1:
+  add r2, #1, r2
+  beq r3, a2             ; not taken
+  add r2, #2, r2
+a2:
+  bne r3, a3
+  add r2, #100, r2
+a3:
+  add r2, #4, r2
+  bne r5, a4             ; not taken
+  add r2, #8, r2
+a4:
+  blt r4, a5
+  add r2, #100, r2
+a5:
+  add r2, #16, r2
+  blt r3, a6             ; not taken
+  add r2, #32, r2
+a6:
+  bge r3, a7
+  add r2, #100, r2
+a7:
+  add r2, #64, r2
+  bge r4, a8             ; not taken
+  add r2, #1, r2
+a8:
+  ble r5, a9
+  add r2, #100, r2
+a9:
+  add r2, #2, r2
+  ble r3, b1             ; not taken
+  add r2, #4, r2
+b1:
+  bgt r3, b2
+  add r2, #100, r2
+b2:
+  add r2, #8, r2
+  bgt r4, done           ; not taken
+  add r2, #16, r2
+done:
+  halt

@@ -1,0 +1,32 @@
+; Conformance vector: jal/jr call tree with a manual stack.
+; fib(10) via explicit recursion; exercises jal, jr, jalr, and
+; memory-resident activation records.
+main:
+  lui #1024, sp          ; stack in segment 1
+  lda sp, 1024(sp)
+  add zero, #10, r3      ; argument
+  jal fib
+  add r4, #0, r2         ; exit code = fib(10) = 55
+  halt
+fib:
+  ; r3 = n, returns r4; clobbers r5
+  add zero, #2, r5
+  slt r3, r5, r5
+  beq r5, fib_rec
+  add r3, #0, r4         ; fib(0)=0, fib(1)=1
+  jr ra
+fib_rec:
+  sub sp, #12, sp
+  stq ra, 0(sp)
+  stq r3, 4(sp)
+  sub r3, #1, r3
+  jal fib
+  stq r4, 8(sp)
+  ldq r3, 4(sp)
+  sub r3, #2, r3
+  jal fib
+  ldq r5, 8(sp)
+  add r4, r5, r4
+  ldq ra, 0(sp)
+  add sp, #12, sp
+  jr ra

@@ -1,0 +1,26 @@
+; Conformance vector: a hot store loop under mfi.dise ($dr2 = 1).
+; 400 iterations expand the same guard at the same PC, far past the
+; JIT compile threshold, so the engine-jit backend runs most of this
+; program through compiled superblocks — and must still match the
+; naive reference signature exactly.
+main:
+  lui #1024, r1
+  add zero, #0, r2
+  add zero, #0, r3
+  add zero, #400, r4
+loop:
+  and r3, #63, r5
+  sll r5, #2, r5
+  add r1, r5, r5
+  stq r3, 0(r5)
+  ldq r6, 0(r5)
+  add r2, r6, r2
+  and r2, #65535, r2
+  add r3, #1, r3
+  sub r3, r4, r7
+  blt r7, loop
+  and r2, #255, r2
+  halt
+__error:
+  add zero, #99, r2      ; never reached: every access stays in segment 1
+  halt

@@ -1,0 +1,37 @@
+; Conformance vector: strided stores and loads in the data segment.
+; Writes a word pattern and byte pattern, reads both back, and folds
+; them into a checksum that the memory-image checksum must agree with.
+main:
+  lui #1024, r1          ; 0x04000000, segment 1 (data)
+  add zero, #0, r2       ; checksum
+  add zero, #0, r3       ; index
+  add zero, #16, r4      ; word count
+wstore:
+  mul r3, #9, r5
+  add r5, #7, r5
+  sll r3, #2, r6
+  add r1, r6, r6
+  stq r5, 0(r6)
+  add r3, #1, r3
+  blt r3, wstore_chk
+wstore_chk:
+  sub r3, r4, r7
+  blt r7, wstore
+  add zero, #0, r3
+wload:
+  sll r3, #2, r6
+  add r1, r6, r6
+  ldq r8, 0(r6)
+  add r2, r8, r2
+  add r3, #1, r3
+  sub r3, r4, r7
+  blt r7, wload
+  ; byte traffic on top of the words already there
+  stb r2, 64(r1)
+  stb r3, 65(r1)
+  ldbu r9, 64(r1)
+  ldbu r10, 65(r1)
+  add r2, r9, r2
+  add r2, r10, r2
+  and r2, #255, r2
+  halt

@@ -1,0 +1,22 @@
+; Conformance vector: memory fault isolation productions (mfi.dise,
+; run with $dr2 = 1). A loop of legal stores expands the guard many
+; times, then one out-of-segment store must divert to __error.
+main:
+  lui #1024, r1          ; 0x04000000, segment 1 (legal)
+  lui #3072, r9          ; 0x0C000000, segment 3 (illegal)
+  add zero, #0, r3
+  add zero, #8, r4
+loop:
+  sll r3, #2, r5
+  add r1, r5, r5
+  stq r3, 0(r5)
+  ldq r6, 0(r5)          ; loads are guarded too (P2)
+  add r3, #1, r3
+  sub r3, r4, r7
+  blt r7, loop
+  stq r3, 0(r9)          ; trapped before it executes
+  add zero, #1, r2       ; unreachable
+  halt
+__error:
+  add zero, #77, r2
+  halt

@@ -1,0 +1,30 @@
+; Conformance vector: store-address tracing productions (tracing.dise,
+; run with $dr5 = 0x04100000). Every store's effective address is
+; appended to the trace buffer by the ACF; the program then folds the
+; buffer into the exit code so the trace contents are part of the
+; signature.
+main:
+  lui #1024, r1          ; data at 0x04000000
+  lui #1040, r8          ; trace buffer base 0x04100000
+  add zero, #0, r3
+  add zero, #6, r4
+loop:
+  mul r3, #20, r5
+  add r1, r5, r5
+  stq r3, 8(r5)          ; traced
+  add r3, #1, r3
+  sub r3, r4, r7
+  blt r7, loop
+  ; sum the six recorded addresses (mod 2^16)
+  add zero, #0, r2
+  add zero, #0, r3
+rdloop:
+  sll r3, #2, r5
+  add r8, r5, r5
+  ldq r6, 0(r5)
+  add r2, r6, r2
+  add r3, #1, r3
+  sub r3, r4, r7
+  blt r7, rdloop
+  and r2, #65535, r2
+  halt

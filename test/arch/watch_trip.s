@@ -1,0 +1,20 @@
+; Conformance vector: memory watchpoint productions (watchpoint.dise,
+; run with $dr7 = 0x04000028). Strided stores walk past the watched
+; address; the ACF must trap exactly the store whose effective address
+; matches and divert to __error with the loop index still in r3.
+main:
+  lui #1024, r1          ; 0x04000000
+  add zero, #0, r3
+  add zero, #32, r4
+loop:
+  sll r3, #3, r5         ; stride 8
+  add r1, r5, r5
+  stq r3, 0(r5)          ; index 5 stores to 0x04000028 -> trips
+  add r3, #1, r3
+  sub r3, r4, r7
+  blt r7, loop
+  add zero, #1, r2       ; unreachable if the watchpoint works
+  halt
+__error:
+  add r3, #100, r2       ; 5 + 100 = 105
+  halt

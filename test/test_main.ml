@@ -17,6 +17,7 @@ let () =
       ("os", Test_os.suite);
       ("props", Test_props.suite);
       ("telemetry", Test_telemetry.suite);
+      ("metrics", Test_metrics.suite);
       ("service", Test_service.suite);
       ("resilience", Test_resilience.suite);
       ("fuzz", Test_fuzz.suite);
