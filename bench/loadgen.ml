@@ -1,0 +1,202 @@
+(* Load generator for the serve tier.
+
+   Opens N concurrent connections to a running [disesim serve --socket]
+   endpoint (single-process or sharded, the wire is identical), drives
+   each with a windowed pipeline of JSONL jobs, and reports client-side
+   end-to-end latency quantiles plus throughput. Server-side quantiles
+   (queue wait, execute, end to end) land in the server's merged
+   serve_summary manifest record — run the server with --manifest and
+   read the two reports side by side.
+
+   Usage:
+     dune exec bench/loadgen.exe -- --socket /tmp/dise.sock \
+       --conns 4 --requests 200 --window 16 --warm-frac 0.5 \
+       --json loadgen.json
+
+   Each connection is one OCaml domain. Jobs mix warm requests (drawn
+   from a small set of dyn_targets, cache hits after first touch) and
+   cold ones (distinct dyn_targets, each a fresh simulation) in the
+   proportion --warm-frac sets. *)
+
+module Json = Dise_telemetry.Json
+
+let socket_path = ref ""
+let conns = ref 4
+let requests = ref 100
+let window = ref 16
+let warm_frac = ref 0.5
+let dyn = ref 20_000
+let json_out = ref ""
+let v1 = ref false
+
+let args =
+  [
+    ("--socket", Arg.Set_string socket_path, "PATH serve socket (required)");
+    ("--conns", Arg.Set_int conns, "N concurrent connections (default 4)");
+    ( "--requests",
+      Arg.Set_int requests,
+      "N jobs per connection (default 100)" );
+    ( "--window",
+      Arg.Set_int window,
+      "N outstanding jobs per connection (default 16)" );
+    ( "--warm-frac",
+      Arg.Set_float warm_frac,
+      "F fraction of cache-warm jobs, 0..1 (default 0.5)" );
+    ( "--dyn",
+      Arg.Set_int dyn,
+      "N base dynamic instruction target (default 20000)" );
+    ("--json", Arg.Set_string json_out, "FILE write the report as JSON");
+    ("--v1", Arg.Set v1, "send explicit v:1 envelopes (default: v0 lines)");
+  ]
+
+let usage = "usage: loadgen.exe --socket PATH [options]"
+
+(* The warm set: a handful of dyn_targets every connection shares, so
+   after first touch they are tier-wide cache hits. Cold jobs get a
+   dyn_target unique to (connection, index). *)
+let warm_set_size = 8
+
+let job_line ~conn ~index =
+  let warm =
+    !warm_frac >= 1.0
+    || (!warm_frac > 0.0
+       && float_of_int (index mod 100) < (!warm_frac *. 100.0))
+  in
+  let dyn_target =
+    if warm then !dyn + (index mod warm_set_size)
+    else !dyn + 1_000 + (conn * !requests) + index
+  in
+  let v = if !v1 then {|"v":1,|} else "" in
+  Printf.sprintf {|{%s"id":%d,"bench":"tiny","dyn_target":%d}|} v
+    ((conn * !requests) + index)
+    dyn_target
+
+type conn_result = {
+  sent : int;
+  ok : int;
+  errors : int;
+  cache_hits : int;
+  latencies_s : float array;
+}
+
+(* One connection: keep [window] jobs outstanding, match responses to
+   requests by order (the server answers each stream in input order). *)
+let drive_conn conn =
+  let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect s (Unix.ADDR_UNIX !socket_path);
+  let ic = Unix.in_channel_of_descr s in
+  let send_times = Queue.create () in
+  let latencies = Array.make !requests 0.0 in
+  let ok = ref 0 and errors = ref 0 and hits = ref 0 and got = ref 0 in
+  let send index =
+    let line = job_line ~conn ~index ^ "\n" in
+    let b = Bytes.of_string line in
+    let rec put off =
+      if off < Bytes.length b then
+        put (off + Unix.write s b off (Bytes.length b - off))
+    in
+    put 0;
+    Queue.push (Unix.gettimeofday ()) send_times
+  in
+  let recv () =
+    let line = input_line ic in
+    let t0 = Queue.pop send_times in
+    latencies.(!got) <- Unix.gettimeofday () -. t0;
+    incr got;
+    match Json.parse line with
+    | exception Json.Parse_error _ -> incr errors
+    | r -> (
+      (match Json.member "ok" r with
+      | Some (Json.Bool true) -> incr ok
+      | _ -> incr errors);
+      match Json.member "cache_hit" r with
+      | Some (Json.Bool true) -> incr hits
+      | _ -> ())
+  in
+  let sent = ref 0 in
+  (try
+     while !got < !requests do
+       while !sent < !requests && !sent - !got < !window do
+         send !sent;
+         incr sent
+       done;
+       recv ()
+     done
+   with End_of_file -> ());
+  Unix.shutdown s Unix.SHUTDOWN_SEND;
+  (try Unix.close s with Unix.Unix_error _ -> ());
+  {
+    sent = !sent;
+    ok = !ok;
+    errors = !errors;
+    cache_hits = !hits;
+    latencies_s = Array.sub latencies 0 !got;
+  }
+
+let quantile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+    let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let () =
+  Arg.parse args
+    (fun a ->
+      Format.eprintf "unexpected argument %S@." a;
+      Arg.usage args usage;
+      exit 2)
+    usage;
+  if !socket_path = "" then begin
+    Arg.usage args usage;
+    exit 2
+  end;
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init !conns (fun c -> Domain.spawn (fun () -> drive_conn c))
+  in
+  let results = List.map Domain.join domains in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let sent = total (fun r -> r.sent)
+  and ok = total (fun r -> r.ok)
+  and errors = total (fun r -> r.errors)
+  and hits = total (fun r -> r.cache_hits) in
+  let latencies = Array.concat (List.map (fun r -> r.latencies_s) results) in
+  Array.sort compare latencies;
+  let jobs_per_s =
+    if wall_s > 0.0 then float_of_int sent /. wall_s else 0.0
+  in
+  let report =
+    Json.Obj
+      [
+        ("record", Json.String "loadgen");
+        ("socket", Json.String !socket_path);
+        ("conns", Json.Int !conns);
+        ("requests_per_conn", Json.Int !requests);
+        ("window", Json.Int !window);
+        ("warm_frac", Json.Float !warm_frac);
+        ("sent", Json.Int sent);
+        ("ok", Json.Int ok);
+        ("errors", Json.Int errors);
+        ("cache_hits", Json.Int hits);
+        ("wall_s", Json.Float wall_s);
+        ("jobs_per_s", Json.Float jobs_per_s);
+        ( "latency_s",
+          Json.Obj
+            [
+              ("p50", Json.Float (quantile latencies 0.50));
+              ("p95", Json.Float (quantile latencies 0.95));
+              ("p99", Json.Float (quantile latencies 0.99));
+              ("max", Json.Float (quantile latencies 1.0));
+            ] );
+      ]
+  in
+  let text = Json.to_string report in
+  print_endline text;
+  if !json_out <> "" then begin
+    let oc = open_out !json_out in
+    output_string oc (text ^ "\n");
+    close_out oc
+  end;
+  if ok < sent then exit 1

@@ -508,12 +508,30 @@ let serve_cmd =
   let doc =
     "Serve simulation requests in batch: JSONL requests in, JSONL \
      responses out (in input order). Reads stdin by default, or accepts \
-     sequential connections on a Unix-domain socket. See doc/service.md \
-     for the request and response schemas."
+     connections on a Unix-domain socket. With --workers N, shards the \
+     tier across N worker processes behind an async front end. See \
+     doc/service.md and doc/serve-tier.md for the request and response \
+     schemas and the wire envelope."
+  in
+  let config_arg =
+    Arg.(value & opt (some string) None & info [ "config" ] ~docv:"FILE"
+           ~doc:"Load the serve configuration from a JSON file \
+                 (doc/schema/serve_config.schema.json). Explicit flags \
+                 override members of the file; unknown members are \
+                 rejected.")
+  in
+  let workers_arg =
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
+           ~doc:"Shard the serve tier across $(docv) worker processes, \
+                 routing each job by its content-addressed result key \
+                 (consistent hashing), and multiplex clients on an async \
+                 front end. A crashed worker is respawned on its shard and \
+                 its journal shard replayed. 0 (default) serves in-process.")
   in
   let jobs_arg =
-    Arg.(value & opt int (S.Pool.default_jobs ()) & info [ "j"; "jobs" ]
-           ~docv:"N" ~doc:"Worker domains (default: available cores).")
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ]
+           ~docv:"N" ~doc:"Worker domains per process (default: available \
+                           cores).")
   in
   let queue_arg =
     Arg.(value & opt (some int) None & info [ "queue" ] ~docv:"N"
@@ -537,18 +555,27 @@ let serve_cmd =
   in
   let shed_arg =
     Arg.(value & opt (some int) None & info [ "shed-above" ] ~docv:"WORK"
-           ~doc:"Admission high-water mark per chunk, in dynamic-instruction \
-                 (dyn_target) units: jobs beyond it are answered with kind \
-                 'overloaded' instead of queueing. The first job of a chunk \
-                 is always admitted. Default: never shed.")
+           ~doc:"Admission high-water mark per in-flight window, in \
+                 dynamic-instruction (dyn_target) units: jobs beyond it are \
+                 answered with kind 'overloaded' instead of queueing. The \
+                 first job of a window is always admitted. Default: never \
+                 shed.")
+  in
+  let tenant_quota_arg =
+    Arg.(value & opt (some int) None & info [ "tenant-quota" ] ~docv:"N"
+           ~doc:"Max in-flight jobs per tenant (the request envelope's \
+                 'tenant' member; requests without one share the anonymous \
+                 tenant). Excess jobs are answered with kind 'overloaded' \
+                 in input order. Default: no quota.")
   in
   let journal_arg =
     Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"DIR"
            ~doc:"Crash-safe job journal: append every admitted job to \
                  $(docv)/journal.jsonl before it executes and mark it done \
                  once answered. On startup, jobs a previous crash \
-                 interrupted are replayed into the result cache. See \
-                 doc/resilience.md.")
+                 interrupted are replayed into the result cache. With \
+                 --workers, each worker keeps its shard's journal in \
+                 $(docv)/worker-<shard>. See doc/resilience.md.")
   in
   let serve_manifest_arg =
     Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE"
@@ -557,81 +584,134 @@ let serve_cmd =
                  resilience counters, breaker state) to $(docv).")
   in
   let breaker_arg =
-    Arg.(value & opt int 8 & info [ "breaker" ] ~docv:"N"
+    Arg.(value & opt (some int) None & info [ "breaker" ] ~docv:"N"
            ~doc:"Trip the result-cache circuit breaker after $(docv) \
                  consecutive store failures and serve cache-less (degraded) \
-                 until a half-open probe succeeds. 0 disables the breaker.")
+                 until a half-open probe succeeds. 0 disables the breaker \
+                 (default: 8).")
   in
   let breaker_cooldown_arg =
-    Arg.(value & opt int 5000 & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+    Arg.(value & opt (some int) None & info [ "breaker-cooldown-ms" ]
+           ~docv:"MS"
            ~doc:"How long the breaker stays open before admitting a \
-                 half-open probe.")
+                 half-open probe (default: 5000).")
   in
-  let run jobs queue socket deadline_ms shed_above journal manifest_path
-      breaker breaker_cooldown_ms cache_dir no_cache no_jit jit_threshold =
-    setup_cache cache_dir no_cache;
+  let run config workers jobs queue socket deadline_ms shed_above
+      tenant_quota journal manifest_path breaker breaker_cooldown_ms
+      cache_dir no_cache no_jit jit_threshold =
     (* The default applies to every request that leaves the jit member
        out; requests spelling it out still win. *)
     setup_jit no_jit jit_threshold;
-    let jobs = max 1 jobs in
-    if breaker > 0 then
-      S.Request.set_cache_breaker
-        (Some
-           (S.Resilience.Breaker.create ~threshold:breaker
-              ~cooldown_s:(float_of_int (max 0 breaker_cooldown_ms) /. 1000.)
-              ()));
-    (* Replay whatever a previous crash left begun-but-unfinished,
-       then start this run's journal from a clean file (everything
-       recorded is now either cached or just re-executed). *)
-    let journal_t =
-      match journal with
-      | None -> None
-      | Some dir ->
-        let replayed =
-          guarded (fun () -> S.Server.replay_journal ~jobs ~dir ())
-        in
-        if replayed > 0 then
-          Format.eprintf "disesim serve: replayed %d interrupted job%s from %s@."
-            replayed
-            (if replayed = 1 then "" else "s")
-            (S.Resilience.Journal.file ~dir);
-        S.Resilience.Journal.clear ~dir;
-        Some (guarded (fun () -> S.Resilience.Journal.open_ ~dir))
+    (* Precedence, lowest to highest: defaults, --config file, flags. *)
+    let base =
+      match config with
+      | None -> S.Serve_config.default ()
+      | Some file -> (
+        match S.Serve_config.of_file file with
+        | Ok c -> c
+        | Error d -> die d)
     in
-    let manifest_chan = Option.map open_out manifest_path in
+    let cfg =
+      S.Serve_config.override base ?workers ?jobs ?queue ?deadline_ms
+        ?shed_above ?tenant_quota ?journal ?manifest:manifest_path ?breaker
+        ?breaker_cooldown_ms ()
+    in
+    let manifest_chan = Option.map open_out cfg.S.Serve_config.manifest in
     let manifest_t = Option.map T.Manifest.to_channel manifest_chan in
-    let opts =
-      S.Server.opts ~jobs ?queue ?deadline_ms ?shed_above ?journal:journal_t
-        ?manifest:manifest_t ()
-    in
-    (* Graceful drain: finish the in-flight batch, flush its
-       responses, stop reading. *)
-    let stop _ = S.Server.request_stop () in
-    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-    let finish () =
-      (match journal_t with
-      | Some j -> S.Resilience.Journal.close j
-      | None -> ());
+    let close_manifest () =
       match (manifest_t, manifest_chan) with
       | Some m, Some c ->
         T.Manifest.close m;
         close_out c
       | _ -> ()
     in
-    Fun.protect ~finally:finish (fun () ->
-        match socket with
-        | None ->
-          let s = S.Server.serve_channel ~opts stdin stdout in
-          Format.eprintf "disesim serve: %a@." S.Server.pp_summary s
-        | Some path -> (
-          Format.eprintf "disesim serve: listening on %s@." path;
-          try S.Server.serve_socket ~opts ~path ()
-          with S.Cache.Diag_error d -> die d))
+    let stop = S.Server.Stop.create () in
+    (* Graceful drain: finish the in-flight work, flush its responses,
+       stop reading. *)
+    let on_signal _ = S.Server.Stop.signal stop in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    if cfg.S.Serve_config.workers > 0 then begin
+      (* Sharded tier: the coordinator never simulates, so the cache,
+         breaker, JIT, and journal shards are configured inside each
+         worker process from the spawn spec. *)
+      let cache_dir =
+        if no_cache then None
+        else Some (match cache_dir with Some d -> d | None -> default_cache_dir ())
+      in
+      let jit = (not no_jit, jit_threshold) in
+      Fun.protect ~finally:close_manifest (fun () ->
+          match socket with
+          | None ->
+            let s =
+              S.Coordinator.run_channel ~stop ?manifest:manifest_t ?cache_dir
+                ~jit cfg stdin stdout
+            in
+            Format.eprintf "disesim serve: %a@." S.Server.pp_summary s
+          | Some path -> (
+            Format.eprintf "disesim serve: listening on %s (%d workers)@."
+              path cfg.S.Serve_config.workers;
+            try
+              let s =
+                S.Coordinator.run_socket ~stop ?manifest:manifest_t ?cache_dir
+                  ~jit cfg ~path ()
+              in
+              Format.eprintf "disesim serve: %a@." S.Server.pp_summary s
+            with S.Cache.Diag_error d -> die d))
+    end
+    else begin
+      setup_cache cache_dir no_cache;
+      if cfg.S.Serve_config.breaker > 0 then
+        S.Request.set_cache_breaker
+          (Some
+             (S.Resilience.Breaker.create ~threshold:cfg.S.Serve_config.breaker
+                ~cooldown_s:
+                  (float_of_int cfg.S.Serve_config.breaker_cooldown_ms /. 1000.)
+                ()));
+      (* Replay whatever a previous crash left begun-but-unfinished,
+         then start this run's journal from a clean file (everything
+         recorded is now either cached or just re-executed). *)
+      let journal_t =
+        match cfg.S.Serve_config.journal with
+        | None -> None
+        | Some dir ->
+          let replayed =
+            guarded (fun () ->
+                S.Server.replay_journal ~jobs:cfg.S.Serve_config.jobs ~dir ())
+          in
+          if replayed > 0 then
+            Format.eprintf
+              "disesim serve: replayed %d interrupted job%s from %s@."
+              replayed
+              (if replayed = 1 then "" else "s")
+              (S.Resilience.Journal.file ~dir);
+          S.Resilience.Journal.clear ~dir;
+          Some (guarded (fun () -> S.Resilience.Journal.open_ ~dir))
+      in
+      let session =
+        S.Server.session ~stop ?journal:journal_t ?manifest:manifest_t cfg
+      in
+      let finish () =
+        (match journal_t with
+        | Some j -> S.Resilience.Journal.close j
+        | None -> ());
+        close_manifest ()
+      in
+      Fun.protect ~finally:finish (fun () ->
+          match socket with
+          | None ->
+            let s = S.Server.serve_channel session stdin stdout in
+            Format.eprintf "disesim serve: %a@." S.Server.pp_summary s
+          | Some path -> (
+            Format.eprintf "disesim serve: listening on %s@." path;
+            try S.Server.serve_socket session ~path ()
+            with S.Cache.Diag_error d -> die d))
+    end
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ jobs_arg $ queue_arg $ socket_arg $ deadline_arg
-          $ shed_arg $ journal_arg $ serve_manifest_arg $ breaker_arg
+    Term.(const run $ config_arg $ workers_arg $ jobs_arg $ queue_arg
+          $ socket_arg $ deadline_arg $ shed_arg $ tenant_quota_arg
+          $ journal_arg $ serve_manifest_arg $ breaker_arg
           $ breaker_cooldown_arg $ cache_dir_arg $ no_cache_arg $ no_jit_arg
           $ jit_threshold_arg)
 
@@ -1076,8 +1156,11 @@ let conformance_cmd =
           $ track_arg $ jsonl_arg $ md_arg $ check_reg_arg)
 
 let () =
-  (* Re-exec dispatch for the fault matrix's SIGKILL victim (see
-     Dise_fuzz.Faults): a no-op unless the dispatch variable is set. *)
+  (* Re-exec dispatch hooks: a no-op unless the matching environment
+     variable is set. Serve-tier workers (Dise_service.Coordinator)
+     and the fault matrix's SIGKILL victim (Dise_fuzz.Faults) both
+     take over the process here, before any CLI parsing. *)
+  S.Coordinator.worker_child_main ();
   Dise_fuzz.Faults.journal_child_main ();
   let doc = "DISE: programmable macro engine reproduction (ISCA 2003)" in
   let info = Cmd.info "disesim" ~doc in

@@ -1,6 +1,7 @@
 module Json = Dise_telemetry.Json
 module Cache = Dise_service.Cache
 module Server = Dise_service.Server
+module Serve_config = Dise_service.Serve_config
 module Request = Dise_service.Request
 module Resilience = Dise_service.Resilience
 module Rng = Dise_workload.Rng
@@ -209,7 +210,7 @@ let job ?(dyn = 2_000) id =
 (* Run one JSONL stream through Server.serve_channel via temp files,
    exactly as the CLI does over pipes. [input] is raw bytes (some
    checks need missing newlines). *)
-let serve_raw ?opts input =
+let serve_raw ?cfg ?stop ?journal ?manifest input =
   let inp = Filename.temp_file "dise-fuzz-serve-in" ".jsonl" in
   let out = Filename.temp_file "dise-fuzz-serve-out" ".jsonl" in
   Fun.protect
@@ -225,7 +226,11 @@ let serve_raw ?opts input =
           ~finally:(fun () ->
             close_in_noerr ic;
             close_out_noerr oc)
-          (fun () -> Server.serve_channel ?opts ic oc)
+          (fun () ->
+            let cfg =
+              match cfg with Some c -> c | None -> Serve_config.default ()
+            in
+            Server.serve_channel (Server.session ?stop ?journal ?manifest cfg) ic oc)
       in
       let contents = read_raw out in
       let lines =
@@ -247,8 +252,8 @@ let response_shape line =
       | _ -> Error "error response without kind")
     | _ -> Error "response without ok")
 
-let expect_stream ?opts input expected =
-  let _, lines = serve_raw ?opts input in
+let expect_stream ?cfg input expected =
+  let _, lines = serve_raw ?cfg input in
   if List.length lines <> List.length expected then
     Error
       (Printf.sprintf "%d responses for %d jobs" (List.length lines)
@@ -311,14 +316,13 @@ let serve_partial_truncated () =
 let serve_sigint_drain () =
   let jobs = List.init 40 (fun i -> job ~dyn:(30_000 + i) (i + 1)) in
   let input = String.concat "\n" jobs ^ "\n" in
+  let stop = Server.Stop.create () in
   let prev =
     Sys.signal Sys.sigint
-      (Sys.Signal_handle (fun _ -> Server.request_stop ()))
+      (Sys.Signal_handle (fun _ -> Server.Stop.signal stop))
   in
   Fun.protect
-    ~finally:(fun () ->
-      Server.reset_stop ();
-      Sys.set_signal Sys.sigint prev)
+    ~finally:(fun () -> Sys.set_signal Sys.sigint prev)
     (fun () ->
       let pid = Unix.getpid () in
       let killer =
@@ -327,7 +331,7 @@ let serve_sigint_drain () =
             Unix.kill pid Sys.sigint)
       in
       let summary, lines =
-        serve_raw ~opts:(Server.opts ~jobs:2 ~queue:4 ()) input
+        serve_raw ~stop ~cfg:(Serve_config.of_flags ~jobs:2 ~queue:4 ()) input
       in
       Domain.join killer;
       (* The drain contract: no exception, every emitted response line
@@ -387,7 +391,7 @@ let count_occurrences needle hay =
 let serve_poisoned_job () =
   with_chaos "raise=2" (fun () ->
       expect_stream
-        ~opts:(Server.opts ~jobs:2 ~queue:4 ())
+        ~cfg:(Serve_config.of_flags ~jobs:2 ~queue:4 ())
         (String.concat "\n" [ job ~dyn:41_001 1; job ~dyn:41_002 2; job ~dyn:41_003 3 ] ^ "\n")
         [
           (Some (Json.Int 1), None);
@@ -402,7 +406,7 @@ let serve_poisoned_job () =
 let serve_deadline_overrun () =
   with_chaos "sleep=2:200" (fun () ->
       expect_stream
-        ~opts:(Server.opts ~jobs:2 ~queue:4 ~deadline_ms:25 ())
+        ~cfg:(Serve_config.of_flags ~jobs:2 ~queue:4 ~deadline_ms:25 ())
         (String.concat "\n" [ job ~dyn:41_011 1; job ~dyn:41_012 2; job ~dyn:41_013 3 ] ^ "\n")
         [
           (Some (Json.Int 1), None);
@@ -416,13 +420,15 @@ let serve_deadline_overrun () =
 let serve_shedding () =
   let input = String.concat "\n" (List.init 4 (fun i -> job ~dyn:2_000 (i + 1))) ^ "\n" in
   let summary, _ =
-    serve_raw ~opts:(Server.opts ~jobs:2 ~queue:4 ~shed_above:2_500 ()) input
+    serve_raw
+      ~cfg:(Serve_config.of_flags ~jobs:2 ~queue:4 ~shed_above:2_500 ())
+      input
   in
   if summary.Server.shed <> 3 then
     Error (Printf.sprintf "%d jobs shed, wanted 3" summary.Server.shed)
   else
     expect_stream
-      ~opts:(Server.opts ~jobs:2 ~queue:4 ~shed_above:2_500 ())
+      ~cfg:(Serve_config.of_flags ~jobs:2 ~queue:4 ~shed_above:2_500 ())
       input
       [
         (Some (Json.Int 1), None);
@@ -468,8 +474,9 @@ let serve_breaker_trip_and_recover () =
         ^ "\n"
       in
       let summary, lines =
-        serve_raw
-          ~opts:(Server.opts ~jobs:2 ~queue:6 ~manifest ()) input
+        serve_raw ~manifest
+          ~cfg:(Serve_config.of_flags ~jobs:2 ~queue:6 ())
+          input
       in
       let all_ok =
         List.for_all
@@ -492,7 +499,8 @@ let serve_breaker_trip_and_recover () =
         List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) block_paths;
         Unix.sleepf 0.06;
         let _, lines =
-          serve_raw ~opts:(Server.opts ~jobs:1 ~queue:1 ())
+          serve_raw
+            ~cfg:(Serve_config.of_flags ~jobs:1 ~queue:1 ())
             (job ~dyn:41_031 7 ^ "\n")
         in
         match List.map response_shape lines with
@@ -532,7 +540,8 @@ let journal_child_main () =
           let ic = open_in_bin inp and oc = open_out_bin out in
           ignore
             (Server.serve_channel
-               ~opts:(Server.opts ~jobs:1 ~queue:4 ~journal:j ())
+               (Server.session ~journal:j
+                  (Serve_config.of_flags ~jobs:1 ~queue:4 ()))
                ic oc);
           0
         | _ -> 1

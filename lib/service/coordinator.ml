@@ -1,0 +1,1252 @@
+module Json = Dise_telemetry.Json
+module Manifest = Dise_telemetry.Manifest
+module Metrics = Dise_telemetry.Metrics
+module Diag = Dise_isa.Diag
+
+let env_var = "DISESIM_SERVE_WORKER"
+
+(* The coordinator executes nothing itself, so its latency instruments
+   come from the workers; [serve_execute_ns] here is the same
+   registry instrument the in-process server uses (make is
+   idempotent), recorded inside each worker process. *)
+let h_execute = Metrics.Histogram.make "serve_execute_ns"
+
+(* --- frame protocol ----------------------------------------------------- *)
+
+(* Coordinator <-> worker pipes carry 4-byte big-endian length-prefixed
+   JSON frames — self-delimiting (JSONL would re-parse request bodies
+   to find boundaries) and safe against partial reads on nonblocking
+   descriptors.
+
+     C -> W   {"op":"job","seq":N,"enq":T,"id":ID,"req":REQUEST}
+              {"op":"stop"}
+     W -> C   {"op":"resp","seq":N,"tag":"hit"|"fresh"|"error",
+               "kind":CATEGORY?,"resp":RESPONSE}
+              {"op":"summary","shard":S,"counters":{..},"metrics":{..}}
+
+   [seq] is coordinator-global and monotonic, so a respawned worker can
+   be handed the same frame again without ambiguity. *)
+
+let max_frame = 8 * 1024 * 1024
+
+let frame_string doc =
+  let body = Json.to_string doc in
+  let n = String.length body in
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string body 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let be32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+(* Blocking exact read; [false] on EOF (including EOF mid-item, which
+   only a dying peer produces). *)
+let rec read_exactly fd buf off len =
+  if len = 0 then true
+  else
+    match Unix.read fd buf off len with
+    | 0 -> false
+    | n -> read_exactly fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      read_exactly fd buf off len
+
+(* Blocking whole-frame read. [None] covers EOF and protocol
+   corruption alike: in either case the peer is unusable. *)
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  if not (read_exactly fd hdr 0 4) then None
+  else
+    let n = be32 (Bytes.unsafe_to_string hdr) 0 in
+    if n < 0 || n > max_frame then None
+    else
+      let body = Bytes.create n in
+      if not (read_exactly fd body 0 n) then None
+      else
+        match Json.parse (Bytes.unsafe_to_string body) with
+        | doc -> Some doc
+        | exception Json.Parse_error _ -> None
+
+let rec write_all fd s off =
+  if off < String.length s then
+    match Unix.write_substring fd s off (String.length s - off) with
+    | n -> write_all fd s (off + n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off
+
+let input_ready fd =
+  match Unix.select [ fd ] [] [] 0. with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+(* Incremental frame reader for select-driven reads: bytes accumulate
+   in [ibuf] and complete frames are peeled off as they arrive. *)
+type instream = { ibuf : Buffer.t }
+
+let extract_frames st =
+  let data = Buffer.contents st.ibuf in
+  let len = String.length data in
+  let pos = ref 0 in
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    if len - !pos >= 4 then begin
+      let n = be32 data !pos in
+      if n < 0 || n > max_frame then begin
+        (* Poisoned stream: drop everything; the caller sees EOF-like
+           silence and the peer's exit handles the rest. *)
+        pos := len;
+        continue := false
+      end
+      else if len - !pos - 4 >= n then begin
+        (match Json.parse (String.sub data (!pos + 4) n) with
+        | doc -> out := doc :: !out
+        | exception Json.Parse_error _ -> ());
+        pos := !pos + 4 + n
+      end
+      else continue := false
+    end
+    else continue := false
+  done;
+  Buffer.clear st.ibuf;
+  Buffer.add_substring st.ibuf data !pos (len - !pos);
+  List.rev !out
+
+(* Outgoing byte queue for one descriptor: strings are pushed whole
+   and written as far as the fd will take them. *)
+type outstream = { oq : string Queue.t; mutable off : int }
+
+let outstream () = { oq = Queue.create (); off = 0 }
+let out_pending os = not (Queue.is_empty os.oq)
+let out_push os s = Queue.add s os.oq
+
+(* Write until the queue drains or the fd blocks. Raises on hard
+   write errors (EPIPE: the peer is gone). *)
+let out_write fd os =
+  try
+    while not (Queue.is_empty os.oq) do
+      let s = Queue.peek os.oq in
+      let n = Unix.write_substring fd s os.off (String.length s - os.off) in
+      if os.off + n = String.length s then begin
+        ignore (Queue.pop os.oq);
+        os.off <- 0
+      end
+      else os.off <- os.off + n
+    done
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    ()
+
+(* --- worker process ----------------------------------------------------- *)
+
+(* The spawn spec a worker finds in [DISESIM_SERVE_WORKER]:
+   {"shard":S,"workers":N,"cache":DIR|null,
+    "jit":{"enabled":B,"threshold":K}?,"config":SERVE_CONFIG} *)
+
+type wspec = {
+  w_shard : int;
+  w_cache : string option;
+  w_jit : (bool * int) option;
+  w_cfg : Serve_config.t;
+}
+
+let wspec_of_json doc =
+  let ( let* ) = Result.bind in
+  let err msg = Error (Diag.Parse { source = env_var; line = 0; msg }) in
+  let* w_shard =
+    match Json.member "shard" doc with
+    | Some (Json.Int i) when i >= 0 -> Ok i
+    | _ -> err "missing shard"
+  in
+  let* w_cache =
+    match Json.member "cache" doc with
+    | Some (Json.String d) -> Ok (Some d)
+    | Some Json.Null | None -> Ok None
+    | Some _ -> err "cache must be a string or null"
+  in
+  let* w_jit =
+    match Json.member "jit" doc with
+    | None -> Ok None
+    | Some j -> (
+      match (Json.member "enabled" j, Json.member "threshold" j) with
+      | Some (Json.Bool e), Some (Json.Int k) -> Ok (Some (e, k))
+      | _ -> err "malformed jit member")
+  in
+  let* w_cfg =
+    match Json.member "config" doc with
+    | Some c -> Serve_config.of_json c
+    | None -> err "missing config"
+  in
+  Ok { w_shard; w_cache; w_jit; w_cfg }
+
+let shard_journal_dir ~root shard =
+  Filename.concat root (Printf.sprintf "worker-%d" shard)
+
+let tag_name = function `Hit -> "hit" | `Fresh -> "fresh" | `Error _ -> "error"
+
+(* One decoded job frame, ready for the execution pipeline the
+   in-process server uses ([Server.run_parsed]). *)
+type wjob = { j_seq : int; j_enq : float; j_doc : Json.t; j_parsed : Server.parsed }
+
+let decode_job doc =
+  let id = Option.value (Json.member "id" doc) ~default:Json.Null in
+  let j_seq =
+    match Json.member "seq" doc with Some (Json.Int s) -> s | _ -> -1
+  in
+  let j_enq =
+    match Json.member "enq" doc with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int i) -> float_of_int i
+    | _ -> Unix.gettimeofday ()
+  in
+  let j_doc = Option.value (Json.member "req" doc) ~default:Json.Null in
+  let req =
+    match Json.member "req" doc with
+    | Some r -> Request.of_json r
+    | None ->
+      Error (Diag.Parse { source = "serve-worker"; line = 0; msg = "job frame without req" })
+  in
+  {
+    j_seq;
+    j_enq;
+    j_doc;
+    j_parsed = { Server.id; version = Server.protocol_version; tenant = None; req };
+  }
+
+(* Journal entries are the request document with the id merged back
+   in — the same shape the single-process server journals, so
+   [Server.replay_journal] replays either. *)
+let worker_journal_doc wj =
+  match wj.j_doc with
+  | Json.Obj fields -> Json.Obj (("id", wj.j_parsed.Server.id) :: fields)
+  | j -> j
+
+(* [counters0]/[metrics0] are snapshotted by the caller {e before}
+   journal replay, so replayed-job counts ship in the summary delta
+   and surface in the coordinator's merged counters. *)
+let worker_serve spec journal ~counters0 ~metrics0 =
+  let cfg = spec.w_cfg in
+  let chaos = Resilience.Chaos.of_env () in
+  let emit_frame doc = write_all Unix.stdout (frame_string doc) 0 in
+  let run_batch batch =
+    let batch = Array.of_list batch in
+    let seqs =
+      match journal with
+      | None -> [||]
+      | Some j ->
+        let seqs =
+          Array.map
+            (fun wj ->
+              match wj.j_parsed.Server.req with
+              | Ok _ -> Some (Resilience.Journal.append_begin j (worker_journal_doc wj))
+              | Error _ -> None)
+            batch
+        in
+        Resilience.Journal.sync j;
+        seqs
+    in
+    let outcomes =
+      Pool.run_outcomes ~jobs:cfg.Serve_config.jobs
+        ~probe:(fun _i ~domain:_ dur -> Metrics.Histogram.observe_s h_execute dur)
+        (Array.map
+           (fun wj () ->
+             Server.run_parsed ~chaos ~deadline_ms:cfg.Serve_config.deadline_ms
+               ~enqueued_at:wj.j_enq wj.j_parsed)
+           batch)
+    in
+    Array.iteri
+      (fun i outcome ->
+        let resp, tag =
+          match outcome with
+          | Ok r -> r
+          | Error (e, bt) -> Server.isolated_response batch.(i).j_parsed.Server.id e bt
+        in
+        let kind = match tag with `Error k -> [ ("kind", Json.String k) ] | _ -> [] in
+        emit_frame
+          (Json.Obj
+             ([
+                ("op", Json.String "resp");
+                ("seq", Json.Int batch.(i).j_seq);
+                ("tag", Json.String (tag_name tag));
+              ]
+             @ kind
+             @ [ ("resp", resp) ])))
+      outcomes;
+    match journal with
+    | None -> ()
+    | Some j ->
+      Array.iter
+        (function Some s -> Resilience.Journal.mark_done j s | None -> ())
+        seqs;
+      Resilience.Journal.sync j
+  in
+  (* Frames arrive one at a time; batch up whatever is already queued
+     (up to [queue]) so the domain pool fans out instead of running
+     jobs one by one. *)
+  let rec loop () =
+    match read_frame Unix.stdin with
+    | None -> ()
+    | Some doc -> (
+      match Json.member "op" doc with
+      | Some (Json.String "stop") -> ()
+      | Some (Json.String "job") ->
+        let batch = ref [ decode_job doc ] in
+        let count = ref 1 in
+        let after = ref `Continue in
+        while
+          !after = `Continue && !count < cfg.Serve_config.queue
+          && input_ready Unix.stdin
+        do
+          match read_frame Unix.stdin with
+          | None -> after := `Eof
+          | Some doc -> (
+            match Json.member "op" doc with
+            | Some (Json.String "stop") -> after := `Stop
+            | Some (Json.String "job") ->
+              batch := decode_job doc :: !batch;
+              incr count
+            | _ -> ())
+        done;
+        run_batch (List.rev !batch);
+        if !after = `Continue then loop ()
+      | _ -> loop ())
+  in
+  loop ();
+  let counter_deltas =
+    List.map
+      (fun (k, v) ->
+        let v0 = Option.value (List.assoc_opt k counters0) ~default:0 in
+        (k, Json.Int (v - v0)))
+      (Resilience.Counters.snapshot ())
+  in
+  emit_frame
+    (Json.Obj
+       [
+         ("op", Json.String "summary");
+         ("shard", Json.Int spec.w_shard);
+         ("counters", Json.Obj counter_deltas);
+         ("metrics", Metrics.to_json (Metrics.delta ~since:metrics0 (Metrics.snapshot ())));
+       ])
+
+let worker_main spec_text =
+  let fail d =
+    Format.eprintf "disesim serve worker: %a@." Diag.pp d;
+    Diag.exit_code d
+  in
+  match Json.parse spec_text with
+  | exception Json.Parse_error msg ->
+    fail (Diag.Parse { source = env_var; line = 0; msg })
+  | doc -> (
+    match wspec_of_json doc with
+    | Error d -> fail d
+    | Ok spec -> (
+      (* The coordinator orchestrates shutdown with stop frames; a
+         terminal's Ctrl-C reaches the whole process group, and
+         workers must let the coordinator drain them instead of dying
+         mid-batch. *)
+      (try
+         ignore (Sys.signal Sys.sigint Sys.Signal_ignore);
+         ignore (Sys.signal Sys.sigterm Sys.Signal_ignore)
+       with Invalid_argument _ | Sys_error _ -> ());
+      (match spec.w_jit with
+      | None -> ()
+      | Some (enabled, threshold) -> Request.set_default_jit ~enabled ~threshold);
+      match
+        match spec.w_cache with
+        | None -> Request.set_disk_cache None
+        | Some dir -> Request.set_disk_cache (Some (Cache.create ~dir))
+      with
+      | exception Cache.Diag_error d -> fail d
+      | () ->
+        let cfg = spec.w_cfg in
+        let counters0 = Resilience.Counters.snapshot () in
+        let metrics0 = Metrics.snapshot () in
+        if cfg.Serve_config.breaker > 0 then
+          Request.set_cache_breaker
+            (Some
+               (Resilience.Breaker.create ~threshold:cfg.Serve_config.breaker
+                  ~cooldown_s:(float_of_int cfg.Serve_config.breaker_cooldown_ms /. 1000.)
+                  ()));
+        let journal =
+          match cfg.Serve_config.journal with
+          | None -> None
+          | Some root ->
+            let dir = shard_journal_dir ~root spec.w_shard in
+            (* Same startup sequence as the single-process CLI: replay
+               what a crash interrupted, then start a fresh journal.
+               The replay line on (inherited) stderr is the operator's
+               crash-recovery audit trail. *)
+            let n = Server.replay_journal ~jobs:cfg.Serve_config.jobs ~dir () in
+            if n > 0 then
+              Printf.eprintf "disesim serve: replayed %d interrupted job%s from %s\n%!"
+                n (if n = 1 then "" else "s") dir;
+            Resilience.Journal.clear ~dir;
+            Some (Resilience.Journal.open_ ~dir)
+        in
+        let finish () =
+          match journal with None -> () | Some j -> Resilience.Journal.close j
+        in
+        (match worker_serve spec journal ~counters0 ~metrics0 with
+        | () -> finish ()
+        | exception e ->
+          finish ();
+          Format.eprintf "disesim serve worker: fatal: %s@." (Printexc.to_string e);
+          exit 7);
+        0))
+
+let worker_child_main () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some spec ->
+    let code = try worker_main spec with _ -> 7 in
+    (* Frames go straight through [Unix.write]; nothing buffered needs
+       flushing, and skipping at_exit keeps the host binary's handlers
+       out of the worker's teardown. *)
+    Unix._exit code
+
+(* --- coordinator -------------------------------------------------------- *)
+
+type worker = {
+  shard : int;
+  mutable pid : int;
+  mutable to_w : Unix.file_descr;
+  mutable from_w : Unix.file_descr;
+  mutable wout : outstream;
+  win : instream;
+  (* seq -> (frame bytes, client id, completion); the frame is kept
+     verbatim so a respawned worker can be handed it again. *)
+  inflight : (int, string * Json.t * (tag:string -> Json.t -> unit)) Hashtbl.t;
+  mutable served : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable errs : int;
+  mutable restarts : int;
+  mutable alive : bool;
+  mutable got_summary : bool;
+}
+
+type t = {
+  cfg : Serve_config.t;
+  cache_dir : string option;
+  jit : (bool * int) option;
+  nonblocking : bool;
+  ring : Shard.t;
+  mutable workers : worker array;
+  mutable next_seq : int;
+  stop : Server.Stop.t;
+  manifest : Manifest.t option;
+  on_spawn : (shard:int -> pid:int -> unit) option;
+  counters0 : (string * int) list;
+  metrics0 : Metrics.snapshot;
+  mutable summaries : (int * Json.t) list;
+  mutable shutting_down : bool;
+  (* stream-level tallies (both modes) *)
+  mutable s_served : int;
+  mutable s_errors : int;
+  mutable s_hits : int;
+  mutable s_timeouts : int;
+  mutable s_shed : int;
+  mutable s_isolated : int;
+  (* live admission state (socket mode) *)
+  mutable inflight_work : int;
+  tenant_inflight : (string, int) Hashtbl.t;
+  scratch : Bytes.t;
+}
+
+let worker_spec t shard =
+  let cfg =
+    (* Workers must not recurse into coordinators or double-write the
+       manifest; everything else (jobs, queue, deadline, journal root,
+       breaker) is theirs. *)
+    { t.cfg with Serve_config.workers = 0; manifest = None }
+  in
+  Json.to_string
+    (Json.Obj
+       ([
+          ("shard", Json.Int shard);
+          ("workers", Json.Int (Array.length t.workers));
+          ( "cache",
+            match t.cache_dir with
+            | None -> Json.Null
+            | Some d -> Json.String d );
+        ]
+       @ (match t.jit with
+         | None -> []
+         | Some (enabled, threshold) ->
+           [
+             ( "jit",
+               Json.Obj
+                 [
+                   ("enabled", Json.Bool enabled);
+                   ("threshold", Json.Int threshold);
+                 ] );
+           ])
+       @ [ ("config", Serve_config.to_json cfg) ]))
+
+let spawn_env spec =
+  let prefix = env_var ^ "=" in
+  let kept =
+    List.filter
+      (fun s ->
+        not
+          (String.length s >= String.length prefix
+          && String.sub s 0 (String.length prefix) = prefix))
+      (Array.to_list (Unix.environment ()))
+  in
+  Array.of_list (kept @ [ prefix ^ spec ])
+
+(* Spawn the worker process for [w.shard] and (re)wire its pipes. The
+   child inherits stderr, so worker diagnostics (journal replay lines,
+   isolation backtraces) land on the server's stderr like the
+   single-process path. Pipe fds are created close-on-exec: the ends
+   meant for the child are passed through [create_process_env]'s dup2
+   (which clears the flag on the child's copies), and nothing leaks
+   into sibling workers — vital, or a dead worker's pipe would never
+   read EOF while a sibling still held its write end. *)
+let spawn_into t w =
+  let stdin_r, stdin_w = Unix.pipe ~cloexec:true () in
+  let stdout_r, stdout_w = Unix.pipe ~cloexec:true () in
+  let exe = Sys.executable_name in
+  let pid =
+    Unix.create_process_env exe [| exe |]
+      (spawn_env (worker_spec t w.shard))
+      stdin_r stdout_w Unix.stderr
+  in
+  Unix.close stdin_r;
+  Unix.close stdout_w;
+  if t.nonblocking then begin
+    Unix.set_nonblock stdin_w;
+    Unix.set_nonblock stdout_r
+  end;
+  w.pid <- pid;
+  w.to_w <- stdin_w;
+  w.from_w <- stdout_r;
+  w.wout <- outstream ();
+  Buffer.clear w.win.ibuf;
+  w.alive <- true;
+  w.got_summary <- false;
+  (match t.on_spawn with None -> () | Some f -> f ~shard:w.shard ~pid)
+
+let rec reap pid =
+  match Unix.waitpid [] pid with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap pid
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | _ -> ()
+
+let stop_frame = lazy (frame_string (Json.Obj [ ("op", Json.String "stop") ]))
+
+let max_respawns = 100
+
+(* A worker died with work outstanding. Reap it, spawn a replacement
+   on the same shard, and resubmit every inflight frame verbatim: the
+   replacement first replays its journal shard (re-deriving results
+   into the shared content-addressed cache), so resubmitted jobs that
+   had already run come back as cache hits — crash recovery is
+   idempotent end to end. During shutdown there is no respawn; any
+   stragglers are answered with an internal error instead. *)
+let handle_crash t w reason =
+  (try Unix.close w.to_w with Unix.Unix_error _ -> ());
+  (try Unix.close w.from_w with Unix.Unix_error _ -> ());
+  w.alive <- false;
+  reap w.pid;
+  if t.shutting_down then begin
+    let pending =
+      Hashtbl.fold (fun seq v acc -> (seq, v) :: acc) w.inflight []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    Hashtbl.reset w.inflight;
+    List.iter
+      (fun (_, (_, id, complete)) ->
+        complete ~tag:"error"
+          (Server.error_response id
+             (Diag.Internal "worker exited during shutdown")))
+      pending
+  end
+  else begin
+    Format.eprintf
+      "disesim serve: worker %d (pid %d) exited unexpectedly (%s); respawning@."
+      w.shard w.pid reason;
+    w.restarts <- w.restarts + 1;
+    if w.restarts > max_respawns then
+      raise
+        (Cache.Diag_error
+           (Diag.Internal
+              (Printf.sprintf "worker %d keeps crashing (%d respawns); giving up"
+                 w.shard w.restarts)));
+    spawn_into t w;
+    let pending =
+      Hashtbl.fold (fun seq (fr, _, _) acc -> (seq, fr) :: acc) w.inflight []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter (fun (_, fr) -> out_push w.wout fr) pending
+  end
+
+let create ?stop ?manifest ?on_spawn ?cache_dir ?jit ~nonblocking cfg =
+  let workers_n = max 1 cfg.Serve_config.workers in
+  let cfg = { cfg with Serve_config.workers = workers_n } in
+  let t =
+    {
+      cfg;
+      cache_dir;
+      jit;
+      nonblocking;
+      ring = Shard.ring ~workers:workers_n ();
+      workers = [||];
+      next_seq = 0;
+      stop = (match stop with Some s -> s | None -> Server.Stop.create ());
+      manifest;
+      on_spawn;
+      counters0 = Resilience.Counters.snapshot ();
+      metrics0 = Metrics.snapshot ();
+      summaries = [];
+      shutting_down = false;
+      s_served = 0;
+      s_errors = 0;
+      s_hits = 0;
+      s_timeouts = 0;
+      s_shed = 0;
+      s_isolated = 0;
+      inflight_work = 0;
+      tenant_inflight = Hashtbl.create 8;
+      scratch = Bytes.create 65536;
+    }
+  in
+  t.workers <-
+    Array.init workers_n (fun shard ->
+        {
+          shard;
+          pid = -1;
+          to_w = Unix.stdin;
+          from_w = Unix.stdin;
+          wout = outstream ();
+          win = { ibuf = Buffer.create 4096 };
+          inflight = Hashtbl.create 32;
+          served = 0;
+          hits = 0;
+          misses = 0;
+          errs = 0;
+          restarts = 0;
+          alive = false;
+          got_summary = false;
+        });
+  Array.iter (fun w -> spawn_into t w) t.workers;
+  t
+
+(* Stream-level outcome bookkeeping — the same classification
+   [Server.serve_channel] applies, including the resilience-counter
+   bumps (workers don't bump timeout/shed counters themselves, so the
+   merged counter deltas count each event exactly once). *)
+let tally t ~tag ~kind =
+  t.s_served <- t.s_served + 1;
+  match tag with
+  | "hit" -> t.s_hits <- t.s_hits + 1
+  | "fresh" -> ()
+  | _ -> (
+    t.s_errors <- t.s_errors + 1;
+    match kind with
+    | Some "timeout" ->
+      t.s_timeouts <- t.s_timeouts + 1;
+      Resilience.Counters.incr Resilience.Counters.timeouts
+    | Some "overloaded" ->
+      t.s_shed <- t.s_shed + 1;
+      Resilience.Counters.incr Resilience.Counters.shed
+    | Some "internal" -> t.s_isolated <- t.s_isolated + 1
+    | _ -> ())
+
+(* Route by result-cache key: identical requests always reach the
+   same worker, whose memory and journal shard own that slice of the
+   keyspace. *)
+let submit t (p : Server.parsed) req ~enq ~complete =
+  match p.Server.req with
+  | Error _ -> invalid_arg "Coordinator.submit: unrunnable job"
+  | Ok _ ->
+    let w = t.workers.(Shard.route t.ring (Request.key req)) in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let fr =
+      frame_string
+        (Json.Obj
+           [
+             ("op", Json.String "job");
+             ("seq", Json.Int seq);
+             ("enq", Json.Float enq);
+             ("id", p.Server.id);
+             ("req", Request.to_json req);
+           ])
+    in
+    Hashtbl.replace w.inflight seq (fr, p.Server.id, complete);
+    out_push w.wout fr
+
+let dispatch t w doc =
+  match Json.member "op" doc with
+  | Some (Json.String "resp") -> (
+    let seq = match Json.member "seq" doc with Some (Json.Int s) -> s | _ -> -1 in
+    match Hashtbl.find_opt w.inflight seq with
+    | None -> () (* duplicate after a respawn race; first answer won *)
+    | Some (_, id, complete) ->
+      Hashtbl.remove w.inflight seq;
+      let tag =
+        match Json.member "tag" doc with Some (Json.String s) -> s | _ -> "error"
+      in
+      let kind =
+        match Json.member "kind" doc with Some (Json.String s) -> Some s | _ -> None
+      in
+      w.served <- w.served + 1;
+      (match tag with
+      | "hit" -> w.hits <- w.hits + 1
+      | "fresh" -> w.misses <- w.misses + 1
+      | _ -> w.errs <- w.errs + 1);
+      let resp =
+        match Json.member "resp" doc with
+        | Some r -> r
+        | None ->
+          Server.error_response id (Diag.Internal "worker response without body")
+      in
+      tally t ~tag ~kind;
+      complete ~tag resp)
+  | Some (Json.String "summary") ->
+    w.got_summary <- true;
+    t.summaries <- (w.shard, doc) :: t.summaries
+  | _ -> ()
+
+(* Pump one readable worker pipe: pull whatever bytes are there,
+   dispatch the complete frames, respawn on EOF. *)
+let pump_worker t w =
+  match Unix.read w.from_w t.scratch 0 (Bytes.length t.scratch) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    handle_crash t w (Unix.error_message e)
+  | 0 -> handle_crash t w "pipe closed"
+  | n ->
+    Buffer.add_subbytes w.win.ibuf t.scratch 0 n;
+    List.iter (dispatch t w) (extract_frames w.win)
+
+let flush_worker t w =
+  if w.alive && out_pending w.wout then
+    match out_write w.to_w w.wout with
+    | () -> ()
+    | exception Unix.Unix_error (_, _, _) -> handle_crash t w "write failed"
+
+(* --- merged summary ----------------------------------------------------- *)
+
+let sum_counters base extra =
+  List.map
+    (fun (k, v) ->
+      match List.assoc_opt k extra with
+      | Some (Json.Int e) -> (k, v + e)
+      | _ -> (k, v))
+    base
+
+let merged_summary t =
+  let local_counters =
+    List.map
+      (fun (k, v) ->
+        let v0 = Option.value (List.assoc_opt k t.counters0) ~default:0 in
+        (k, v - v0))
+      (Resilience.Counters.snapshot ())
+  in
+  let counters =
+    List.fold_left
+      (fun acc (_, doc) ->
+        match Json.member "counters" doc with
+        | Some (Json.Obj kvs) -> sum_counters acc kvs
+        | _ -> acc)
+      local_counters t.summaries
+  in
+  let metrics =
+    List.fold_left
+      (fun acc (_, doc) ->
+        match Json.member "metrics" doc with
+        | Some m -> Metrics.merge acc (Metrics.of_json m)
+        | None -> acc)
+      (Metrics.delta ~since:t.metrics0 (Metrics.snapshot ()))
+      t.summaries
+  in
+  let workers_json =
+    Array.to_list
+      (Array.map
+         (fun w ->
+           Json.Obj
+             [
+               ("shard", Json.Int w.shard);
+               ("pid", Json.Int w.pid);
+               ("served", Json.Int w.served);
+               ("cache_hits", Json.Int w.hits);
+               ("cache_misses", Json.Int w.misses);
+               ("errors", Json.Int w.errs);
+               ("restarts", Json.Int w.restarts);
+             ])
+         t.workers)
+  in
+  let summary =
+    {
+      Server.served = t.s_served;
+      errors = t.s_errors;
+      cache_hits = t.s_hits;
+      timeouts = t.s_timeouts;
+      shed = t.s_shed;
+      isolated = t.s_isolated;
+    }
+  in
+  let fields =
+    [
+      ("record", Json.String "serve_summary");
+      ("served", Json.Int t.s_served);
+      ("errors", Json.Int t.s_errors);
+      ("cache_hits", Json.Int t.s_hits);
+      ("timeouts", Json.Int t.s_timeouts);
+      ("shed", Json.Int t.s_shed);
+      ("isolated", Json.Int t.s_isolated);
+      ("workers", Json.List workers_json);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters));
+      ("metrics", Metrics.to_json metrics);
+    ]
+  in
+  (match t.manifest with None -> () | Some m -> Manifest.emit m fields);
+  summary
+
+(* Graceful tier teardown: queue a stop frame for every live worker,
+   drain their summary frames (collecting late responses on the way),
+   then reap. A worker that neither summarizes nor exits within the
+   deadline is killed — shutdown must terminate even if a job is
+   wedged. *)
+let shutdown t =
+  t.shutting_down <- true;
+  Array.iter
+    (fun w -> if w.alive then out_push w.wout (Lazy.force stop_frame))
+    t.workers;
+  let deadline = Unix.gettimeofday () +. 10. in
+  let outstanding () =
+    Array.exists
+      (fun w -> w.alive && (not w.got_summary || out_pending w.wout))
+      t.workers
+  in
+  let rec drain () =
+    if outstanding () && Unix.gettimeofday () < deadline then begin
+      Array.iter (fun w -> flush_worker t w) t.workers;
+      let rs =
+        Array.to_list t.workers
+        |> List.filter_map (fun w ->
+               if w.alive && not w.got_summary then Some w.from_w else None)
+      in
+      let ws =
+        Array.to_list t.workers
+        |> List.filter_map (fun w ->
+               if w.alive && out_pending w.wout then Some w.to_w else None)
+      in
+      if rs <> [] || ws <> [] then begin
+        (match Unix.select rs ws [] 0.25 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | rready, _, _ ->
+          Array.iter
+            (fun w ->
+              if w.alive && List.mem w.from_w rready then pump_worker t w)
+            t.workers);
+        drain ()
+      end
+    end
+  in
+  drain ();
+  Array.iter
+    (fun w ->
+      if w.alive then begin
+        if not w.got_summary then (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try Unix.close w.to_w with Unix.Unix_error _ -> ());
+        (try Unix.close w.from_w with Unix.Unix_error _ -> ());
+        reap w.pid;
+        w.alive <- false
+      end)
+    t.workers;
+  merged_summary t
+
+(* --- channel mode ------------------------------------------------------- *)
+
+(* Batch-synchronous front end over one JSONL stream: read a chunk,
+   shed/route/submit, drain until every slot has its response, emit in
+   input order — the multi-process analogue of
+   [Server.serve_channel], byte-compatible on the wire. *)
+let channel_loop t ic oc =
+  let cfg = t.cfg in
+  let lineno = ref 0 in
+  let rec drain_until done_ =
+    if not (done_ ()) then begin
+      Array.iter (fun w -> flush_worker t w) t.workers;
+      let rs =
+        Array.to_list t.workers
+        |> List.filter_map (fun w -> if w.alive then Some w.from_w else None)
+      in
+      (match Unix.select rs [] [] 1.0 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | rready, _, _ ->
+        Array.iter
+          (fun w -> if w.alive && List.mem w.from_w rready then pump_worker t w)
+          t.workers);
+      drain_until done_
+    end
+  in
+  let rec loop () =
+    if not (Server.Stop.signalled t.stop) then
+      match Server.read_chunk ~stop:t.stop ic ~lineno cfg.Serve_config.queue with
+      | None -> ()
+      | Some chunk ->
+        let chunk = Server.admit cfg chunk in
+        let n = Array.length chunk in
+        let responses = Array.make n None in
+        let outstanding = ref 0 in
+        let enq = Unix.gettimeofday () in
+        Array.iteri
+          (fun i p ->
+            match p.Server.req with
+            | Error d ->
+              tally t ~tag:"error" ~kind:(Some (Diag.category d));
+              responses.(i) <- Some (Server.error_response p.Server.id d)
+            | Ok req ->
+              incr outstanding;
+              submit t p req ~enq ~complete:(fun ~tag:_ resp ->
+                  responses.(i) <- Some resp;
+                  decr outstanding))
+          chunk;
+        drain_until (fun () -> !outstanding = 0);
+        Array.iter
+          (fun r ->
+            output_string oc (Json.to_string (Option.get r));
+            output_char oc '\n')
+          responses;
+        flush oc;
+        if n = cfg.Serve_config.queue then loop ()
+  in
+  loop ()
+
+let run_channel ?stop ?manifest ?on_spawn ?cache_dir ?jit cfg ic oc =
+  let t = create ?stop ?manifest ?on_spawn ?cache_dir ?jit ~nonblocking:false cfg in
+  match channel_loop t ic oc with
+  | () -> shutdown t
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    ignore (shutdown t);
+    Printexc.raise_with_backtrace e bt
+
+(* --- socket mode: the async front end ----------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  cbuf : Buffer.t;  (* partial input line *)
+  mutable oversized : bool;  (* discarding an over-long line's tail *)
+  cout : outstream;
+  mutable lineno : int;
+  mutable next_slot : int;
+  mutable next_emit : int;
+  ready : (int, Json.t) Hashtbl.t;
+  mutable pending : int;
+  mutable eof : bool;
+  mutable closed : bool;
+  mutable cserved : int;
+  mutable cerrors : int;
+  mutable chits : int;
+}
+
+let conn_tally c ~tag =
+  c.cserved <- c.cserved + 1;
+  match tag with
+  | "hit" -> c.chits <- c.chits + 1
+  | "fresh" -> ()
+  | _ -> c.cerrors <- c.cerrors + 1
+
+(* Complete one slot and flush the in-order prefix to the
+   connection's output queue. A closed connection still completes
+   (admission state must be released) but the response is dropped. *)
+let finish_slot c slot resp =
+  c.pending <- c.pending - 1;
+  if not c.closed then begin
+    Hashtbl.replace c.ready slot resp;
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt c.ready c.next_emit with
+      | None -> continue := false
+      | Some r ->
+        Hashtbl.remove c.ready c.next_emit;
+        out_push c.cout (Json.to_string r ^ "\n");
+        c.next_emit <- c.next_emit + 1
+    done
+  end
+
+(* Live-window admission, the event-loop counterpart of
+   [Server.admit]: the same policies (per-tenant quota, then the
+   cumulative [dyn_target] budget) applied against what is currently
+   in flight across all connections rather than within one chunk. *)
+let admit_live t (p : Server.parsed) req =
+  let cfg = t.cfg in
+  let tenant = Option.value p.Server.tenant ~default:"" in
+  let quota_ok =
+    match cfg.Serve_config.tenant_quota with
+    | None -> Ok ()
+    | Some q ->
+      let q = max 1 q in
+      let n = Option.value (Hashtbl.find_opt t.tenant_inflight tenant) ~default:0 in
+      if n >= q then
+        Error
+          (Diag.Overloaded
+             (Printf.sprintf
+                "tenant quota: %s already has %d jobs in flight (quota %d)"
+                (if tenant = "" then "the anonymous tenant"
+                 else Printf.sprintf "tenant %S" tenant)
+                n q))
+      else Ok ()
+  in
+  match quota_ok with
+  | Error d -> Error d
+  | Ok () -> (
+    let w = req.Request.dyn_target in
+    match cfg.Serve_config.shed_above with
+    | Some hw when t.inflight_work > 0 && t.inflight_work + w > hw ->
+      Error
+        (Diag.Overloaded
+           (Printf.sprintf
+              "load shed: job of %d dynamic instructions would push the \
+               in-flight work past the high-water mark of %d"
+              w hw))
+    | _ ->
+      Hashtbl.replace t.tenant_inflight tenant
+        (Option.value (Hashtbl.find_opt t.tenant_inflight tenant) ~default:0 + 1);
+      t.inflight_work <- t.inflight_work + w;
+      Ok
+        (fun () ->
+          t.inflight_work <- t.inflight_work - w;
+          match Hashtbl.find_opt t.tenant_inflight tenant with
+          | Some 1 | None -> Hashtbl.remove t.tenant_inflight tenant
+          | Some n -> Hashtbl.replace t.tenant_inflight tenant (n - 1)))
+
+let handle_parsed t c slot (p : Server.parsed) =
+  let direct d =
+    tally t ~tag:"error" ~kind:(Some (Diag.category d));
+    conn_tally c ~tag:"error";
+    finish_slot c slot (Server.error_response p.Server.id d)
+  in
+  match p.Server.req with
+  | Error d -> direct d
+  | Ok req -> (
+    match admit_live t p req with
+    | Error d -> direct d
+    | Ok release ->
+      submit t p req ~enq:(Unix.gettimeofday ()) ~complete:(fun ~tag resp ->
+          release ();
+          conn_tally c ~tag;
+          finish_slot c slot resp))
+
+let process_line t c line =
+  c.lineno <- c.lineno + 1;
+  if String.trim line <> "" then begin
+    let slot = c.next_slot in
+    c.next_slot <- slot + 1;
+    c.pending <- c.pending + 1;
+    handle_parsed t c slot (Server.parse_job ~lineno:c.lineno line)
+  end
+
+let oversized_slot t c =
+  c.lineno <- c.lineno + 1;
+  let slot = c.next_slot in
+  c.next_slot <- slot + 1;
+  c.pending <- c.pending + 1;
+  handle_parsed t c slot (Server.oversized_line ~lineno:c.lineno)
+
+(* Split freshly read bytes into lines, honoring the 1 MiB line bound
+   the way [Server.read_raw_line] does: an over-long line is
+   discarded up to its newline and costs one parse-error slot. *)
+let feed_conn t c data =
+  let len = String.length data in
+  let start = ref 0 in
+  for i = 0 to len - 1 do
+    if data.[i] = '\n' then begin
+      let seg = i - !start in
+      if c.oversized then begin
+        c.oversized <- false;
+        oversized_slot t c
+      end
+      else if Buffer.length c.cbuf + seg > Server.max_line_bytes then begin
+        Buffer.clear c.cbuf;
+        oversized_slot t c
+      end
+      else begin
+        let line = Buffer.contents c.cbuf ^ String.sub data !start seg in
+        Buffer.clear c.cbuf;
+        process_line t c line
+      end;
+      start := i + 1
+    end
+  done;
+  if !start < len then
+    if c.oversized then ()
+    else if Buffer.length c.cbuf + (len - !start) > Server.max_line_bytes then begin
+      Buffer.clear c.cbuf;
+      c.oversized <- true
+    end
+    else Buffer.add_substring c.cbuf data !start (len - !start)
+
+let run_socket ?stop ?manifest ?on_spawn ?cache_dir ?jit cfg ~path () =
+  Server.with_sigpipe_ignored @@ fun () ->
+  let sock = Server.listen_socket ~path in
+  Unix.set_nonblock sock;
+  (* Workers are spawned (and respawned) while connections are open;
+     any fd not marked cloexec leaks into them. A worker holding a
+     duplicate of a client's socket keeps that client from ever seeing
+     EOF after the coordinator closes its copy. *)
+  Unix.set_close_on_exec sock;
+  let t = create ?stop ?manifest ?on_spawn ?cache_dir ?jit ~nonblocking:true cfg in
+  let conns = ref [] in
+  let next_cid = ref 0 in
+  let close_conn c =
+    if not c.closed then begin
+      c.closed <- true;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      Format.eprintf
+        "disesim serve: connection %d done: served %d job%s (%d error%s, %d \
+         cache hit%s)@."
+        c.cid c.cserved
+        (if c.cserved = 1 then "" else "s")
+        c.cerrors
+        (if c.cerrors = 1 then "" else "s")
+        c.chits
+        (if c.chits = 1 then "" else "s")
+    end
+  in
+  let fail_conn c reason =
+    if not c.closed then begin
+      Resilience.Counters.incr Resilience.Counters.conn_failures;
+      Format.eprintf "disesim serve: connection %d failed (isolated): %s@."
+        c.cid reason;
+      c.closed <- true;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ())
+    end
+  in
+  let accept_all () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept sock with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> continue := false
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "disesim serve: accept failed: %s@."
+          (Unix.error_message e);
+        continue := false
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        Unix.set_close_on_exec fd;
+        let cid = !next_cid in
+        incr next_cid;
+        conns :=
+          {
+            fd;
+            cid;
+            cbuf = Buffer.create 256;
+            oversized = false;
+            cout = outstream ();
+            lineno = 0;
+            next_slot = 0;
+            next_emit = 0;
+            ready = Hashtbl.create 16;
+            pending = 0;
+            eof = false;
+            closed = false;
+            cserved = 0;
+            cerrors = 0;
+            chits = 0;
+          }
+          :: !conns
+    done
+  in
+  let read_conn c =
+    match Unix.read c.fd t.scratch 0 (Bytes.length t.scratch) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error (e, _, _) -> fail_conn c (Unix.error_message e)
+    | 0 ->
+      c.eof <- true;
+      (* A trailing line without its newline still gets an answer,
+         like the channel server's final partial line. *)
+      if Buffer.length c.cbuf > 0 || c.oversized then begin
+        if c.oversized then begin
+          c.oversized <- false;
+          oversized_slot t c
+        end
+        else begin
+          let line = Buffer.contents c.cbuf in
+          Buffer.clear c.cbuf;
+          process_line t c line
+        end
+      end
+    | n -> feed_conn t c (Bytes.sub_string t.scratch 0 n)
+  in
+  let write_conn c =
+    match out_write c.fd c.cout with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) -> fail_conn c (Unix.error_message e)
+  in
+  let finally () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      let rec loop () =
+        if Server.Stop.signalled t.stop then
+          (* Graceful drain: no new reads; in-flight work completes
+             and flushes, then the loop exits. *)
+          List.iter (fun c -> c.eof <- true) !conns;
+        List.iter
+          (fun c ->
+            if (not c.closed) && c.eof && c.pending = 0 && not (out_pending c.cout)
+            then close_conn c)
+          !conns;
+        conns := List.filter (fun c -> not c.closed) !conns;
+        if not (Server.Stop.signalled t.stop && !conns = []) then begin
+          Array.iter (fun w -> flush_worker t w) t.workers;
+          let stopping = Server.Stop.signalled t.stop in
+          let rs =
+            (if stopping then [] else [ sock ])
+            @ List.filter_map
+                (fun c ->
+                  (* Per-connection backpressure: stop reading a
+                     connection that already has [queue] jobs in
+                     flight; bytes wait in the kernel buffer. *)
+                  if (not c.eof) && c.pending < t.cfg.Serve_config.queue then
+                    Some c.fd
+                  else None)
+                !conns
+            @ (Array.to_list t.workers
+              |> List.filter_map (fun w -> if w.alive then Some w.from_w else None))
+          in
+          let ws =
+            List.filter_map
+              (fun c -> if out_pending c.cout then Some c.fd else None)
+              !conns
+            @ (Array.to_list t.workers
+              |> List.filter_map (fun w ->
+                     if w.alive && out_pending w.wout then Some w.to_w else None))
+          in
+          (match Unix.select rs ws [] 0.25 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | rready, wready, _ ->
+            if List.mem sock rready then accept_all ();
+            Array.iter
+              (fun w -> if w.alive && List.mem w.from_w rready then pump_worker t w)
+              t.workers;
+            List.iter
+              (fun c -> if (not c.closed) && List.mem c.fd rready then read_conn c)
+              !conns;
+            Array.iter
+              (fun w -> if w.alive && List.mem w.to_w wready then flush_worker t w)
+              t.workers;
+            List.iter
+              (fun c -> if (not c.closed) && List.mem c.fd wready then write_conn c)
+              !conns);
+          loop ()
+        end
+      in
+      loop ();
+      shutdown t)

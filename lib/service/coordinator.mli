@@ -1,0 +1,87 @@
+(** Sharded multi-process serve tier.
+
+    [disesim serve --workers N] runs this coordinator: [N] worker
+    {e processes} (re-executions of the current binary, dispatched
+    through {!worker_child_main} via the {!env_var} spawn
+    environment), each owning one shard of the content-addressed
+    result keyspace. The coordinator is a pure front end — it parses,
+    admits, routes, and reorders, but never simulates:
+
+    - {e sharding} — jobs route by {!Request.key} over a
+      consistent-hash ring ({!Shard}), so identical requests always
+      reach the same worker and each worker's in-memory state and
+      crash-journal shard ([<journal>/worker-<shard>]) are
+      authoritative for their slice;
+    - {e transport} — length-prefixed JSON frames over each worker's
+      stdin/stdout pipes; responses carry the coordinator-global
+      sequence number, so the front end can reorder per-stream while
+      workers answer in completion order;
+    - {e supervision} — a worker that exits is reaped, respawned on
+      the same shard, and handed its inflight frames again; the
+      replacement replays its journal shard first, so recovery is
+      idempotent (previously completed jobs return as cache hits);
+    - {e admission} — per-tenant quotas and [dyn_target] load
+      shedding, the same policies as the in-process server, applied
+      tier-wide; rejected jobs are answered ["overloaded"] by the
+      coordinator without touching a worker;
+    - {e telemetry} — at shutdown each worker ships its counter and
+      metrics deltas; the coordinator folds them
+      ({!Dise_telemetry.Metrics.merge}) with its own and emits one
+      merged ["serve_summary"] manifest record with a per-worker
+      ["workers"] breakdown
+      (doc/schema/serve_summary.schema.json).
+
+    Responses are byte-compatible with {!Server}: a client cannot
+    tell [--workers 4] from the single-process server except by
+    throughput. See doc/serve-tier.md. *)
+
+val env_var : string
+(** ["DISESIM_SERVE_WORKER"] — presence in the environment makes
+    {!worker_child_main} take over the process as a worker. *)
+
+val worker_child_main : unit -> unit
+(** Worker dispatch hook: call {e first} in any binary that may spawn
+    workers (the CLI and the test runner do). Returns immediately in
+    a normal process; in a spawned worker it configures the cache,
+    breaker, and JIT from the spawn spec, replays and reopens its
+    journal shard, serves frames from stdin until EOF or a stop
+    frame, emits its summary frame, and [_exit]s. *)
+
+val run_channel :
+  ?stop:Server.Stop.t ->
+  ?manifest:Dise_telemetry.Manifest.t ->
+  ?on_spawn:(shard:int -> pid:int -> unit) ->
+  ?cache_dir:string ->
+  ?jit:bool * int ->
+  Serve_config.t ->
+  in_channel ->
+  out_channel ->
+  Server.summary
+(** Serve one JSONL stream through the worker tier
+    (batch-synchronous, like {!Server.serve_channel}: chunks of
+    [queue] lines, responses emitted in input order after each chunk
+    drains). Spawns [max 1 cfg.workers] workers on entry and tears
+    the tier down (merged summary included) before returning.
+    [cache_dir]/[jit] configure the workers' result cache and JIT
+    ([None] cache = caching off); [on_spawn] observes every (re)spawn
+    — the fault-injection tests use it to aim SIGKILL. *)
+
+val run_socket :
+  ?stop:Server.Stop.t ->
+  ?manifest:Dise_telemetry.Manifest.t ->
+  ?on_spawn:(shard:int -> pid:int -> unit) ->
+  ?cache_dir:string ->
+  ?jit:bool * int ->
+  Serve_config.t ->
+  path:string ->
+  unit ->
+  Server.summary
+(** The async front end: a non-blocking [select] event loop
+    multiplexing the Unix-domain listener at [path], every accepted
+    connection, and all worker pipes in one thread. Each connection
+    is an independent JSONL stream with in-order responses and a
+    per-connection in-flight cap of [queue] (backpressure: the
+    coordinator simply stops reading a maxed-out connection).
+    Socket-claiming semantics are {!Server.listen_socket}'s. Returns
+    after {!Server.Stop.signal}: accepts stop, in-flight work drains
+    and flushes, workers are stopped and merged into the summary. *)

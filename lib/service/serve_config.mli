@@ -1,0 +1,97 @@
+(** One serializable record for every serve-tier knob.
+
+    This is the serve API's single configuration surface: the
+    coordinator ([disesim serve --workers N]), the worker processes it
+    spawns, and the classic in-process server all consume the same
+    {!t}. It replaces the optional-argument sprawl that used to live
+    on [Server.opts]: a config is plain data with a canonical JSON
+    encoding, so it can be loaded from a file ([--config FILE]),
+    shipped to worker processes through their spawn environment, and
+    schema-validated (doc/schema/serve_config.schema.json).
+
+    Precedence, lowest to highest: {!default}, a config file
+    ({!of_file}), explicit flags ({!override}). The CLI composes all
+    three; library callers usually want {!of_flags}. *)
+
+type t = {
+  workers : int;
+      (** Worker {e processes} behind the coordinator; [0] (default)
+          serves in-process with no coordinator (see {!Coordinator}). *)
+  jobs : int;  (** worker domains per process, as {!Pool.run}'s [jobs] *)
+  queue : int;
+      (** max jobs in flight per stream (chunk size / per-connection
+          backpressure bound), >= 1; defaults to [4 * jobs] *)
+  deadline_ms : int option;
+      (** per-job wall-clock budget; [None] (default): unbounded *)
+  shed_above : int option;
+      (** admission high-water mark in [dyn_target] units; [None]
+          (default): never shed *)
+  tenant_quota : int option;
+      (** max in-flight jobs per tenant (the envelope's ["tenant"]
+          member; absent = the anonymous tenant); excess jobs are
+          answered ["overloaded"]. [None] (default): no quota *)
+  journal : string option;
+      (** crash-journal directory; the coordinator gives each worker
+          the [worker-<shard>] subdirectory *)
+  manifest : string option;  (** JSONL telemetry manifest path *)
+  metrics_every_s : float;
+      (** min spacing of ["metrics_snapshot"] records (default 1 s) *)
+  breaker : int;
+      (** result-cache breaker threshold; [0] disables (default 8) *)
+  breaker_cooldown_ms : int;  (** breaker open-state cooldown (default 5000) *)
+}
+
+val default : unit -> t
+(** [jobs] from {!Pool.default_jobs}, [queue = 4 * jobs], everything
+    else off / at its documented default. *)
+
+val of_flags :
+  ?workers:int ->
+  ?jobs:int ->
+  ?queue:int ->
+  ?deadline_ms:int ->
+  ?shed_above:int ->
+  ?tenant_quota:int ->
+  ?journal:string ->
+  ?manifest:string ->
+  ?metrics_every_s:float ->
+  ?breaker:int ->
+  ?breaker_cooldown_ms:int ->
+  unit ->
+  t
+(** Build a config from optional flag values — the mechanical
+    migration shim for former [Server.opts] callers. Unset flags take
+    the {!default}; out-of-range values are clamped ([jobs]/[queue]
+    >= 1, [workers]/[breaker] >= 0). *)
+
+val override :
+  t ->
+  ?workers:int ->
+  ?jobs:int ->
+  ?queue:int ->
+  ?deadline_ms:int ->
+  ?shed_above:int ->
+  ?tenant_quota:int ->
+  ?journal:string ->
+  ?manifest:string ->
+  ?metrics_every_s:float ->
+  ?breaker:int ->
+  ?breaker_cooldown_ms:int ->
+  unit ->
+  t
+(** [override cfg ...flags] replaces exactly the members a flag was
+    given for — how [--config FILE] composes with explicit flags.
+    Giving [?jobs] without [?queue] re-derives [queue = 4 * jobs]. *)
+
+val to_json : t -> Dise_telemetry.Json.t
+(** Canonical encoding: fixed member order, [None] members omitted.
+    Validates against doc/schema/serve_config.schema.json. *)
+
+val of_json : Dise_telemetry.Json.t -> (t, Dise_isa.Diag.t) result
+(** Total over arbitrary JSON: missing members take their defaults,
+    explicit [null] clears an optional member, unknown members are
+    {e rejected} (a config file typo must not silently disable a
+    knob). [of_json (to_json c) = Ok c] for any normalized [c]. *)
+
+val of_file : string -> (t, Dise_isa.Diag.t) result
+(** Read and decode one JSON config file. *)

@@ -13,25 +13,20 @@ let h_queue_wait = Metrics.Histogram.make "serve_queue_wait_ns"
 let h_execute = Metrics.Histogram.make "serve_execute_ns"
 let h_request = Metrics.Histogram.make "serve_request_ns"
 
-type opts = {
-  jobs : int;
-  queue : int;
-  deadline_ms : int option;
-  shed_above : int option;
-  journal : Resilience.Journal.t option;
-  manifest : Manifest.t option;
-  metrics_every_s : float;
-}
+let protocol_version = 1
 
-let opts ?jobs ?queue ?deadline_ms ?shed_above ?journal ?manifest
-    ?(metrics_every_s = 1.0) () =
-  let jobs =
-    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
-  in
-  let queue = match queue with Some q -> max 1 q | None -> 4 * jobs in
-  { jobs; queue; deadline_ms; shed_above; journal; manifest; metrics_every_s }
+(* Per-session stop signalling. Each serving loop polls its own flag,
+   so a coordinator, its workers, and any in-process test servers can
+   coexist in one process without clobbering each other — the old
+   process-global [request_stop] made that impossible. *)
+module Stop = struct
+  type t = bool Atomic.t
 
-let default_opts () = opts ()
+  let create () = Atomic.make false
+  let signal t = Atomic.set t true
+  let signalled t = Atomic.get t
+  let reset t = Atomic.set t false
+end
 
 type summary = {
   served : int;
@@ -42,48 +37,79 @@ type summary = {
   isolated : int;
 }
 
-let stop_flag = Atomic.make false
-let request_stop () = Atomic.set stop_flag true
-let reset_stop () = Atomic.set stop_flag false
-let stopping () = Atomic.get stop_flag
+type session = {
+  cfg : Serve_config.t;
+  stop : Stop.t;
+  journal : Resilience.Journal.t option;
+  manifest : Manifest.t option;
+}
+
+let session ?stop ?journal ?manifest cfg =
+  let stop = match stop with Some s -> s | None -> Stop.create () in
+  { cfg; stop; journal; manifest }
+
+let config s = s.cfg
+let stop_signal s = s.stop
+let stop s = Stop.signal s.stop
 
 (* One input line, after the sequential parse step. Parse failures
-   keep their slot so responses stay in input order. *)
-type job =
-  | Run of Json.t * Request.t (* echoed id, decoded request *)
-  | Bad of Json.t * Diag.t
-
-let job_id = function Run (id, _) | Bad (id, _) -> id
+   keep their slot ([req = Error _]) so responses stay in input
+   order. [version] is the wire-envelope version the line spoke (0 =
+   unversioned legacy, 1 = current); [tenant] feeds admission
+   quotas. *)
+type parsed = {
+  id : Json.t;
+  version : int;
+  tenant : string option;
+  req : (Request.t, Diag.t) result;
+}
 
 (* Any defect in a single line — unparseable JSON, deep nesting
    blowing the parser's stack, a decoder bug surfacing as an
    unexpected exception — must stay confined to that line's response
    slot; only I/O errors on the stream itself may escape. *)
-let parse_line ~lineno line =
-  let bad msg =
-    Bad (Json.Null, Diag.Parse { source = "serve"; line = lineno; msg })
+let parse_job ~lineno line =
+  let bad ?(id = Json.Null) ?(version = 0) ?tenant msg =
+    {
+      id;
+      version;
+      tenant;
+      req = Error (Diag.Parse { source = "serve"; line = lineno; msg });
+    }
   in
   match Json.parse line with
   | exception Json.Parse_error msg -> bad msg
   | exception Stack_overflow -> bad "JSON nesting too deep"
   | doc -> (
     let id = Option.value (Json.member "id" doc) ~default:Json.Null in
-    match Request.of_json doc with
-    | Ok req -> Run (id, req)
-    | Error d -> Bad (id, d)
-    | exception e ->
-      Bad
-        ( id,
-          Diag.Parse
-            {
-              source = "serve";
-              line = lineno;
-              msg = "malformed request: " ^ Printexc.to_string e;
-            } ))
+    match Json.member "v" doc with
+    | Some v when v <> Json.Int protocol_version ->
+      bad ~id
+        (Printf.sprintf
+           "unsupported protocol version %s (this server speaks v%d; \
+            unversioned lines are accepted as v0)"
+           (Json.to_string v) protocol_version)
+    | v_member -> (
+      let version = if v_member = None then 0 else protocol_version in
+      match Json.member "tenant" doc with
+      | Some (Json.String _ | Json.Null) | None -> (
+        let tenant =
+          match Json.member "tenant" doc with
+          | Some (Json.String t) -> Some t
+          | _ -> None
+        in
+        match Request.of_json doc with
+        | Ok req -> { id; version; tenant; req = Ok req }
+        | Error d -> { id; version; tenant; req = Error d }
+        | exception e ->
+          bad ~id ~version ?tenant
+            ("malformed request: " ^ Printexc.to_string e))
+      | Some _ -> bad ~id ~version "tenant must be a string"))
 
 let error_response id d =
   Json.Obj
     [
+      ("v", Json.Int protocol_version);
       ("id", id);
       ("ok", Json.Bool false);
       ( "error",
@@ -97,6 +123,7 @@ let error_response id d =
 let ok_response id req ~cache_hit ~wall_s stats =
   Json.Obj
     [
+      ("v", Json.Int protocol_version);
       ("id", id);
       ("ok", Json.Bool true);
       ("key", Json.String (Request.key req));
@@ -110,9 +137,10 @@ let ok_response id req ~cache_hit ~wall_s stats =
    matrix forces a deterministic timeout without simulating a huge
    workload. A chaos [raise] escapes to the pool on purpose: it
    exercises the [internal] isolation path. *)
-let run_job ~chaos ~deadline_ms ~enqueued_at = function
-  | Bad (id, d) -> (error_response id d, `Error (Diag.category d))
-  | Run (id, req) -> (
+let run_parsed ~chaos ~deadline_ms ~enqueued_at p =
+  match p.req with
+  | Error d -> (error_response p.id d, `Error (Diag.category d))
+  | Ok req -> (
     let t0 = Unix.gettimeofday () in
     Metrics.Histogram.observe_s h_queue_wait (t0 -. enqueued_at);
     let finish resp tag =
@@ -122,14 +150,14 @@ let run_job ~chaos ~deadline_ms ~enqueued_at = function
     let deadline =
       Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.)) deadline_ms
     in
-    Resilience.Chaos.apply chaos ~id;
+    Resilience.Chaos.apply chaos ~id:p.id;
     match Request.run_ext ?deadline req with
     | Ok (stats, cache_hit) ->
       let wall_s = Unix.gettimeofday () -. t0 in
       finish
-        (ok_response id req ~cache_hit ~wall_s stats)
+        (ok_response p.id req ~cache_hit ~wall_s stats)
         (if cache_hit then `Hit else `Fresh)
-    | Error d -> finish (error_response id d) (`Error (Diag.category d)))
+    | Error d -> finish (error_response p.id d) (`Error (Diag.category d)))
 
 (* A job the pool isolated: an exception [run_ext] does not recognize
    (chaos injection, a plain bug) confined to its slot. The response
@@ -181,39 +209,47 @@ let read_raw_line ic =
   in
   go ()
 
+let oversized_line ~lineno =
+  {
+    id = Json.Null;
+    version = 0;
+    tenant = None;
+    req =
+      Error
+        (Diag.Parse
+           {
+             source = "serve";
+             line = lineno;
+             msg =
+               Printf.sprintf "input line %d exceeds %d bytes" lineno
+                 max_line_bytes;
+           });
+  }
+
 (* Read up to [n] non-blank lines; [None] on immediate EOF. An
    oversized line takes a job slot with a parse-class error so the
    response stream stays in input order. *)
-let read_chunk ic ~lineno n =
+let read_chunk ~stop ic ~lineno n =
   let jobs = ref [] in
   let count = ref 0 in
   let eof = ref false in
-  while !count < n && (not !eof) && not (stopping ()) do
+  while !count < n && (not !eof) && not (Stop.signalled stop) do
     match read_raw_line ic with
     | Eof -> eof := true
     | Line line ->
       incr lineno;
       if String.trim line <> "" then begin
-        jobs := parse_line ~lineno:!lineno line :: !jobs;
+        jobs := parse_job ~lineno:!lineno line :: !jobs;
         incr count
       end
     | Truncated ->
       incr lineno;
-      jobs :=
-        Bad
-          ( Json.Null,
-            Diag.Parse
-              {
-                source = "serve";
-                line = !lineno;
-                msg =
-                  Printf.sprintf "input line %d exceeds %d bytes" !lineno
-                    max_line_bytes;
-              } )
-        :: !jobs;
+      jobs := oversized_line ~lineno:!lineno :: !jobs;
       incr count
   done;
   match List.rev !jobs with [] -> None | l -> Some (Array.of_list l)
+
+let overload p d = { p with req = Error (Diag.Overloaded d) }
 
 (* Work-budget admission. The unit is the job's [dyn_target] (its
    dynamic-instruction count — the one size signal a request carries
@@ -228,23 +264,64 @@ let shed_chunk ~shed_above chunk =
   | Some hw ->
     let admitted = ref 0 in
     Array.map
-      (function
-        | Bad _ as j -> j
-        | Run (id, req) as j ->
+      (fun p ->
+        match p.req with
+        | Error _ -> p
+        | Ok req ->
           let w = req.Request.dyn_target in
           if !admitted > 0 && !admitted + w > hw then
-            Bad
-              ( id,
-                Diag.Overloaded
-                  (Printf.sprintf
-                     "load shed: job of %d dynamic instructions would push \
-                      the in-flight work past the high-water mark of %d"
-                     w hw) )
+            overload p
+              (Printf.sprintf
+                 "load shed: job of %d dynamic instructions would push \
+                  the in-flight work past the high-water mark of %d"
+                 w hw)
           else begin
             admitted := !admitted + w;
-            j
+            p
           end)
       chunk
+
+(* Per-tenant admission quota: within one in-flight window (a chunk
+   here; the coordinator applies the same rule over its live event
+   loop), each tenant may hold at most [tenant_quota] runnable jobs;
+   the rest are answered [overloaded] in input order. The tenant is
+   the envelope's ["tenant"] member; lines without one share the
+   anonymous tenant. *)
+let quota_chunk ~tenant_quota chunk =
+  match tenant_quota with
+  | None -> chunk
+  | Some quota ->
+    let quota = max 1 quota in
+    let inflight = Hashtbl.create 8 in
+    Array.map
+      (fun p ->
+        match p.req with
+        | Error _ -> p
+        | Ok _ ->
+          let tenant = Option.value p.tenant ~default:"" in
+          let n =
+            Option.value (Hashtbl.find_opt inflight tenant) ~default:0
+          in
+          if n >= quota then
+            overload p
+              (Printf.sprintf
+                 "tenant quota: %s already has %d jobs in flight (quota %d)"
+                 (if tenant = "" then "the anonymous tenant"
+                  else Printf.sprintf "tenant %S" tenant)
+                 n quota)
+          else begin
+            Hashtbl.replace inflight tenant (n + 1);
+            p
+          end)
+      chunk
+
+(* Full admission pipeline over one in-flight window, in policy
+   order: per-tenant fairness first, then the global work budget over
+   the survivors. Shared with the coordinator front end so a request
+   is shed identically whether the tier has 0 workers or 16. *)
+let admit cfg chunk =
+  shed_chunk ~shed_above:cfg.Serve_config.shed_above
+    (quota_chunk ~tenant_quota:cfg.Serve_config.tenant_quota chunk)
 
 (* Replay journal format: the request document with the client id
    merged back in, so [Request.of_json] decodes it directly. *)
@@ -257,7 +334,7 @@ let journal_doc id req =
    the metrics registry are process-wide (they survive across
    connections), so each stream subtracts the snapshot it took before
    reading its first chunk. *)
-let emit_summary ~counters0 ~metrics0 m s =
+let summary_fields ~counters0 ~metrics0 s =
   let counter_deltas =
     List.map
       (fun (k, v) ->
@@ -266,27 +343,27 @@ let emit_summary ~counters0 ~metrics0 m s =
       (Resilience.Counters.snapshot ())
   in
   let metrics_delta = Metrics.delta ~since:metrics0 (Metrics.snapshot ()) in
-  let fields =
-    [
-      ("record", Json.String "serve_summary");
-      ("served", Json.Int s.served);
-      ("errors", Json.Int s.errors);
-      ("cache_hits", Json.Int s.cache_hits);
-      ("timeouts", Json.Int s.timeouts);
-      ("shed", Json.Int s.shed);
-      ("isolated", Json.Int s.isolated);
-      ("counters", Json.Obj counter_deltas);
-      ("metrics", Metrics.to_json metrics_delta);
-    ]
-    @
-    match Request.cache_breaker () with
-    | None -> []
-    | Some b -> [ ("breaker", Resilience.Breaker.to_json b) ]
-  in
-  Manifest.emit m fields
+  [
+    ("record", Json.String "serve_summary");
+    ("served", Json.Int s.served);
+    ("errors", Json.Int s.errors);
+    ("cache_hits", Json.Int s.cache_hits);
+    ("timeouts", Json.Int s.timeouts);
+    ("shed", Json.Int s.shed);
+    ("isolated", Json.Int s.isolated);
+    ("counters", Json.Obj counter_deltas);
+    ("metrics", Metrics.to_json metrics_delta);
+  ]
+  @
+  match Request.cache_breaker () with
+  | None -> []
+  | Some b -> [ ("breaker", Resilience.Breaker.to_json b) ]
 
-let serve_channel ?opts ic oc =
-  let o = match opts with Some o -> o | None -> default_opts () in
+let emit_summary ~counters0 ~metrics0 m s =
+  Manifest.emit m (summary_fields ~counters0 ~metrics0 s)
+
+let serve_channel sess ic oc =
+  let o = sess.cfg in
   let chaos = Resilience.Chaos.of_env () in
   let lineno = ref 0 in
   let served = ref 0 and errors = ref 0 and hits = ref 0 in
@@ -301,11 +378,11 @@ let serve_channel ?opts ic oc =
      session delta (chunk-granular — the loop only runs between
      batches). *)
   let maybe_emit_metrics () =
-    match o.manifest with
+    match sess.manifest with
     | None -> ()
     | Some m ->
       let now = Unix.gettimeofday () in
-      if now -. !last_metrics_emit >= o.metrics_every_s then begin
+      if now -. !last_metrics_emit >= o.Serve_config.metrics_every_s then begin
         last_metrics_emit := now;
         Manifest.emit m
           [
@@ -317,37 +394,39 @@ let serve_channel ?opts ic oc =
       end
   in
   let rec loop () =
-    if not (stopping ()) then
-      match read_chunk ic ~lineno o.queue with
+    if not (Stop.signalled sess.stop) then
+      match read_chunk ~stop:sess.stop ic ~lineno o.Serve_config.queue with
       | None -> ()
       | Some chunk ->
         let enqueued_at = Unix.gettimeofday () in
-        let chunk = shed_chunk ~shed_above:o.shed_above chunk in
+        let chunk = admit o chunk in
         (* Durability point: every admitted job is journalled — and
            the journal synced — before any of them executes, so a
            crash mid-batch can lose work but never forget it. *)
         let seqs =
-          match o.journal with
+          match sess.journal with
           | None -> [||]
           | Some j ->
             let seqs =
               Array.map
-                (function
-                  | Run (id, req) ->
-                    Some (Resilience.Journal.append_begin j (journal_doc id req))
-                  | Bad _ -> None)
+                (fun p ->
+                  match p.req with
+                  | Ok req ->
+                    Some (Resilience.Journal.append_begin j (journal_doc p.id req))
+                  | Error _ -> None)
                 chunk
             in
             Resilience.Journal.sync j;
             seqs
         in
         let outcomes =
-          Pool.run_outcomes ~jobs:o.jobs
+          Pool.run_outcomes ~jobs:o.Serve_config.jobs
             ~probe:(fun _i ~domain:_ dur ->
               Metrics.Histogram.observe_s h_execute dur)
             (Array.map
-               (fun j () ->
-                 run_job ~chaos ~deadline_ms:o.deadline_ms ~enqueued_at j)
+               (fun p () ->
+                 run_parsed ~chaos ~deadline_ms:o.Serve_config.deadline_ms
+                   ~enqueued_at p)
                chunk)
         in
         Array.iteri
@@ -355,7 +434,7 @@ let serve_channel ?opts ic oc =
             let resp, tag =
               match outcome with
               | Ok r -> r
-              | Error (e, bt) -> isolated_response (job_id chunk.(i)) e bt
+              | Error (e, bt) -> isolated_response chunk.(i).id e bt
             in
             (match tag with
             | `Error cat -> (
@@ -376,7 +455,7 @@ let serve_channel ?opts ic oc =
             output_char oc '\n')
           outcomes;
         flush oc;
-        (match o.journal with
+        (match sess.journal with
         | None -> ()
         | Some j ->
           Array.iter
@@ -385,7 +464,7 @@ let serve_channel ?opts ic oc =
             seqs;
           Resilience.Journal.sync j);
         maybe_emit_metrics ();
-        if Array.length chunk = o.queue then loop ()
+        if Array.length chunk = o.Serve_config.queue then loop ()
   in
   loop ();
   let s =
@@ -398,7 +477,7 @@ let serve_channel ?opts ic oc =
       isolated = !isolated;
     }
   in
-  (match o.manifest with
+  (match sess.manifest with
   | None -> ()
   | Some m -> emit_summary ~counters0 ~metrics0 m s);
   s
@@ -463,7 +542,10 @@ let socket_live path =
         | () -> true
         | exception Unix.Unix_error _ -> false)
 
-let serve_socket ?opts ~path () =
+(* Claim [path] for a fresh listener: refuse if a live server answers,
+   reclaim a stale file, bind and listen. Shared with the coordinator
+   front end. *)
+let listen_socket ~path =
   if Sys.file_exists path then
     if socket_live path then
       raise
@@ -476,70 +558,76 @@ let serve_socket ?opts ~path () =
     else (
       (* Stale socket from a crashed server: safe to reclaim. *)
       try Unix.unlink path with Unix.Unix_error _ -> ());
-  (* A client that hangs up mid-response must surface as [Sys_error]
-     on this connection's channel — not as a process-killing SIGPIPE. *)
-  let prev_sigpipe =
-    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
-    with Invalid_argument _ | Sys_error _ -> None
-  in
-  let restore_sigpipe () =
-    match prev_sigpipe with
-    | Some b -> ( try Sys.set_signal Sys.sigpipe b with _ -> ())
-    | None -> ()
-  in
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind sock (Unix.ADDR_UNIX path);
-     Unix.listen sock 8
+     Unix.listen sock 64
    with Unix.Unix_error (e, _, _) ->
      Unix.close sock;
-     restore_sigpipe ();
      raise
        (Cache.Diag_error
           (Diag.Cache
              (Printf.sprintf "cannot listen on %s: %s" path
                 (Unix.error_message e)))));
-  let rec accept_loop () =
-    if not (stopping ()) then begin
-      (match Unix.accept sock with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | exception Unix.Unix_error (e, _, _) ->
-        (* Transient accept failures (ECONNABORTED, EMFILE under fd
-           pressure): log, back off briefly, keep listening. *)
-        if not (stopping ()) then begin
-          Format.eprintf "disesim serve: accept failed: %s@."
-            (Unix.error_message e);
-          Unix.sleepf 0.05
-        end
-      | conn, _ ->
-        let ic = Unix.in_channel_of_descr conn in
-        let oc = Unix.out_channel_of_descr conn in
-        let finish () =
-          (* One descriptor under both channels: flush the writer,
-             close once, and mark the reader closed without touching
-             the (already closed) fd again. *)
-          (try flush oc with Sys_error _ -> ());
-          (try Unix.close conn with Unix.Unix_error _ -> ());
-          close_in_noerr ic
-        in
-        (match serve_channel ?opts ic oc with
-        | s ->
-          finish ();
-          Format.eprintf "disesim serve: connection done: %a@." pp_summary s
-        | exception e ->
-          (* Connection-level containment: a stream that dies (client
-             reset, I/O error, even a server bug) costs one
-             connection, never the listener. *)
-          finish ();
-          Resilience.Counters.incr Resilience.Counters.conn_failures;
-          Format.eprintf "disesim serve: connection failed (isolated): %s@."
-            (Printexc.to_string e)));
-      accept_loop ()
-    end
+  sock
+
+(* A client that hangs up mid-response must surface as [Sys_error] on
+   this connection's channel — not as a process-killing SIGPIPE. *)
+let with_sigpipe_ignored f =
+  let prev =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
   in
   Fun.protect
     ~finally:(fun () ->
-      restore_sigpipe ();
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
-    accept_loop
+      match prev with
+      | Some b -> ( try Sys.set_signal Sys.sigpipe b with _ -> ())
+      | None -> ())
+    f
+
+let serve_socket sess ~path () =
+  with_sigpipe_ignored (fun () ->
+      let sock = listen_socket ~path in
+      let rec accept_loop () =
+        if not (Stop.signalled sess.stop) then begin
+          (match Unix.accept sock with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (e, _, _) ->
+            (* Transient accept failures (ECONNABORTED, EMFILE under fd
+               pressure): log, back off briefly, keep listening. *)
+            if not (Stop.signalled sess.stop) then begin
+              Format.eprintf "disesim serve: accept failed: %s@."
+                (Unix.error_message e);
+              Unix.sleepf 0.05
+            end
+          | conn, _ ->
+            let ic = Unix.in_channel_of_descr conn in
+            let oc = Unix.out_channel_of_descr conn in
+            let finish () =
+              (* One descriptor under both channels: flush the writer,
+                 close once, and mark the reader closed without touching
+                 the (already closed) fd again. *)
+              (try flush oc with Sys_error _ -> ());
+              (try Unix.close conn with Unix.Unix_error _ -> ());
+              close_in_noerr ic
+            in
+            (match serve_channel sess ic oc with
+            | s ->
+              finish ();
+              Format.eprintf "disesim serve: connection done: %a@." pp_summary s
+            | exception e ->
+              (* Connection-level containment: a stream that dies (client
+                 reset, I/O error, even a server bug) costs one
+                 connection, never the listener. *)
+              finish ();
+              Resilience.Counters.incr Resilience.Counters.conn_failures;
+              Format.eprintf "disesim serve: connection failed (isolated): %s@."
+                (Printexc.to_string e)));
+          accept_loop ()
+        end
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+        accept_loop)

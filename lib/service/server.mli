@@ -1,138 +1,147 @@
-(** Batch simulation service: JSONL requests in, JSONL responses out.
+(** JSONL request server: the serve tier's per-process engine.
 
-    Protocol (one JSON document per line; see doc/service.md):
+    Reads one JSON request document per line, executes them on a
+    domain pool in bounded chunks, and writes one JSON response per
+    line {e in input order}. This module is the single-process core:
+    the [disesim serve] CLI runs it directly over stdio or a Unix
+    socket, and {!Coordinator} runs one instance's machinery inside
+    each worker process of the sharded tier.
 
-    - each input line is a {!Request} object, optionally carrying an
-      extra ["id"] member that is echoed back verbatim (any JSON
-      value) so clients can correlate out-of-order submissions —
-      though responses are in fact emitted {e in input order};
-    - each response line is either
-      [{"id", "ok": true, "key", "cache_hit", "wall_s", "stats"}] or
-      [{"id", "ok": false, "error": {"kind", "message"}}] where
-      [kind] is a {!Dise_isa.Diag.category} (doc/schema/
-      serve_response.schema.json validates both shapes);
-    - blank lines are skipped; a malformed line yields an error
-      response with kind ["parse"] (it does not kill the stream) —
-      this covers unparseable JSON, schema violations, and lines
-      longer than {!max_line_bytes} (which are drained to the next
-      newline so the response stream never desyncs from input order);
-      a final line without a trailing newline is parsed normally.
+    {b Wire envelope (v1).} Beside the {!Request} document proper, an
+    input line may carry three envelope members (see doc/service.md
+    and doc/serve-tier.md):
+
+    - ["id"] — any JSON value, echoed back verbatim so clients can
+      correlate responses (which are in fact emitted in input order);
+    - ["v"] — the protocol version. [1] is this dialect; an {e absent}
+      ["v"] is the legacy v0 dialect and is accepted unchanged (v0
+      carried no version or tenant members); any other value is
+      answered with a ["parse"] error naming the supported version;
+    - ["tenant"] — a string naming the tenant for admission quotas
+      ([tenant_quota] in {!Serve_config.t}); lines without one share
+      the anonymous tenant.
+
+    Every response speaks v1: it leads with ["v"]:1 and is either
+    [{"v", "id", "ok": true, "key", "cache_hit", "wall_s", "stats"}]
+    or [{"v", "id", "ok": false, "error": {"kind", "message"}}], where
+    [kind] is a {!Dise_isa.Diag.category}
+    (doc/schema/serve_response.schema.json validates both shapes).
+    Blank lines are skipped; a malformed line yields an error response
+    with kind ["parse"] without killing the stream — this covers
+    unparseable JSON, schema violations, and lines longer than
+    {!max_line_bytes} (drained to the next newline so responses never
+    desync from input order).
 
     {b Scheduling.} Jobs are read in chunks of at most [queue] lines
     and each chunk fans out over the {!Pool} domains ([jobs] wide);
-    the next chunk is not read until the previous one's responses
-    have been written and flushed. The chunk is the backpressure
-    unit: a client piping a large job file never has more than
-    [queue] jobs buffered in the server.
+    the next chunk is not read until the previous one's responses have
+    been written and flushed. The chunk is the backpressure unit.
 
     {b Fault tolerance} (doc/resilience.md has the full semantics):
+    job isolation under {!Pool.run_outcomes} (kind ["internal"]),
+    per-job deadlines (["timeout"]), admission control — load shedding
+    by cumulative [dyn_target] and per-tenant quotas, both answered
+    ["overloaded"] — and the fsync-before-execute crash journal that
+    {!replay_journal} recovers.
 
-    - {e job isolation} — jobs run under {!Pool.run_outcomes}; an
-      exception the request layer does not recognize is confined to
-      its slot and answered in order with kind ["internal"]
-      (backtrace on stderr), while its batch-mates complete normally;
-    - {e deadlines} — with [deadline_ms] set, each job gets that
-      wall-clock budget from the moment a worker picks it up;
-      overruns are answered ["timeout"] (cooperatively — see
-      {!Request.run_ext});
-    - {e load shedding} — with [shed_above] set, a chunk admits jobs
-      in input order while their cumulative [dyn_target] stays within
-      the mark and answers the rest ["overloaded"] without running
-      them (the first runnable job is always admitted);
-    - {e crash-safe journal} — with [journal] set, every admitted job
-      is appended and fsynced before its batch executes and marked
-      done after its response is flushed; {!replay_journal} re-runs
-      whatever a crash interrupted;
-    - the result-cache circuit breaker lives one layer down
-      ({!Request.set_cache_breaker}); its state is included in the
-      manifest record this module emits.
+    {b Sessions.} All serving state — the {!Serve_config.t}, the stop
+    flag, the journal and manifest handles — lives in an explicit
+    {!session} value; stop signalling is per-session (see {!Stop}), so
+    several servers (a coordinator's workers, a test harness) can run
+    in one process without sharing global flags. *)
 
-    {b Shutdown.} {!request_stop} (wired to SIGINT/SIGTERM by
-    [disesim serve]) drains gracefully: the in-flight chunk finishes,
-    its responses are flushed, and the loop exits instead of reading
-    further input. *)
+val protocol_version : int
+(** The wire-envelope version this server speaks: [1]. *)
 
-type opts = {
-  jobs : int;  (** worker domains, as {!Pool.run}'s [jobs] *)
-  queue : int;  (** max jobs in flight (chunk size), >= 1 *)
-  deadline_ms : int option;
-      (** per-job wall-clock budget; [None] (default): unbounded *)
-  shed_above : int option;
-      (** admission high-water mark in [dyn_target] units per chunk;
-          [None] (default): never shed *)
-  journal : Resilience.Journal.t option;
-      (** crash journal to append admitted jobs to *)
-  manifest : Dise_telemetry.Manifest.t option;
-      (** emit one ["serve_summary"] record per stream, plus periodic
-          ["metrics_snapshot"] records *)
-  metrics_every_s : float;
-      (** minimum spacing of ["metrics_snapshot"] manifest records
-          (checked between chunks; default 1 s) *)
-}
+(** Cooperative per-session stop flag. [signal] is async-signal-safe
+    (a single atomic store), so SIGINT/SIGTERM handlers may call it;
+    the serving loops poll it between lines and between chunks and
+    drain gracefully — the in-flight chunk finishes, its responses
+    are flushed, and the loop returns instead of reading on. *)
+module Stop : sig
+  type t
 
-val opts :
-  ?jobs:int ->
-  ?queue:int ->
-  ?deadline_ms:int ->
-  ?shed_above:int ->
+  val create : unit -> t
+  val signal : t -> unit
+  val signalled : t -> bool
+
+  val reset : t -> unit
+  (** Re-arm a signalled flag (harnesses that reuse a session). *)
+end
+
+type session
+(** A serving context: one {!Serve_config.t} plus optional
+    journal/manifest handles and a {!Stop.t}. One session may serve
+    many streams (e.g. every connection {!serve_socket} accepts). *)
+
+val session :
+  ?stop:Stop.t ->
   ?journal:Resilience.Journal.t ->
   ?manifest:Dise_telemetry.Manifest.t ->
-  ?metrics_every_s:float ->
-  unit ->
-  opts
-(** Smart constructor: [jobs] defaults to {!Pool.default_jobs}
-    (clamped >= 1), [queue] to [4 * jobs] (clamped >= 1), every
-    resilience feature to off. *)
+  Serve_config.t ->
+  session
+(** Build a session. The journal and manifest handles remain owned by
+    the caller: [disesim serve] replays and clears the journal
+    {e before} opening it and hands the open handle in (workers do the
+    same for their shard's subdirectory). A fresh {!Stop.t} is created
+    when none is given. *)
 
-val default_opts : unit -> opts
-(** [opts ()]. *)
+val config : session -> Serve_config.t
+val stop_signal : session -> Stop.t
+
+val stop : session -> unit
+(** [stop s] = [Stop.signal (stop_signal s)]. *)
 
 type summary = {
   served : int;  (** responses written (ok and error alike) *)
   errors : int;  (** of which ["ok": false] *)
   cache_hits : int;  (** of which served without simulating *)
   timeouts : int;  (** of the errors, kind ["timeout"] *)
-  shed : int;  (** of the errors, kind ["overloaded"] *)
+  shed : int;  (** of the errors, kind ["overloaded"] (load or quota) *)
   isolated : int;  (** of the errors, kind ["internal"] *)
 }
+(** Per-stream result summary; every field is a per-stream delta (the
+    underlying counters and metrics are process-wide). *)
 
 val pp_summary : Format.formatter -> summary -> unit
 (** ["served N jobs (E errors, H cache hits)"], with a
     [" [T timed out, S shed, I isolated]"] suffix when any of those
     is nonzero. *)
 
-val serve_channel : ?opts:opts -> in_channel -> out_channel -> summary
-(** Serve one JSONL stream to completion (EOF or {!request_stop}).
+val serve_channel : session -> in_channel -> out_channel -> summary
+(** Serve one JSONL stream to completion (EOF or session stop).
     Responses are flushed after every chunk. Used both by
-    [disesim serve] on stdin/stdout and per-connection in socket
-    mode.
+    [disesim serve] on stdin/stdout and per-connection in socket mode.
 
     {b Observability.} Every request's latency is recorded in the
     process-wide {!Dise_telemetry.Metrics} registry, split into
-    [serve_queue_wait_ns] (chunk admission to worker pickup, recorded
-    in {!Request}-level jobs only), [serve_execute_ns] (the pool's
-    per-task wall-clock), and [serve_request_ns] (end-to-end). With a
-    manifest attached, the stream emits ["metrics_snapshot"] records
-    at most every [metrics_every_s] seconds and one final
-    ["serve_summary"] record whose ["counters"] and ["metrics"]
-    members are {e per-session deltas} (validated by
-    doc/schema/metrics.schema.json); the request-latency quantiles
-    live at [metrics.histograms.serve_request_ns.p50/p95/p99]. *)
+    [serve_queue_wait_ns] (chunk admission to worker pickup),
+    [serve_execute_ns] (the pool's per-task wall-clock), and
+    [serve_request_ns] (end-to-end). With a manifest attached, the
+    stream emits ["metrics_snapshot"] records at most every
+    [metrics_every_s] seconds and one final ["serve_summary"] record
+    whose ["counters"] and ["metrics"] members are {e per-session
+    deltas} (doc/schema/serve_summary.schema.json validates the
+    record); request-latency quantiles live at
+    [metrics.histograms.serve_request_ns.p50/p95/p99]. *)
 
-val serve_socket : ?opts:opts -> path:string -> unit -> unit
+val serve_socket : session -> path:string -> unit -> unit
 (** Listen on a Unix-domain socket at [path], serving connections
     sequentially — each connection is one {!serve_channel} stream —
-    until {!request_stop}. Per-connection summaries are reported on
-    stderr, and a connection that dies (client reset, I/O error, a
-    contained server bug) is counted, logged, and survived: the
-    listener keeps accepting. SIGPIPE is ignored for the listener's
-    lifetime so client hangups surface as per-connection errors.
+    until the session is stopped. (The concurrent, multiplexed front
+    end lives in {!Coordinator}; this single-process mode favours
+    simplicity.) Per-connection summaries are reported on stderr, and
+    a connection that dies (client reset, I/O error, a contained
+    server bug) is counted ([conn_failures]), logged, and survived:
+    the listener keeps accepting. SIGPIPE is ignored for the
+    listener's lifetime so client hangups surface as per-connection
+    errors.
 
     If [path] already exists, it is {e probed} first: when a live
     server answers, this call refuses to start with
     [Cache.Diag_error (Diag.Overloaded _)] (exit-code class 6) —
-    stealing the socket would silently split the service; only a
-    dead (stale) socket is unlinked and reclaimed. Raises
+    stealing the socket would silently split the service; only a dead
+    (stale) socket is unlinked and reclaimed. Raises
     [Cache.Diag_error (Diag.Cache _)] if the socket cannot be
     bound. *)
 
@@ -152,12 +161,80 @@ val max_line_bytes : int
     up to the next newline and answered with a per-job ["parse"]
     error naming the offending line number, never buffered whole. *)
 
-val request_stop : unit -> unit
-(** Ask the serving loops to drain and return. Async-signal-safe
-    (sets an atomic flag); idempotent. *)
+(** {1 Building blocks shared with the coordinator}
 
-val reset_stop : unit -> unit
-(** Clear a previous {!request_stop} so the serving loops can run
-    again in the same process (tests, fault-injection harness). *)
+    The sharded tier ({!Coordinator}) parses and answers on its front
+    end but executes in worker processes; these exports keep both
+    sides of the wire byte-identical with the single-process path. *)
 
-val stopping : unit -> bool
+type parsed = {
+  id : Dise_telemetry.Json.t;  (** the envelope ["id"]; [Null] if absent *)
+  version : int;  (** envelope dialect spoken: [0] (legacy) or [1] *)
+  tenant : string option;  (** the envelope ["tenant"], when a string *)
+  req : (Request.t, Dise_isa.Diag.t) result;
+}
+(** One parsed input line. Parse failures keep their response slot
+    ([req = Error _]) so output order always matches input order. *)
+
+val parse_job : lineno:int -> string -> parsed
+(** Total: any defect in the line (bad JSON, unsupported ["v"],
+    non-string ["tenant"], a decoder error) becomes
+    [req = Error (Parse _)]. *)
+
+type raw_line = Line of string | Truncated | Eof
+
+val read_raw_line : in_channel -> raw_line
+(** Bounded [input_line]: a line longer than {!max_line_bytes} is
+    drained to the next newline and reported [Truncated]; a final
+    line without a trailing newline is a normal [Line]. *)
+
+val oversized_line : lineno:int -> parsed
+(** The parse-error slot a [Truncated] line occupies. *)
+
+val read_chunk :
+  stop:Stop.t -> in_channel -> lineno:int ref -> int -> parsed array option
+(** Read and parse up to [n] non-blank lines ([None] on immediate
+    EOF), bumping [lineno] per line read; stops early once [stop] is
+    signalled. The chunk reader behind {!serve_channel}, shared with
+    the coordinator's channel mode. *)
+
+val admit : Serve_config.t -> parsed array -> parsed array
+(** Admission control over one in-flight window: per-tenant quotas
+    first, then load shedding by cumulative [dyn_target]; rejected
+    jobs have their [req] replaced by an [Overloaded] error, in
+    place, preserving order. Shared verbatim by {!serve_channel} and
+    the coordinator front end. *)
+
+val isolated_response :
+  Dise_telemetry.Json.t ->
+  exn ->
+  Printexc.raw_backtrace ->
+  Dise_telemetry.Json.t * [ `Hit | `Fresh | `Error of string ]
+(** The kind-["internal"] response for a job {!Pool.run_outcomes}
+    isolated (counts it, logs the backtrace to stderr). *)
+
+val listen_socket : path:string -> Unix.file_descr
+(** Claim [path] for a fresh Unix-domain listener with the live-probe
+    semantics documented on {!serve_socket} (refuse a live server,
+    reclaim a stale file). The caller owns the returned descriptor
+    and the socket file. *)
+
+val with_sigpipe_ignored : (unit -> 'a) -> 'a
+(** Run [f] with SIGPIPE ignored (restored after), so peer hangups
+    surface as write errors instead of killing the process. *)
+
+val error_response : Dise_telemetry.Json.t -> Dise_isa.Diag.t -> Dise_telemetry.Json.t
+(** [error_response id diag]: the v1 error response object. *)
+
+val run_parsed :
+  chaos:Resilience.Chaos.t ->
+  deadline_ms:int option ->
+  enqueued_at:float ->
+  parsed ->
+  Dise_telemetry.Json.t * [ `Hit | `Fresh | `Error of string ]
+(** Execute one parsed job and build its response, observing the
+    queue-wait and end-to-end latency histograms. The tag classifies
+    the outcome ([`Error] carries the {!Dise_isa.Diag.category}).
+    Chaos injection may raise: callers run this under
+    {!Pool.run_outcomes} and answer isolated exceptions with kind
+    ["internal"]. *)

@@ -1,0 +1,26 @@
+(** Consistent-hash routing of result-cache keys to worker shards.
+
+    The coordinator routes every job by its {!Request.key} — the
+    content-addressed result-cache key — so identical requests always
+    land on the same worker, making each worker's in-memory state and
+    journal shard authoritative for its slice of the keyspace.
+    Consistent hashing (a ring of md5 points, {!default_vnodes}
+    virtual nodes per worker) keeps shard sizes balanced and keyspace
+    movement minimal when the worker count changes: growing from [N]
+    to [N+1] workers re-routes only about [1/(N+1)] of all keys. *)
+
+type t
+
+val default_vnodes : int
+(** Virtual nodes per worker (64). *)
+
+val ring : workers:int -> ?vnodes:int -> unit -> t
+(** Build the ring for [workers] shards (numbered [0 .. workers-1]).
+    Raises [Invalid_argument] if either count is < 1. Deterministic:
+    the same arguments always build the same ring. *)
+
+val workers : t -> int
+
+val route : t -> string -> int
+(** [route t key] is the shard that owns [key]. Total and pure —
+    every string routes somewhere, and equal keys route equally. *)

@@ -172,6 +172,57 @@ module Histogram0 = struct
                        ("count", Json.Int c);
                      ])) );
       ]
+
+  (* Inverse of [to_json] over the members a snapshot owns (the
+     serialized quantiles are derived data and are recomputed, not
+     read back). Tolerant of junk: a malformed document yields the
+     empty snapshot rather than an exception — merging metrics from a
+     crashed worker must never take the coordinator down. *)
+  let of_json j =
+    let geti name ~default j =
+      match Json.member name j with Some (Json.Int i) -> i | _ -> default
+    in
+    let buckets =
+      match Json.member "buckets" j with
+      | Some (Json.List bs) ->
+        List.filter_map
+          (fun b ->
+            match
+              (Json.member "lo" b, Json.member "hi" b, Json.member "count" b)
+            with
+            | Some (Json.Int lo), Some (Json.Int hi), Some (Json.Int c)
+              when c > 0 ->
+              Some (lo, hi, c)
+            | _ -> None)
+          bs
+      | _ -> []
+    in
+    let buckets =
+      List.sort (fun (a, _, _) (b, _, _) -> compare a b) buckets
+      |> Array.of_list
+    in
+    { count = geti "count" ~default:0 j; sum = geti "sum" ~default:0 j; buckets }
+
+  (* Bucket-wise sum: both operands use the one global bucket layout,
+     so merging is an association on [lo]. The result is a valid
+     snapshot of the union of both observation streams — this is how
+     the coordinator folds per-worker histograms into one quantile
+     estimate without ever seeing the raw observations. *)
+  let merge (a : snapshot) (b : snapshot) : snapshot =
+    let tbl = Hashtbl.create 32 in
+    let add (lo, hi, c) =
+      match Hashtbl.find_opt tbl lo with
+      | Some (h, c0) -> Hashtbl.replace tbl lo (h, c0 + c)
+      | None -> Hashtbl.replace tbl lo (hi, c)
+    in
+    Array.iter add a.buckets;
+    Array.iter add b.buckets;
+    let buckets =
+      Hashtbl.fold (fun lo (hi, c) acc -> (lo, hi, c) :: acc) tbl []
+      |> List.sort (fun (x, _, _) (y, _, _) -> compare x y)
+      |> Array.of_list
+    in
+    { count = a.count + b.count; sum = a.sum + b.sum; buckets }
 end
 
 (* Registry: creation is rare, so a mutex around an ordered list is
@@ -274,6 +325,46 @@ let to_json (s : snapshot) =
         Json.Obj
           (List.map (fun (n, h) -> (n, Histogram0.to_json h)) s.histograms) );
     ]
+
+(* Inverse of [to_json] (same tolerance policy as
+   [Histogram0.of_json]): the coordinator rebuilds each worker's
+   summary snapshot from its wire form to merge them. *)
+let of_json j =
+  let ints name =
+    match Json.member name j with
+    | Some (Json.Obj kvs) ->
+      List.filter_map
+        (function n, Json.Int v -> Some (n, v) | _ -> None)
+        kvs
+    | _ -> []
+  in
+  let histograms =
+    match Json.member "histograms" j with
+    | Some (Json.Obj hs) -> List.map (fun (n, h) -> (n, Histogram0.of_json h)) hs
+    | _ -> []
+  in
+  { counters = ints "counters"; gauges = ints "gauges"; histograms }
+
+(* Name-wise union. Counters and histograms are monotone streams, so
+   summing them is exact; for a gauge (a point-in-time reading) the
+   sum is the only aggregate that makes sense for the pool-style
+   gauges we keep, and [a]'s reading wins for names only it has. *)
+let merge (a : snapshot) (b : snapshot) =
+  let union add xs ys =
+    let extra = List.filter (fun (n, _) -> not (List.mem_assoc n xs)) ys in
+    List.map
+      (fun (n, v) ->
+        match List.assoc_opt n ys with
+        | Some w -> (n, add v w)
+        | None -> (n, v))
+      xs
+    @ extra
+  in
+  {
+    counters = union ( + ) a.counters b.counters;
+    gauges = union ( + ) a.gauges b.gauges;
+    histograms = union Histogram0.merge a.histograms b.histograms;
+  }
 
 let find_counter name =
   Mutex.lock registry_mu;

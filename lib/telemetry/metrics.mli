@@ -120,6 +120,18 @@ module Histogram : sig
 
   val to_json : snapshot -> Json.t
   (** [{"count", "sum", "p50", "p95", "p99", "buckets":[{"lo","hi","count"},…]}] *)
+
+  val of_json : Json.t -> snapshot
+  (** Inverse of {!to_json} over the owned members ([count], [sum],
+      [buckets]; the serialized quantiles are derived and recomputed).
+      Total: malformed input decodes to an empty snapshot. *)
+
+  val merge : snapshot -> snapshot -> snapshot
+  (** Bucket-wise sum — a valid snapshot of the union of both
+      observation streams (all histograms share one global bucket
+      layout). Quantiles of the merged snapshot aggregate the
+      underlying populations exactly as if one histogram had observed
+      them all. *)
 end
 
 (** Whole-registry snapshot, in instrument registration order. *)
@@ -139,6 +151,18 @@ val delta : since:snapshot -> snapshot -> snapshot
 val to_json : snapshot -> Json.t
 (** Serialize against [doc/schema/metrics.schema.json]:
     [{"counters":{…}, "gauges":{…}, "histograms":{…}}]. *)
+
+val of_json : Json.t -> snapshot
+(** Inverse of {!to_json} (tolerant: unrecognized or malformed
+    members decode to empty sections) — how the serve coordinator
+    rebuilds each worker process's summary delta from the wire. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Name-wise union: counters and histogram buckets are summed (both
+    are monotone streams, so the merge is exact), gauges are summed
+    too (the registry's gauges are pool-style occupancy numbers).
+    Folding per-worker deltas with [merge] yields the tier-wide
+    snapshot the merged [serve_summary] reports. *)
 
 val find_counter : string -> Counter.t option
 val find_histogram : string -> Histogram.t option

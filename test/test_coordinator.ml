@@ -1,0 +1,492 @@
+(* Tests for the sharded serve tier and its redesigned API surface:
+   the serializable Serve_config, the consistent-hash ring, the
+   versioned wire envelope, tier-wide admission, and the coordinator
+   end to end (including worker crash recovery). The coordinator
+   spawns real worker processes — re-executions of this test binary,
+   dispatched by the Coordinator.worker_child_main hook at the top of
+   test_main.ml. *)
+
+module Json = Dise_telemetry.Json
+module Json_schema = Dise_telemetry.Json_schema
+module Manifest = Dise_telemetry.Manifest
+module Diag = Dise_isa.Diag
+module Request = Dise_service.Request
+module Server = Dise_service.Server
+module Serve_config = Dise_service.Serve_config
+module Shard = Dise_service.Shard
+module Coordinator = Dise_service.Coordinator
+module Resilience = Dise_service.Resilience
+module Journal = Resilience.Journal
+module Chaos = Resilience.Chaos
+
+let check = Alcotest.check
+let bool_ = Alcotest.bool
+let int_ = Alcotest.int
+
+let tmp_counter = ref 0
+
+let with_temp_dir f =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dise-coordinator-test-%d-%d" (Unix.getpid ())
+         !tmp_counter)
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let with_chaos spec f =
+  Unix.putenv Chaos.env_var spec;
+  Fun.protect ~finally:(fun () -> Unix.putenv Chaos.env_var "") f
+
+let load_schema name =
+  let path = Filename.concat "../doc/schema" name in
+  let ic = open_in path in
+  Json.parse
+    (Fun.protect
+       ~finally:(fun () -> close_in_noerr ic)
+       (fun () -> really_input_string ic (in_channel_length ic)))
+
+let assert_valid ~schema v =
+  match Json_schema.validate ~schema v with
+  | [] -> ()
+  | errs ->
+    Alcotest.fail
+      (Format.asprintf "document fails schema: %a"
+         (Format.pp_print_list Json_schema.pp_error)
+         errs)
+
+let member name j = Option.get (Json.member name j)
+let kind_of r = Json.member "kind" (member "error" r)
+
+(* --- Serve_config -------------------------------------------------------- *)
+
+let test_serve_config_roundtrip () =
+  let cfg =
+    Serve_config.of_flags ~workers:3 ~jobs:2 ~deadline_ms:500 ~shed_above:9_000
+      ~tenant_quota:4 ~journal:"/tmp/j" ~breaker:5 ()
+  in
+  check int_ "jobs-only queue default is 4x" 8 cfg.Serve_config.queue;
+  let j = Serve_config.to_json cfg in
+  assert_valid ~schema:(load_schema "serve_config.schema.json") j;
+  (match Serve_config.of_json j with
+  | Ok cfg' -> check bool_ "canonical JSON round-trips" true (cfg = cfg')
+  | Error d -> Alcotest.fail ("canonical form rejected: " ^ Diag.to_string d));
+  (* defaults validate too, and an empty document means the defaults *)
+  assert_valid
+    ~schema:(load_schema "serve_config.schema.json")
+    (Serve_config.to_json (Serve_config.default ()));
+  (match Serve_config.of_json (Json.Obj []) with
+  | Ok cfg' ->
+    check bool_ "empty config is the default" true
+      (cfg' = Serve_config.default ())
+  | Error d -> Alcotest.fail ("empty config rejected: " ^ Diag.to_string d));
+  (* flags override a file config; --jobs re-derives the queue *)
+  let over = Serve_config.override cfg ~jobs:5 ~workers:0 () in
+  check int_ "override jobs" 5 over.Serve_config.jobs;
+  check int_ "override re-derives queue" 20 over.Serve_config.queue;
+  check bool_ "untouched members survive override" true
+    (over.Serve_config.deadline_ms = Some 500
+    && over.Serve_config.tenant_quota = Some 4);
+  (* defects are parse errors, not crashes *)
+  (match Serve_config.of_json (Json.Obj [ ("worker", Json.Int 2) ]) with
+  | Error (Diag.Parse _) -> ()
+  | _ -> Alcotest.fail "unknown member accepted");
+  match Serve_config.of_json (Json.Obj [ ("jobs", Json.String "2") ]) with
+  | Error (Diag.Parse _) -> ()
+  | _ -> Alcotest.fail "mistyped member accepted"
+
+(* --- the consistent-hash ring -------------------------------------------- *)
+
+let test_shard_routing () =
+  let keys = List.init 1000 (fun i -> Printf.sprintf "key-%d" i) in
+  let ring = Shard.ring ~workers:4 () in
+  let ring' = Shard.ring ~workers:4 () in
+  check int_ "ring knows its width" 4 (Shard.workers ring);
+  (* determinism: routing is a pure function of (workers, key) *)
+  List.iter
+    (fun k ->
+      check int_ (k ^ " routes identically on a rebuilt ring")
+        (Shard.route ring k) (Shard.route ring' k))
+    keys;
+  (* coverage: every worker owns a live slice of the keyspace *)
+  let counts = Array.make 4 0 in
+  List.iter (fun k -> counts.(Shard.route ring k) <- counts.(Shard.route ring k) + 1) keys;
+  Array.iteri
+    (fun w c ->
+      check bool_ (Printf.sprintf "worker %d owns a nonempty slice (%d)" w c)
+        true (c > 0))
+    counts;
+  (* consistency: growing the tier only moves keys onto the new
+     worker — nothing reshuffles between the survivors *)
+  let grown = Shard.ring ~workers:5 () in
+  let moved = ref 0 in
+  List.iter
+    (fun k ->
+      let before = Shard.route ring k and after = Shard.route grown k in
+      if before <> after then begin
+        incr moved;
+        check int_ (k ^ " may only move to the new worker") 4 after
+      end)
+    keys;
+  check bool_
+    (Printf.sprintf "a minority of keys moved (%d/1000)" !moved)
+    true
+    (!moved > 0 && !moved < 500)
+
+(* --- the versioned wire envelope ----------------------------------------- *)
+
+let test_envelope_versions () =
+  let p =
+    Server.parse_job ~lineno:1 {|{"id":1,"bench":"tiny","dyn_target":23000}|}
+  in
+  check int_ "unversioned line is dialect v0" 0 p.Server.version;
+  check bool_ "v0 line decodes" true (Result.is_ok p.Server.req);
+  let p =
+    Server.parse_job ~lineno:1
+      {|{"v":1,"id":1,"bench":"tiny","dyn_target":23000}|}
+  in
+  check int_ "v:1 line is dialect v1" 1 p.Server.version;
+  check bool_ "v1 line decodes" true (Result.is_ok p.Server.req);
+  check bool_ "tenant defaults to anonymous" true (p.Server.tenant = None);
+  let p =
+    Server.parse_job ~lineno:1
+      {|{"v":1,"tenant":"acme","id":1,"bench":"tiny","dyn_target":23000}|}
+  in
+  check bool_ "tenant member decoded" true (p.Server.tenant = Some "acme");
+  (* anything but an absent v or v:1 is a parse error, including an
+     explicit v:0 — v0 clients are recognized by saying nothing *)
+  List.iter
+    (fun line ->
+      match (Server.parse_job ~lineno:1 line).Server.req with
+      | Error (Diag.Parse _) -> ()
+      | _ -> Alcotest.fail ("accepted bad envelope: " ^ line))
+    [
+      {|{"v":2,"id":1,"bench":"tiny","dyn_target":23000}|};
+      {|{"v":0,"id":1,"bench":"tiny","dyn_target":23000}|};
+      {|{"v":"1","id":1,"bench":"tiny","dyn_target":23000}|};
+      {|{"tenant":3,"id":1,"bench":"tiny","dyn_target":23000}|};
+    ]
+
+(* Serve a list of lines through a single-process session and return
+   (summary, responses). *)
+let serve ?cfg ?manifest lines =
+  with_temp_dir (fun dir ->
+      let inp = Filename.concat dir "in.jsonl" in
+      let outp = Filename.concat dir "out.jsonl" in
+      let oc = open_out_bin inp in
+      output_string oc (String.concat "\n" lines ^ "\n");
+      close_out oc;
+      let ic = open_in inp in
+      let oc = open_out outp in
+      let summary =
+        Fun.protect
+          ~finally:(fun () ->
+            close_in_noerr ic;
+            close_out_noerr oc)
+          (fun () ->
+            let cfg = Option.value cfg ~default:(Serve_config.default ()) in
+            Server.serve_channel (Server.session ?manifest cfg) ic oc)
+      in
+      let ic = open_in outp in
+      let rec read acc =
+        match input_line ic with
+        | line -> read (Json.parse line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let responses =
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read [])
+      in
+      (summary, responses))
+
+let job ?v ?tenant ?(dyn = 23_000) id =
+  let v = match v with None -> "" | Some v -> Printf.sprintf {|"v":%d,|} v in
+  let tenant =
+    match tenant with
+    | None -> ""
+    | Some t -> Printf.sprintf {|"tenant":"%s",|} t
+  in
+  Printf.sprintf {|{%s%s"id":%d,"bench":"tiny","dyn_target":%d}|} v tenant id
+    dyn
+
+let test_v0_compat () =
+  (* one legacy line and one v1 line in the same stream: both served,
+     and every response speaks v1 *)
+  let _, rs = serve [ job ~dyn:23_001 1; job ~v:1 ~dyn:23_002 2 ] in
+  check int_ "both dialects served" 2 (List.length rs);
+  let schema = load_schema "serve_response.schema.json" in
+  List.iter
+    (fun r ->
+      check bool_ "response leads with v:1" true
+        (Json.member "v" r = Some (Json.Int 1));
+      check bool_ "response ok" true (member "ok" r = Json.Bool true);
+      assert_valid ~schema r)
+    rs
+
+(* --- tenant quotas ------------------------------------------------------- *)
+
+let test_tenant_quota_order () =
+  let lines =
+    [
+      job ~tenant:"acme" ~dyn:23_011 1;
+      job ~tenant:"acme" ~dyn:23_012 2;
+      job ~tenant:"acme" ~dyn:23_013 3;
+      job ~tenant:"globex" ~dyn:23_014 4;
+      job ~dyn:23_015 5;
+    ]
+  in
+  let summary, rs =
+    serve
+      ~cfg:(Serve_config.of_flags ~jobs:1 ~queue:8 ~tenant_quota:1 ())
+      lines
+  in
+  check int_ "five responses" 5 (List.length rs);
+  check int_ "two acme jobs over quota" 2 summary.Server.shed;
+  match rs with
+  | [ r1; r2; r3; r4; r5 ] ->
+    (* input order is preserved even though 2 and 3 never ran *)
+    List.iteri
+      (fun i r ->
+        check bool_
+          (Printf.sprintf "response %d keeps its slot" (i + 1))
+          true
+          (member "id" r = Json.Int (i + 1)))
+      [ r1; r2; r3; r4; r5 ];
+    check bool_ "first acme job admitted" true (member "ok" r1 = Json.Bool true);
+    List.iter
+      (fun r ->
+        check bool_ "over-quota job answered overloaded" true
+          (member "ok" r = Json.Bool false
+          && kind_of r = Some (Json.String "overloaded"));
+        match Json.member "message" (member "error" r) with
+        | Some (Json.String msg) ->
+          let contains sub =
+            let n = String.length sub in
+            let rec find i =
+              i + n <= String.length msg
+              && (String.sub msg i n = sub || find (i + 1))
+            in
+            find 0
+          in
+          check bool_
+            (Printf.sprintf "quota message names the policy (got %S)" msg)
+            true
+            (contains "tenant quota")
+        | _ -> Alcotest.fail "no quota message")
+      [ r2; r3 ];
+    check bool_ "other tenant unaffected" true (member "ok" r4 = Json.Bool true);
+    check bool_ "anonymous tenant unaffected" true
+      (member "ok" r5 = Json.Bool true)
+  | _ -> Alcotest.fail "wrong response count"
+
+(* --- the coordinator, end to end ----------------------------------------- *)
+
+(* Run [lines] through a real worker tier and return
+   (summary, responses, manifest records). *)
+let serve_sharded ?on_spawn ?journal ~workers lines =
+  with_temp_dir (fun dir ->
+      let inp = Filename.concat dir "in.jsonl" in
+      let outp = Filename.concat dir "out.jsonl" in
+      let oc = open_out_bin inp in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      let mbuf = Buffer.create 4096 in
+      let manifest = Manifest.to_buffer mbuf in
+      let cfg =
+        Serve_config.of_flags ~workers ~jobs:1 ~queue:16 ?journal ()
+      in
+      let ic = open_in inp in
+      let oc = open_out outp in
+      let summary =
+        Fun.protect
+          ~finally:(fun () ->
+            close_in_noerr ic;
+            close_out_noerr oc)
+          (fun () ->
+            Coordinator.run_channel ?on_spawn ~manifest
+              ~cache_dir:(Filename.concat dir "cache")
+              cfg ic oc)
+      in
+      let ic = open_in outp in
+      let rec read acc =
+        match input_line ic with
+        | line -> read (Json.parse line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let responses =
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read [])
+      in
+      let records =
+        String.split_on_char '\n' (Buffer.contents mbuf)
+        |> List.filter (fun l -> l <> "")
+        |> List.map Json.parse
+      in
+      (summary, responses, records))
+
+let merged_record records =
+  match
+    List.find_opt
+      (fun r -> Json.member "record" r = Some (Json.String "serve_summary"))
+      records
+  with
+  | Some r -> r
+  | None -> Alcotest.fail "no serve_summary record in manifest"
+
+let test_coordinator_end_to_end () =
+  let lines = List.init 8 (fun i -> job ~dyn:(24_001 + i) (i + 1)) in
+  let summary, rs, records = serve_sharded ~workers:2 lines in
+  check int_ "all jobs served" 8 summary.Server.served;
+  check int_ "no errors" 0 summary.Server.errors;
+  check int_ "eight responses" 8 (List.length rs);
+  let schema = load_schema "serve_response.schema.json" in
+  List.iteri
+    (fun i r ->
+      check bool_
+        (Printf.sprintf "response %d in input order" (i + 1))
+        true
+        (member "id" r = Json.Int (i + 1) && member "ok" r = Json.Bool true);
+      assert_valid ~schema r)
+    rs;
+  let record = merged_record records in
+  assert_valid ~schema:(load_schema "serve_summary.schema.json") record;
+  check bool_ "merged record counts the stream" true
+    (Json.member "served" record = Some (Json.Int 8));
+  match Json.member "workers" record with
+  | Some (Json.List ws) ->
+    check int_ "one breakdown entry per worker" 2 (List.length ws);
+    let served_by w =
+      match Json.member "served" w with Some (Json.Int n) -> n | _ -> 0
+    in
+    check int_ "every job reached exactly one shard" 8
+      (List.fold_left (fun acc w -> acc + served_by w) 0 ws);
+    (* 8 distinct keys over 64 vnodes/worker: both shards should see
+       work — the balance test above makes a pathological split
+       vanishingly unlikely *)
+    check bool_ "work spread across shards" true
+      (List.for_all (fun w -> served_by w > 0) ws)
+  | _ -> Alcotest.fail "merged record lacks a workers array"
+
+let test_coordinator_crash_recovery () =
+  (* Stall job 1 in its worker, then SIGKILL every initially-spawned
+     worker mid-batch: the coordinator must respawn, the replacements
+     must replay their journal shards, and every job must still get
+     its answer in order. *)
+  with_temp_dir (fun jdir ->
+      with_chaos "sleep=1:1500" (fun () ->
+          let initial = ref [] in
+          let spawns = ref 0 in
+          let m = Mutex.create () in
+          let on_spawn ~shard:_ ~pid =
+            Mutex.lock m;
+            incr spawns;
+            if !spawns <= 2 then initial := pid :: !initial;
+            Mutex.unlock m
+          in
+          let killer =
+            Domain.spawn (fun () ->
+                Unix.sleepf 0.4;
+                Mutex.lock m;
+                let victims = !initial in
+                Mutex.unlock m;
+                List.iter
+                  (fun pid ->
+                    try Unix.kill pid Sys.sigkill
+                    with Unix.Unix_error _ -> ())
+                  victims)
+          in
+          let lines = List.init 6 (fun i -> job ~dyn:(24_101 + i) (i + 1)) in
+          let summary, rs, records =
+            serve_sharded ~on_spawn ~workers:2
+              ~journal:(Filename.concat jdir "journal")
+              lines
+          in
+          Domain.join killer;
+          check int_ "all jobs answered despite the kill" 6
+            summary.Server.served;
+          check int_ "no errors surfaced" 0 summary.Server.errors;
+          List.iteri
+            (fun i r ->
+              check bool_
+                (Printf.sprintf "response %d ok and in order" (i + 1))
+                true
+                (member "id" r = Json.Int (i + 1)
+                && member "ok" r = Json.Bool true))
+            rs;
+          let record = merged_record records in
+          assert_valid ~schema:(load_schema "serve_summary.schema.json") record;
+          match Json.member "workers" record with
+          | Some (Json.List ws) ->
+            let restarts =
+              List.fold_left
+                (fun acc w ->
+                  match Json.member "restarts" w with
+                  | Some (Json.Int n) -> acc + n
+                  | _ -> acc)
+                0 ws
+            in
+            check bool_
+              (Printf.sprintf "the tier restarted workers (%d)" restarts)
+              true (restarts >= 1)
+          | _ -> Alcotest.fail "merged record lacks a workers array"))
+
+let test_coordinator_journal_shard_replay () =
+  (* Plant begun-but-not-done entries in one shard's journal — the
+     leftovers of a crash — and start an empty-stream tier over the
+     same root: the owning worker must replay exactly those jobs, and
+     the count must surface in the merged counters. *)
+  with_temp_dir (fun root ->
+      let jroot = Filename.concat root "journal" in
+      let shard_dir = Filename.concat jroot "worker-1" in
+      let j = Journal.open_ ~dir:shard_dir in
+      for i = 1 to 3 do
+        ignore
+          (Journal.append_begin j
+             (Json.parse (job ~dyn:(24_201 + i) i)))
+      done;
+      Journal.sync j;
+      Journal.close j;
+      let summary, rs, records =
+        serve_sharded ~workers:2 ~journal:jroot []
+      in
+      check int_ "empty stream serves nothing" 0 summary.Server.served;
+      check int_ "no responses" 0 (List.length rs);
+      let record = merged_record records in
+      match Json.member "counters" record with
+      | Some (Json.Obj counters) ->
+        check bool_
+          (Printf.sprintf "merged counters report the shard's replay (%s)"
+             (Json.to_string (Json.Obj counters)))
+          true
+          (List.assoc_opt "journal_replayed" counters = Some (Json.Int 3))
+      | _ -> Alcotest.fail "merged record lacks counters")
+
+let suite =
+  [
+    Alcotest.test_case "serve_config round-trip" `Quick
+      test_serve_config_roundtrip;
+    Alcotest.test_case "shard routing" `Quick test_shard_routing;
+    Alcotest.test_case "wire envelope versions" `Quick test_envelope_versions;
+    Alcotest.test_case "v0 client compatibility" `Quick test_v0_compat;
+    Alcotest.test_case "tenant quota preserves order" `Quick
+      test_tenant_quota_order;
+    Alcotest.test_case "sharded tier end to end" `Quick
+      test_coordinator_end_to_end;
+    Alcotest.test_case "worker crash recovery" `Quick
+      test_coordinator_crash_recovery;
+    Alcotest.test_case "journal shard replay" `Quick
+      test_coordinator_journal_shard_replay;
+  ]

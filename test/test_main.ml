@@ -1,7 +1,9 @@
 (* Test runner: one alcotest suite per library area. *)
 
-(* Re-exec dispatch for the fault matrix's SIGKILL victim: must run
-   before anything else so the child never enters alcotest. *)
+(* Re-exec dispatch: serve-tier workers and the fault matrix's SIGKILL
+   victim re-execute this binary, so both hooks must run before
+   anything else — the child never enters alcotest. *)
+let () = Dise_service.Coordinator.worker_child_main ()
 let () = Dise_fuzz.Faults.journal_child_main ()
 
 let () =
@@ -20,5 +22,6 @@ let () =
       ("metrics", Test_metrics.suite);
       ("service", Test_service.suite);
       ("resilience", Test_resilience.suite);
+      ("coordinator", Test_coordinator.suite);
       ("fuzz", Test_fuzz.suite);
     ]

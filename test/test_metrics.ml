@@ -184,7 +184,8 @@ let test_serve_summary_metrics () =
         close_out_noerr oc)
       (fun () ->
         Server.serve_channel
-          ~opts:(Server.opts ~jobs:2 ~queue:2 ~manifest ())
+          (Server.session ~manifest
+             (Dise_service.Serve_config.of_flags ~jobs:2 ~queue:2 ()))
           ic oc)
   in
   Sys.remove inp;

@@ -10,6 +10,7 @@ module Diag = Dise_isa.Diag
 module Cache = Dise_service.Cache
 module Request = Dise_service.Request
 module Server = Dise_service.Server
+module Serve_config = Dise_service.Serve_config
 module Pool = Dise_service.Pool
 module Resilience = Dise_service.Resilience
 module Breaker = Resilience.Breaker
@@ -252,7 +253,7 @@ let test_pool_outcomes () =
 
 (* --- serve protocol under faults ----------------------------------------- *)
 
-let serve ?opts lines =
+let serve ?cfg ?manifest lines =
   with_temp_dir (fun dir ->
       let inp = Filename.concat dir "in.jsonl" in
       let outp = Filename.concat dir "out.jsonl" in
@@ -266,7 +267,11 @@ let serve ?opts lines =
           ~finally:(fun () ->
             close_in_noerr ic;
             close_out_noerr oc)
-          (fun () -> Server.serve_channel ?opts ic oc)
+          (fun () ->
+            let cfg =
+              Option.value cfg ~default:(Serve_config.default ())
+            in
+            Server.serve_channel (Server.session ?manifest cfg) ic oc)
       in
       let ic = open_in outp in
       let rec read acc =
@@ -308,7 +313,7 @@ let test_serve_mixed_chunk () =
           job ~dyn:22_004 5 ]
       in
       let summary, rs =
-        serve ~opts:(Server.opts ~jobs:2 ~queue:8 ()) lines
+        serve ~cfg:(Serve_config.of_flags ~jobs:2 ~queue:8 ()) lines
       in
       check int_ "N+2 responses" 5 (List.length rs);
       check int_ "summary served" 5 summary.Server.served;
@@ -348,7 +353,7 @@ let test_serve_truncated_line_number () =
     {|{"id":2,"pad":"|} ^ String.make (Server.max_line_bytes + 32) 'x' ^ {|"}|}
   in
   let _, rs =
-    serve ~opts:(Server.opts ~jobs:1 ~queue:4 ()) [ job 1; big; job 3 ]
+    serve ~cfg:(Serve_config.of_flags ~jobs:1 ~queue:4 ()) [ job 1; big; job 3 ]
   in
   match rs with
   | [ _; r2; _ ] -> (
@@ -395,7 +400,7 @@ let test_serve_shed_first_job_admitted () =
      mark bounds queued work, it must not starve legitimate jobs *)
   let summary, rs =
     serve
-      ~opts:(Server.opts ~jobs:1 ~queue:4 ~shed_above:10_000 ())
+      ~cfg:(Serve_config.of_flags ~jobs:1 ~queue:4 ~shed_above:10_000 ())
       [ job ~dyn:22_021 1 ]
   in
   check int_ "nothing shed" 0 summary.Server.shed;
@@ -406,7 +411,9 @@ let test_serve_shed_first_job_admitted () =
 let test_serve_manifest_record () =
   let buf = Buffer.create 256 in
   let manifest = Dise_telemetry.Manifest.to_buffer buf in
-  let _ = serve ~opts:(Server.opts ~jobs:1 ~queue:2 ~manifest ()) [ job 1 ] in
+  let _ =
+    serve ~cfg:(Serve_config.of_flags ~jobs:1 ~queue:2 ()) ~manifest [ job 1 ]
+  in
   let record = Json.parse (String.trim (Buffer.contents buf)) in
   check bool_ "record tagged serve_summary" true
     (Json.member "record" record = Some (Json.String "serve_summary"));
@@ -478,13 +485,13 @@ let test_socket_supervision () =
       Unix.bind stale (Unix.ADDR_UNIX path);
       Unix.close stale;
       check bool_ "stale socket file exists" true (Sys.file_exists path);
-      Server.reset_stop ();
-      let server =
-        Domain.spawn (fun () ->
-            Server.serve_socket ~opts:(Server.opts ~jobs:1 ~queue:2 ()) ~path ())
+      let stop = Server.Stop.create () in
+      let sess =
+        Server.session ~stop (Serve_config.of_flags ~jobs:1 ~queue:2 ())
       in
+      let server = Domain.spawn (fun () -> Server.serve_socket sess ~path ()) in
       Fun.protect
-        ~finally:(fun () -> Server.reset_stop ())
+        ~finally:(fun () -> Server.Stop.signal stop)
         (fun () ->
           wait_until_live path;
           (* Two concurrent connections: served sequentially, both
@@ -503,14 +510,18 @@ let test_socket_supervision () =
             (member "ok" r2 = Json.Bool true && member "id" r2 = Json.Int 2);
           (* A second server on the same live socket must refuse with
              the busy diagnostic (exit-code class 6), not steal it. *)
-          (match Server.serve_socket ~path () with
+          (match
+             Server.serve_socket
+               (Server.session (Serve_config.default ()))
+               ~path ()
+           with
           | () -> Alcotest.fail "second server started on a live socket"
           | exception Cache.Diag_error (Diag.Overloaded _ as d) ->
             check int_ "busy socket refusal is exit-code 6" 6
               (Diag.exit_code d)
           | exception e -> Alcotest.fail (Printexc.to_string e));
           (* Drain: stop flag + one wake-up connection. *)
-          Server.request_stop ();
+          Server.Stop.signal stop;
           ignore (connect_client path []);
           Domain.join server;
           check bool_ "socket unlinked on shutdown" false

@@ -296,7 +296,10 @@ let serve lines =
                request deterministically finds the first one's result
                (in a wider chunk the two could race for the memo claim
                and either could be the one that simulates). *)
-            Server.serve_channel ~opts:(Server.opts ~jobs:2 ~queue:1 ()) ic oc)
+            Server.serve_channel
+              (Server.session
+                 (Dise_service.Serve_config.of_flags ~jobs:2 ~queue:1 ()))
+              ic oc)
       in
       let ic = open_in outp in
       let rec read acc =
