@@ -4,6 +4,7 @@
      list                     available benchmarks, schemes, figure panels
      run                      simulate one workload/ACF/machine configuration
      compress                 compress one workload under one scheme
+     synthesize               profile-guided dictionary search
      figures                  regenerate evaluation panels and ablations
      serve                    batch JSONL simulation service (stdin or socket)
      fuzz                     differential fuzzing + fault injection
@@ -29,6 +30,7 @@ module S = Dise_service
 module H = Dise_harness
 module T = Dise_telemetry
 module Fz = Dise_fuzz
+module Sy = Dise_synthesize
 
 let die d =
   Format.eprintf "disesim: %a@." Diag.pp d;
@@ -399,6 +401,88 @@ let compress_cmd =
     Term.(const run $ bench_arg $ dyn_arg $ scheme_arg $ show_arg
           $ stats_json_arg $ cache_dir_arg $ no_cache_arg $ no_jit_arg
           $ jit_threshold_arg)
+
+(* --- synthesize: profile-guided dictionary search ----------------------- *)
+
+let synthesize_cmd =
+  let doc =
+    "Synthesize a decompression dictionary from a workload's dynamic \
+     profile: collect the baseline fetch histogram, mine the recurring \
+     compressible windows, and hill-climb over candidate dictionaries, \
+     scoring each on the timing model through the result cache (locally \
+     on the domain pool, or against a running serve tier with \
+     $(b,--serve)). Capacity is a hard constraint: candidates that \
+     overflow the controller's PT or RT are rejected unsimulated. The \
+     search is deterministic for a given $(b,--seed), and the journal in \
+     $(b,--out) makes an interrupted run resumable. See doc/synthesize.md."
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+           ~doc:"Deterministic search seed (default 1): same seed, same \
+                 dictionary, byte for byte.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 192 & info [ "budget" ] ~docv:"N"
+           ~doc:"Maximum candidate evaluations (default 192).")
+  in
+  let jobs_arg =
+    Arg.(value & opt int (S.Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for local scoring (default: available \
+                   cores); ignored with $(b,--serve).")
+  in
+  let serve_arg =
+    Arg.(value & opt (some string) None & info [ "serve" ] ~docv:"PATH"
+           ~doc:"Score timing runs against the serve tier listening on the \
+                 Unix-domain socket at $(docv) ($(b,disesim serve --socket)) \
+                 instead of simulating in-process.")
+  in
+  let out_arg =
+    Arg.(value & opt string "synth-out" & info [ "out" ] ~docv:"DIR"
+           ~doc:"Output directory (default synth-out): dictionary.json plus \
+                 the journal.jsonl resume memo.")
+  in
+  let run bench dyn scheme seed budget jobs serve out cache_dir no_cache
+      no_jit jit_threshold =
+    setup_cache cache_dir no_cache;
+    setup_jit no_jit jit_threshold;
+    (try Unix.mkdir out 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let backend =
+      match serve with
+      | Some path -> Sy.Score.Serve { path }
+      | None -> Sy.Score.Local { jobs }
+    in
+    let cfg =
+      Sy.Search.v ~dyn_target:dyn ~scheme ~rng_seed:seed ~budget ~backend
+        ~journal:(Filename.concat out "journal.jsonl")
+        ~progress:(fun m -> Format.eprintf "disesim synthesize: %s@." m)
+        bench
+    in
+    let r = guarded (fun () -> Sy.Search.run cfg) in
+    let dict_path = Filename.concat out "dictionary.json" in
+    Sy.Search.write_dictionary ~path:dict_path cfg r;
+    Format.printf "synthesized %d-entry dictionary (%d seeds) for %s (%s):@."
+      (List.length r.Sy.Search.compress.A.Compress.entries)
+      (List.length r.Sy.Search.seeds) bench scheme.A.Compress.name;
+    Format.printf "  total ratio:   %.3f (text %.3f)@."
+      r.Sy.Search.outcome.Sy.Score.ratio
+      (A.Compress.compression_ratio r.Sy.Search.compress);
+    Format.printf "  relative time: %.3f@." r.Sy.Search.outcome.Sy.Score.rel;
+    Format.printf "  fitness:       %.4f after %d evaluations (%d candidate \
+                   groups)@."
+      r.Sy.Search.outcome.Sy.Score.fitness r.Sy.Search.evaluations
+      r.Sy.Search.candidates;
+    Format.printf "  footprint:     %d PT patterns, %d RT entries (fits: %b)@."
+      r.Sy.Search.footprint.Dise_core.Prodset.pt_patterns
+      r.Sy.Search.footprint.Dise_core.Prodset.rt_entries
+      r.Sy.Search.outcome.Sy.Score.fits;
+    Format.printf "(dictionary written to %s)@." dict_path
+  in
+  Cmd.v (Cmd.info "synthesize" ~doc)
+    Term.(const run $ bench_arg $ dyn_arg $ scheme_arg $ seed_arg $ budget_arg
+          $ jobs_arg $ serve_arg $ out_arg $ cache_dir_arg $ no_cache_arg
+          $ no_jit_arg $ jit_threshold_arg)
 
 (* --- figures ------------------------------------------------------------ *)
 
@@ -1167,6 +1251,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; compress_cmd; figures_cmd; serve_cmd; fuzz_cmd;
+          [ list_cmd; run_cmd; compress_cmd; synthesize_cmd; figures_cmd;
+            serve_cmd; fuzz_cmd;
             cache_cmd; exec_cmd; safety_cmd; disasm_cmd; validate_cmd;
             conformance_cmd ]))

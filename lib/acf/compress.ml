@@ -481,13 +481,15 @@ type result = {
 
 let code_base = 0x00100000
 
-let compress ~scheme prog =
+(* Candidate enumeration, shared by the greedy compressor and the
+   seeded (search-driven) one: split into basic blocks and bucket
+   every legal window into a group keyed by its normalized text. *)
+let enumerate scheme prog =
   let segs = split_blocks prog in
   let blocks =
     List.filter_map (function Blk a -> Some a | Lbl _ -> None) segs
     |> Array.of_list
   in
-  (* Enumerate candidates into groups. *)
   let groups : (I.t list * int, group) Hashtbl.t = Hashtbl.create 4096 in
   Array.iteri
     (fun bi arr ->
@@ -529,6 +531,10 @@ let compress ~scheme prog =
         done
       done)
     blocks;
+  (segs, blocks, groups)
+
+let rec compress ~scheme prog =
+  let segs, blocks, groups = enumerate scheme prog in
   (* Lazy greedy selection. *)
   let consumed = Array.map (fun arr -> Array.make (Array.length arr) false) blocks in
   let heap = Heap.create () in
@@ -584,7 +590,9 @@ let compress ~scheme prog =
             end)
   in
   select ();
-  let chosen = Array.of_list (List.rev !chosen) in
+  finalize ~scheme ~prog ~segs (Array.of_list (List.rev !chosen))
+
+and finalize ~scheme ~prog ~segs (chosen : chosen array) =
   (* Map from (blk, start) to the chosen entry covering it. *)
   let starts : (int * int, chosen * inst) Hashtbl.t = Hashtbl.create 1024 in
   Array.iter
@@ -804,3 +812,128 @@ let compression_ratio r =
 let total_ratio r =
   float_of_int (r.text_bytes + r.dict_bytes)
   /. float_of_int r.orig_text_bytes
+
+(* --- seeded (search-driven) compression --------------------------------- *)
+
+(* A seed names one candidate window by position: instruction
+   [s_start..s_start+s_len) of basic block [s_blk] (blocks numbered in
+   program order, labels excluded). The seed stands for the whole
+   {e group} of windows sharing its normalized text — exactly the unit
+   the greedy compressor ranks — so a seed list is a complete, compact
+   description of a dictionary that an external search (disesim
+   synthesize) can mutate, serialize, and replay. *)
+type seed = { s_blk : int; s_start : int; s_len : int }
+
+type corpus = {
+  c_scheme : scheme;
+  c_prog : Program.t;
+  c_segs : seg list;
+  c_blocks : I.t array array;
+  c_groups : (I.t list * int, group) Hashtbl.t;
+  c_index : int array;  (* block -> global instruction index of its head *)
+}
+
+let corpus ~scheme prog =
+  let segs, blocks, groups = enumerate scheme prog in
+  let c_index = Array.make (max 1 (Array.length blocks)) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i arr ->
+      c_index.(i) <- !acc;
+      acc := !acc + Array.length arr)
+    blocks;
+  {
+    c_scheme = scheme;
+    c_prog = prog;
+    c_segs = segs;
+    c_blocks = blocks;
+    c_groups = groups;
+    c_index;
+  }
+
+type window = {
+  w_seed : seed;
+  w_len : int;
+  w_count : int;
+  w_sites : (int * int * int) list;
+}
+
+let windows c =
+  Hashtbl.fold
+    (fun (_, len) g acc ->
+      let sites =
+        List.map
+          (fun i -> (i.blk, i.start, c.c_index.(i.blk) + i.start))
+          g.insts
+        |> List.sort compare
+      in
+      match sites with
+      | [] -> acc
+      | (blk, start, _) :: _ ->
+        {
+          w_seed = { s_blk = blk; s_start = start; s_len = len };
+          w_len = len;
+          w_count = List.length sites;
+          w_sites = sites;
+        }
+        :: acc)
+    c.c_groups []
+  |> List.sort (fun a b -> compare a.w_seed b.w_seed)
+
+(* Resolve a seed back to its group: recompute the normalized key from
+   the program text at the seed's position. A seed that no longer
+   names a legal window (out of bounds, stale journal against a
+   different program) resolves to nothing and is skipped. *)
+let group_at c (s : seed) =
+  if s.s_blk < 0 || s.s_blk >= Array.length c.c_blocks then None
+  else
+    let arr = c.c_blocks.(s.s_blk) in
+    if
+      s.s_len < max 1 c.c_scheme.min_len
+      || s.s_len > c.c_scheme.max_len
+      || s.s_start < 0
+      || s.s_start + s.s_len > Array.length arr
+      || not
+           (Array.for_all (legal c.c_scheme)
+              (Array.sub arr s.s_start s.s_len))
+    then None
+    else
+      let key =
+        ( Array.to_list
+            (Array.init s.s_len (fun k ->
+                 normalize c.c_scheme arr.(s.s_start + k))),
+          s.s_len )
+      in
+      Hashtbl.find_opt c.c_groups key
+
+let compress_seeded c ~seeds =
+  let scheme = c.c_scheme in
+  let consumed =
+    Array.map (fun arr -> Array.make (Array.length arr) false) c.c_blocks
+  in
+  let chosen = ref [] in
+  let n = ref 0 in
+  (* Seeds are honored in list order: earlier seeds consume windows
+     first, exactly like greedy rank order does — so the search's
+     accept/reject moves compose deterministically. *)
+  List.iter
+    (fun s ->
+      if !n < scheme.max_entries then
+        match group_at c s with
+        | None -> ()
+        | Some g -> (
+          let live = List.filter (fun i -> inst_free consumed i g.len) g.insts in
+          match build_template scheme g live with
+          | None -> ()
+          | Some t ->
+            let active =
+              List.filter (fun i -> inst_free consumed i g.len) t.covered
+            in
+            if active <> [] then begin
+              List.iter (fun i -> mark_consumed consumed i g.len) active;
+              chosen := { tag = !n; repr = g.repr; tpl = t; active } :: !chosen;
+              incr n
+            end))
+    seeds;
+  finalize ~scheme ~prog:c.c_prog ~segs:c.c_segs
+    (Array.of_list (List.rev !chosen))

@@ -87,3 +87,47 @@ val compression_ratio : result -> float
 
 val total_ratio : result -> float
 (** [(text_bytes + dict_bytes) / orig_text_bytes]. *)
+
+(** {1 Seeded (search-driven) compression}
+
+    [disesim synthesize] replaces the greedy selection with an
+    external search: candidate dictionaries are {e seed lists}, each
+    seed naming one static window whose whole candidate group (all
+    windows sharing its normalized text) becomes a dictionary entry.
+    The enumeration and the entire post-selection pipeline (template
+    parameterization, codeword planting, the branch-offset layout
+    fixpoint, production-set construction) are shared with
+    {!compress}, so a seeded result is runnable and measured exactly
+    like a greedy one. *)
+
+type seed = { s_blk : int; s_start : int; s_len : int }
+(** Instructions [s_start..s_start+s_len) of basic block [s_blk]
+    (blocks numbered in program order, labels excluded). *)
+
+type corpus
+(** The enumerated candidate groups of one (scheme, program) pair —
+    built once, then shared by every [compress_seeded] call of a
+    search run. *)
+
+val corpus : scheme:scheme -> Dise_isa.Program.t -> corpus
+
+type window = {
+  w_seed : seed;      (** representative (lowest-position) instance *)
+  w_len : int;
+  w_count : int;      (** static occurrences of the group *)
+  w_sites : (int * int * int) list;
+      (** every occurrence as [(blk, start, global instruction
+          index)], ascending; the index keys the dynamic-profile heat
+          of the site (its PC in the uncompressed image) *)
+}
+
+val windows : corpus -> window list
+(** Every candidate group as a window, sorted by representative seed —
+    a deterministic candidate pool for the miner. *)
+
+val compress_seeded : corpus -> seeds:seed list -> result
+(** Compress using exactly the given seeds as the dictionary, in list
+    order (earlier seeds claim overlapping windows first). Seeds that
+    resolve to no legal group — out of bounds, or stale against this
+    program — are skipped, as are seeds whose group has no free
+    instances left; [scheme.max_entries] bounds the dictionary. *)

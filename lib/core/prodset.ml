@@ -67,6 +67,30 @@ let resolve_labels lookup_sym t =
 let rename_dedicated f t =
   { t with seqs = IntMap.map (Replacement.rename_dedicated f) t.seqs }
 
+type footprint = {
+  pt_patterns : int;
+  rt_blocks : int;
+  rt_entries : int;
+}
+
+let footprint ?(entries_per_block = 1) t =
+  let epb = max 1 entries_per_block in
+  let rt_blocks =
+    IntMap.fold
+      (fun _ seq acc -> acc + ((Array.length seq + epb - 1) / epb))
+      t.seqs 0
+  in
+  {
+    pt_patterns = List.length t.prods;
+    rt_blocks;
+    rt_entries = rt_blocks * epb;
+  }
+
+let fits ?entries_per_block ~pt_entries ~rt_entries t =
+  let epb = match entries_per_block with Some e -> max 1 e | None -> 1 in
+  let f = footprint ~entries_per_block:epb t in
+  f.pt_patterns <= pt_entries && f.rt_blocks * epb <= rt_entries
+
 let pp ppf t =
   List.iter (fun p -> Format.fprintf ppf "%a@." Production.pp p) t.prods;
   IntMap.iter

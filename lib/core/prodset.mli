@@ -54,4 +54,29 @@ val resolve_labels : (string -> int option) -> t -> t
 
 val rename_dedicated : (int -> int) -> t -> t
 
+(** {1 Capacity accounting}
+
+    What a production set costs in PT/RT space, in the units the
+    controller's structures are sized in: one PT entry per production
+    (each production is one resident pattern), and one RT block per
+    [ceil(len / entries_per_block)] chunk of each bound replacement
+    sequence (Section 2.2's coalescing). [disesim synthesize] uses
+    this to reject candidate dictionaries that could never be resident
+    — a set that overflows the PT or RT thrashes on every context of
+    use, so capacity is a hard search constraint, not a preference. *)
+
+type footprint = {
+  pt_patterns : int;  (** PT entries the set needs resident *)
+  rt_blocks : int;    (** RT blocks over all bound sequences *)
+  rt_entries : int;   (** [rt_blocks * entries_per_block] *)
+}
+
+val footprint : ?entries_per_block:int -> t -> footprint
+(** Default [entries_per_block] is 1 (one RT entry per replacement
+    instruction), matching {!Controller.default_config}. *)
+
+val fits : ?entries_per_block:int -> pt_entries:int -> rt_entries:int -> t -> bool
+(** Whole-set residency: every pattern fits the PT and every sequence
+    block fits the RT at once. *)
+
 val pp : Format.formatter -> t -> unit

@@ -405,6 +405,82 @@ let fig8_rt opts =
     (List.map (mk ~latency:30) rt_configs
      @ List.map (mk ~latency:150) rt_configs)
 
+(* --- synthesized vs hand-built dictionaries ----------------------------- *)
+
+(* One profile-guided search per benchmark (deterministic: fixed seed,
+   fixed budget), against the greedy compressor's hand-built dictionary
+   under the same modeled controller. The per-benchmark cell is the
+   unit of pool parallelism, so each search scores serially within its
+   cell (no nested pools). *)
+let synth_dict opts =
+  let module Sy = Dise_synthesize in
+  let cells =
+    Array.of_list
+      (List.map
+         (fun (e : Suite.entry) ->
+           fun () ->
+            let bench = e.Suite.profile.Profile.name in
+            opts.progress (Printf.sprintf "synth-dict %s: searching" bench);
+            let cfg =
+              Sy.Search.v ~dyn_target:opts.dyn_target ~budget:96
+                ~backend:(Sy.Score.Local { jobs = 1 })
+                bench
+            in
+            let r = Sy.Search.run cfg in
+            let greedy =
+              Request.compress_summary ~scheme:Compress.full_dise e
+            in
+            let greedy_rel =
+              let req =
+                Request.v ~dyn_target:opts.dyn_target
+                  ~controller:Controller.default_config
+                  ~acf:
+                    (Request.Decompress
+                       {
+                         scheme = Compress.full_dise;
+                         mfi = `None;
+                         rewritten = false;
+                       })
+                  bench
+              in
+              match Request.run_ext ~entry:e req with
+              | Ok (st, _) ->
+                float_of_int st.Stats.cycles
+                /. float_of_int r.Sy.Search.baseline_cycles
+              | Error d -> failwith (Dise_isa.Diag.to_string d)
+            in
+            (bench, r, greedy, greedy_rel))
+         (entries opts))
+  in
+  let results = Array.to_list (Pool.run ~jobs:opts.jobs cells) in
+  let row label f =
+    { label; values = List.map (fun cell -> (let b, _, _, _ = cell in b), f cell) results }
+  in
+  {
+    id = "synth-dict";
+    title =
+      "Synthesized vs hand-built dictionaries (full DISE scheme, default \
+       PT/RT)";
+    ylabel = "size ratio vs original / time ratio vs baseline";
+    series =
+      [
+        row "hand-built total ratio" (fun (_, _, g, _) ->
+            Request.summary_total_ratio g);
+        row "synthesized total ratio" (fun (_, r, _, _) ->
+            r.Sy.Search.outcome.Sy.Score.ratio);
+        row "hand-built rel. time" (fun (_, _, _, gr) -> gr);
+        row "synthesized rel. time" (fun (_, r, _, _) ->
+            r.Sy.Search.outcome.Sy.Score.rel);
+        (* The acceptance quotient: fraction of the hand-built
+           dictionary's savings the search recovered. *)
+        row "savings quotient (synth/hand)" (fun (_, r, g, _) ->
+            let hand = 1.0 -. Request.summary_total_ratio g in
+            if hand <= 0.0 then 1.0
+            else (1.0 -. r.Sy.Search.outcome.Sy.Score.ratio) /. hand);
+      ];
+    stacks = [];
+  }
+
 let all =
   [
     ("fig6-top", fig6_top);
@@ -417,4 +493,12 @@ let all =
     ("fig8-rt", fig8_rt);
   ]
 
-let by_id id = List.assoc_opt id all
+(* Opt-in panels: a synthesis search per cell is far costlier than any
+   paper panel, so these resolve by id (disesim figures synth-dict)
+   but are excluded from the default "run everything" sweep. *)
+let extras = [ ("synth-dict", synth_dict) ]
+
+let by_id id =
+  match List.assoc_opt id all with
+  | Some f -> Some f
+  | None -> List.assoc_opt id extras

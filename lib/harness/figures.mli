@@ -107,7 +107,22 @@ val fig8_rt : opts -> figure
     (composing) miss handlers, 32KB I-cache, normalized to the
     unmodified 32KB run. *)
 
+val synth_dict : opts -> figure
+(** Auto-synthesized vs hand-built dictionaries (doc/synthesize.md):
+    per benchmark, one deterministic profile-guided search
+    ([Dise_synthesize.Search], budget 96, seed 1) against the greedy
+    compressor, both under the paper's default PT/RT controller.
+    Series: total size ratio and relative execution time for each
+    dictionary, plus the savings quotient — the fraction of the
+    hand-built dictionary's size savings the search recovers (the
+    harness benchmark's acceptance line is >= 0.8). Not part of
+    {!all}: a search per cell dwarfs any paper panel, so the panel is
+    opt-in by id. *)
+
 val all : (string * (opts -> figure)) list
-(** Panel id -> driver, in paper order. *)
+(** Panel id -> driver, in paper order. {!synth_dict} is deliberately
+    excluded (see above). *)
 
 val by_id : string -> (opts -> figure) option
+(** Resolves everything in {!all} plus the opt-in panels
+    ([synth-dict]). *)

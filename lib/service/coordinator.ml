@@ -73,11 +73,22 @@ let read_frame fd =
         | doc -> Some doc
         | exception Json.Parse_error _ -> None
 
+(* Whole-string write for framing that must not tear. The descriptor
+   may have been marked nonblocking by someone else (the coordinator
+   sets O_NONBLOCK on its pipe ends, and status flags travel with the
+   open file description), so a full pipe can surface as
+   [EAGAIN]/[EWOULDBLOCK] mid-frame — wait for writability and resume
+   at the same offset instead of dropping the tail. *)
 let rec write_all fd s off =
   if off < String.length s then
     match Unix.write_substring fd s off (String.length s - off) with
     | n -> write_all fd s (off + n)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (match Unix.select [] [ fd ] [] 1.0 with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      write_all fd s off
 
 let input_ready fd =
   match Unix.select [ fd ] [] [] 0. with
@@ -418,9 +429,12 @@ type worker = {
   mutable from_w : Unix.file_descr;
   mutable wout : outstream;
   win : instream;
-  (* seq -> (frame bytes, client id, completion); the frame is kept
-     verbatim so a respawned worker can be handed it again. *)
-  inflight : (int, string * Json.t * (tag:string -> Json.t -> unit)) Hashtbl.t;
+  (* seq -> (frame bytes, client id, quiet?, completion); the frame is
+     kept verbatim so a respawned worker can be handed it again. Quiet
+     jobs are internal resubmissions (startup journal replay) whose
+     responses must not count as client traffic. *)
+  inflight :
+    (int, string * Json.t * bool * (tag:string -> Json.t -> unit)) Hashtbl.t;
   mutable served : int;
   mutable hits : int;
   mutable misses : int;
@@ -561,7 +575,7 @@ let handle_crash t w reason =
     in
     Hashtbl.reset w.inflight;
     List.iter
-      (fun (_, (_, id, complete)) ->
+      (fun (_, (_, id, _, complete)) ->
         complete ~tag:"error"
           (Server.error_response id
              (Diag.Internal "worker exited during shutdown")))
@@ -580,11 +594,97 @@ let handle_crash t w reason =
                  w.shard w.restarts)));
     spawn_into t w;
     let pending =
-      Hashtbl.fold (fun seq (fr, _, _) acc -> (seq, fr) :: acc) w.inflight []
+      Hashtbl.fold (fun seq (fr, _, _, _) acc -> (seq, fr) :: acc) w.inflight []
       |> List.sort (fun (a, _) (b, _) -> compare a b)
     in
     List.iter (fun (_, fr) -> out_push w.wout fr) pending
   end
+
+(* Route by result-cache key: identical requests always reach the
+   same worker, whose memory and journal shard own that slice of the
+   keyspace. *)
+let submit ?(quiet = false) t (p : Server.parsed) req ~enq ~complete =
+  match p.Server.req with
+  | Error _ -> invalid_arg "Coordinator.submit: unrunnable job"
+  | Ok _ ->
+    let w = t.workers.(Shard.route t.ring (Request.key req)) in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let fr =
+      frame_string
+        (Json.Obj
+           [
+             ("op", Json.String "job");
+             ("seq", Json.Int seq);
+             ("enq", Json.Float enq);
+             ("id", p.Server.id);
+             ("req", Request.to_json req);
+           ])
+    in
+    Hashtbl.replace w.inflight seq (fr, p.Server.id, quiet, complete);
+    out_push w.wout fr
+
+(* Startup crash recovery across resharding. Per-shard journals are
+   named [<root>/worker-<shard>] after the ring that {e wrote} them;
+   restarting with a different [--workers] count would otherwise
+   replay each file on whichever worker happens to own that name now
+   (dropping shards past the new count outright) while the live ring
+   routes by request key. So the coordinator drains every shard
+   journal itself before the workers start — whatever the previous
+   tier's worker count was — and resubmits the entries through the
+   {e current} ring via {!submit}, where they are journaled afresh by
+   their new owners. Workers keep their own startup replay for the
+   mid-session respawn path, where shard ownership cannot have
+   changed; they find empty directories here. *)
+let shard_of_journal_dirname name =
+  let prefix = "worker-" in
+  let plen = String.length prefix in
+  if String.length name > plen && String.sub name 0 plen = prefix then
+    int_of_string_opt (String.sub name plen (String.length name - plen))
+  else None
+
+let drain_orphan_journals root =
+  let names = match Sys.readdir root with
+    | names -> names
+    | exception Sys_error _ -> [||]
+  in
+  Array.sort compare names;
+  Array.to_list names
+  |> List.filter_map (fun name ->
+         match shard_of_journal_dirname name with
+         | None -> None
+         | Some _ -> (
+           let dir = Filename.concat root name in
+           match Resilience.Journal.pending ~dir with
+           | [] -> None
+           | pending ->
+             Resilience.Journal.clear ~dir;
+             Some (dir, List.map snd pending)))
+
+let resubmit_journal_docs t drained =
+  List.iter
+    (fun (dir, docs) ->
+      let n = List.length docs in
+      Printf.eprintf "disesim serve: replayed %d interrupted job%s from %s\n%!"
+        n (if n = 1 then "" else "s") dir;
+      Resilience.Counters.add Resilience.Counters.journal_replayed n;
+      List.iter
+        (fun doc ->
+          match Request.of_json doc with
+          | Error d ->
+            Format.eprintf
+              "disesim serve: journal entry is not replayable: %s@."
+              (Diag.to_string d)
+          | Ok req ->
+            let id = Option.value (Json.member "id" doc) ~default:Json.Null in
+            let p =
+              { Server.id; version = Server.protocol_version; tenant = None;
+                req = Ok req }
+            in
+            submit ~quiet:true t p req ~enq:(Unix.gettimeofday ())
+              ~complete:(fun ~tag:_ _ -> ()))
+        docs)
+    drained
 
 let create ?stop ?manifest ?on_spawn ?cache_dir ?jit ~nonblocking cfg =
   let workers_n = max 1 cfg.Serve_config.workers in
@@ -634,7 +734,17 @@ let create ?stop ?manifest ?on_spawn ?cache_dir ?jit ~nonblocking cfg =
           alive = false;
           got_summary = false;
         });
+  (* Drain pre-crash journal shards before any worker starts (so their
+     own startup replay cannot race over the same files), spawn the
+     tier, then resubmit the drained entries through the current
+     ring. *)
+  let drained =
+    match cfg.Serve_config.journal with
+    | None -> []
+    | Some root -> drain_orphan_journals root
+  in
   Array.iter (fun w -> spawn_into t w) t.workers;
+  resubmit_journal_docs t drained;
   t
 
 (* Stream-level outcome bookkeeping — the same classification
@@ -658,37 +768,13 @@ let tally t ~tag ~kind =
     | Some "internal" -> t.s_isolated <- t.s_isolated + 1
     | _ -> ())
 
-(* Route by result-cache key: identical requests always reach the
-   same worker, whose memory and journal shard own that slice of the
-   keyspace. *)
-let submit t (p : Server.parsed) req ~enq ~complete =
-  match p.Server.req with
-  | Error _ -> invalid_arg "Coordinator.submit: unrunnable job"
-  | Ok _ ->
-    let w = t.workers.(Shard.route t.ring (Request.key req)) in
-    let seq = t.next_seq in
-    t.next_seq <- seq + 1;
-    let fr =
-      frame_string
-        (Json.Obj
-           [
-             ("op", Json.String "job");
-             ("seq", Json.Int seq);
-             ("enq", Json.Float enq);
-             ("id", p.Server.id);
-             ("req", Request.to_json req);
-           ])
-    in
-    Hashtbl.replace w.inflight seq (fr, p.Server.id, complete);
-    out_push w.wout fr
-
 let dispatch t w doc =
   match Json.member "op" doc with
   | Some (Json.String "resp") -> (
     let seq = match Json.member "seq" doc with Some (Json.Int s) -> s | _ -> -1 in
     match Hashtbl.find_opt w.inflight seq with
     | None -> () (* duplicate after a respawn race; first answer won *)
-    | Some (_, id, complete) ->
+    | Some (_, id, quiet, complete) ->
       Hashtbl.remove w.inflight seq;
       let tag =
         match Json.member "tag" doc with Some (Json.String s) -> s | _ -> "error"
@@ -696,19 +782,23 @@ let dispatch t w doc =
       let kind =
         match Json.member "kind" doc with Some (Json.String s) -> Some s | _ -> None
       in
-      w.served <- w.served + 1;
-      (match tag with
-      | "hit" -> w.hits <- w.hits + 1
-      | "fresh" -> w.misses <- w.misses + 1
-      | _ -> w.errs <- w.errs + 1);
+      if not quiet then begin
+        w.served <- w.served + 1;
+        match tag with
+        | "hit" -> w.hits <- w.hits + 1
+        | "fresh" -> w.misses <- w.misses + 1
+        | _ -> w.errs <- w.errs + 1
+      end;
       let resp =
         match Json.member "resp" doc with
         | Some r -> r
         | None ->
           Server.error_response id (Diag.Internal "worker response without body")
       in
-      tally t ~tag ~kind;
-      complete ~tag resp)
+      if not quiet then begin
+        tally t ~tag ~kind;
+        complete ~tag resp
+      end)
   | Some (Json.String "summary") ->
     w.got_summary <- true;
     t.summaries <- (w.shard, doc) :: t.summaries
@@ -944,6 +1034,10 @@ type conn = {
   mutable next_slot : int;
   mutable next_emit : int;
   ready : (int, Json.t) Hashtbl.t;
+  (* slot -> admission release for jobs currently in flight; drained
+     eagerly when the connection dies so a failed client cannot pin
+     its tenant's quota (or the shed budget) until its jobs finish. *)
+  releases : (int, unit -> unit) Hashtbl.t;
   mutable pending : int;
   mutable eof : bool;
   mutable closed : bool;
@@ -1016,12 +1110,18 @@ let admit_live t (p : Server.parsed) req =
       Hashtbl.replace t.tenant_inflight tenant
         (Option.value (Hashtbl.find_opt t.tenant_inflight tenant) ~default:0 + 1);
       t.inflight_work <- t.inflight_work + w;
+      (* Idempotent: a dead connection's releases run eagerly from
+         [fail_conn] and again when the worker's response arrives. *)
+      let released = ref false in
       Ok
         (fun () ->
-          t.inflight_work <- t.inflight_work - w;
-          match Hashtbl.find_opt t.tenant_inflight tenant with
-          | Some 1 | None -> Hashtbl.remove t.tenant_inflight tenant
-          | Some n -> Hashtbl.replace t.tenant_inflight tenant (n - 1)))
+          if not !released then begin
+            released := true;
+            t.inflight_work <- t.inflight_work - w;
+            match Hashtbl.find_opt t.tenant_inflight tenant with
+            | Some 1 | None -> Hashtbl.remove t.tenant_inflight tenant
+            | Some n -> Hashtbl.replace t.tenant_inflight tenant (n - 1)
+          end))
 
 let handle_parsed t c slot (p : Server.parsed) =
   let direct d =
@@ -1035,7 +1135,9 @@ let handle_parsed t c slot (p : Server.parsed) =
     match admit_live t p req with
     | Error d -> direct d
     | Ok release ->
+      Hashtbl.replace c.releases slot release;
       submit t p req ~enq:(Unix.gettimeofday ()) ~complete:(fun ~tag resp ->
+          Hashtbl.remove c.releases slot;
           release ();
           conn_tally c ~tag;
           finish_slot c slot resp))
@@ -1122,7 +1224,15 @@ let run_socket ?stop ?manifest ?on_spawn ?cache_dir ?jit cfg ~path () =
       Format.eprintf "disesim serve: connection %d failed (isolated): %s@."
         c.cid reason;
       c.closed <- true;
-      (try Unix.close c.fd with Unix.Unix_error _ -> ())
+      (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      (* The peer is gone for good (a half-closed client keeps its
+         admission until each job completes; this path is hard
+         failure), so holding quota for work whose answers can never
+         be delivered would starve the tenant's later connections.
+         Releases are idempotent, so the worker responses that still
+         arrive for these slots release nothing twice. *)
+      Hashtbl.iter (fun _ release -> release ()) c.releases;
+      Hashtbl.reset c.releases
     end
   in
   let accept_all () =
@@ -1151,6 +1261,7 @@ let run_socket ?stop ?manifest ?on_spawn ?cache_dir ?jit cfg ~path () =
             next_slot = 0;
             next_emit = 0;
             ready = Hashtbl.create 16;
+            releases = Hashtbl.create 16;
             pending = 0;
             eof = false;
             closed = false;

@@ -66,6 +66,14 @@ val run_channel :
     ([None] cache = caching off); [on_spawn] observes every (re)spawn
     — the fault-injection tests use it to aim SIGKILL. *)
 
+val write_all : Unix.file_descr -> string -> int -> unit
+(** [write_all fd s off] writes [s] from [off] to the end, surviving
+    [EINTR] and — on a descriptor someone marked nonblocking — a full
+    pipe ([EAGAIN]/[EWOULDBLOCK]: wait for writability, resume at the
+    same offset). The frame transport relies on this never tearing a
+    length-prefixed frame; exposed so the tests can drive it against
+    a deliberately tiny, nonblocking pipe. *)
+
 val run_socket :
   ?stop:Server.Stop.t ->
   ?manifest:Dise_telemetry.Manifest.t ->

@@ -25,6 +25,7 @@ type acf =
       mfi : mfi_compose;
       rewritten : bool;
     }
+  | Synth of { scheme : Compress.scheme; seeds : Compress.seed list }
 
 type t = {
   bench : string;
@@ -109,6 +110,26 @@ let acf_to_json = function
         ("scheme", scheme_to_json scheme);
         ("mfi", Json.String (compose_name mfi));
         ("rewritten", Json.Bool rewritten);
+      ]
+  | Synth { scheme; seeds } ->
+    (* The seed list is part of the canonical form, so every candidate
+       dictionary the synthesis search scores caches under its own
+       key — and never collides with a greedy "decompress" run. *)
+    Json.Obj
+      [
+        ("kind", Json.String "synth");
+        ("scheme", scheme_to_json scheme);
+        ( "seeds",
+          Json.List
+            (List.map
+               (fun (s : Compress.seed) ->
+                 Json.List
+                   [
+                     Json.Int s.Compress.s_blk;
+                     Json.Int s.Compress.s_start;
+                     Json.Int s.Compress.s_len;
+                   ])
+               seeds) );
       ]
 
 let to_json t =
@@ -243,6 +264,27 @@ let acf_of_json j =
       | Some _ -> parse_error "acf.rewritten: expected boolean"
     in
     Ok (Decompress { scheme; mfi; rewritten })
+  | "synth" ->
+    let* scheme =
+      match Json.member "scheme" j with
+      | Some s -> scheme_of_json s
+      | None -> parse_error "acf.scheme: missing"
+    in
+    let* seeds =
+      match Json.member "seeds" j with
+      | Some (Json.List items) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.List [ Json.Int b; Json.Int s; Json.Int l ] :: rest ->
+            go ({ Compress.s_blk = b; s_start = s; s_len = l } :: acc) rest
+          | _ :: _ ->
+            parse_error "acf.seeds: expected [blk, start, len] triples"
+        in
+        go [] items
+      | Some _ -> parse_error "acf.seeds: expected array"
+      | None -> parse_error "acf.seeds: missing"
+    in
+    Ok (Synth { scheme; seeds })
   | k -> parse_error (Printf.sprintf "acf.kind: unknown %S" k)
 
 let of_json j =
@@ -564,6 +606,19 @@ let simulate ?trace ?profile ?poll t (entry : Suite.entry) =
     (match mfi with `Composed -> install_mfi m | `None -> ());
     let stats = run_machine t ~prodset ?trace ?profile ?poll m in
     check_clean "decompress" m;
+    stats
+  | Synth { scheme; seeds } ->
+    (* Candidate dictionaries are transient (the search scores
+       hundreds), so unlike [Decompress] the full result is not
+       memoized in memory — the run's statistics still persist in the
+       disk cache under the seed-bearing canonical key. *)
+    let corpus = Compress.corpus ~scheme entry.Suite.gen.Codegen.program in
+    let result = Compress.compress_seeded corpus ~seeds in
+    let m = with_engine t result.Compress.image result.Compress.prodset in
+    let stats =
+      run_machine t ~prodset:result.Compress.prodset ?trace ?profile ?poll m
+    in
+    check_clean "synth" m;
     stats
 
 (* --- the one run path --------------------------------------------------- *)

@@ -46,6 +46,15 @@ type acf =
           (** compress the software-fault-isolated binary (the
               rewriting+X combos). *)
     }
+  | Synth of {
+      scheme : Dise_acf.Compress.scheme;
+      seeds : Dise_acf.Compress.seed list;
+          (** candidate dictionary as seed windows, applied in order
+              ({!Dise_acf.Compress.compress_seeded}); the list is part
+              of the canonical form, so every candidate the synthesis
+              search scores gets its own cache key (encoded as
+              [[blk, start, len]] triples — see doc/synthesize.md). *)
+    }
 
 type t = {
   bench : string;

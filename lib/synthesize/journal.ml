@@ -1,0 +1,93 @@
+module Json = Dise_telemetry.Json
+
+type measure = { m_fits : bool; m_ratio : float; m_rel : float }
+
+type t = {
+  path : string option;
+  memo : (string, measure) Hashtbl.t;
+  mutable oc : out_channel option;
+}
+
+let number = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let measure_of_line line =
+  match Json.parse line with
+  | exception Json.Parse_error _ -> None (* truncated crash tail *)
+  | j -> (
+    match
+      ( Json.member "seeds" j,
+        Json.member "fits" j,
+        number (Json.member "ratio" j) )
+    with
+    | Some (Json.String key), Some (Json.Bool fits), Some ratio ->
+      let rel =
+        if fits then
+          match number (Json.member "rel" j) with
+          | Some r -> r
+          | None -> Float.nan
+        else Float.nan
+      in
+      Some (key, { m_fits = fits; m_ratio = ratio; m_rel = rel })
+    | _ -> None)
+
+let load ?path () =
+  let memo = Hashtbl.create 256 in
+  (match path with
+  | None -> ()
+  | Some p when Sys.file_exists p ->
+    let ic = open_in p in
+    (try
+       while true do
+         match measure_of_line (input_line ic) with
+         | Some (key, m) -> Hashtbl.replace memo key m
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic
+  | Some _ -> ());
+  { path; memo; oc = None }
+
+let find t ~key = Hashtbl.find_opt t.memo key
+let size t = Hashtbl.length t.memo
+
+let line key m =
+  let members =
+    [
+      ("seeds", Json.String key);
+      ("fits", Json.Bool m.m_fits);
+      ("ratio", Json.Float m.m_ratio);
+    ]
+    @ if m.m_fits then [ ("rel", Json.Float m.m_rel) ] else []
+  in
+  Json.to_string (Json.Obj members)
+
+let record t ~key m =
+  if not (Hashtbl.mem t.memo key) then begin
+    Hashtbl.add t.memo key m;
+    match t.path with
+    | None -> ()
+    | Some p ->
+      let oc =
+        match t.oc with
+        | Some oc -> oc
+        | None ->
+          let oc =
+            open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 p
+          in
+          t.oc <- Some oc;
+          oc
+      in
+      output_string oc (line key m);
+      output_char oc '\n';
+      flush oc
+  end
+
+let close t =
+  match t.oc with
+  | Some oc ->
+    close_out oc;
+    t.oc <- None
+  | None -> ()

@@ -1,0 +1,44 @@
+(** The synthesis run journal: an append-only JSONL memo of every
+    candidate dictionary ever measured, keyed by the candidate's
+    canonical seed-list string.
+
+    This is what makes a search {e resumable}: the search itself is
+    deterministic given its RNG seed, so rerunning it regenerates the
+    same proposals in the same order — and every proposal already in
+    the journal is answered from the memo instead of the simulator.
+    A killed run therefore fast-forwards to where it died at journal
+    speed, and a finished run replays to an identical dictionary.
+
+    Only {e measurements} are journaled (static ratio, capacity
+    verdict, relative time), never derived scores: fitness is
+    recomputed from the measurements at lookup, so resuming with
+    different penalty knobs re-ranks the same physics instead of
+    trusting stale arithmetic. A truncated final line (the crash
+    case) is skipped on load. *)
+
+type measure = {
+  m_fits : bool;  (** candidate respects PT/RT capacity *)
+  m_ratio : float;  (** static total ratio, (text + dict) / orig *)
+  m_rel : float;
+      (** execution-time ratio vs. baseline; [nan] when [m_fits] is
+          false (unfit candidates are never simulated) *)
+}
+
+type t
+
+val load : ?path:string -> unit -> t
+(** [path = None] gives a purely in-memory journal (no persistence).
+    Otherwise existing lines are loaded as the memo's initial
+    contents; new records append to the file. *)
+
+val find : t -> key:string -> measure option
+
+val record : t -> key:string -> measure -> unit
+(** Memoize and (when backed by a file) append + flush one line.
+    Re-recording a known key is a no-op, so replayed iterations never
+    duplicate lines. *)
+
+val size : t -> int
+(** Distinct candidates memoized (what a resume inherits). *)
+
+val close : t -> unit

@@ -1,0 +1,50 @@
+module Compress = Dise_acf.Compress
+module Profile = Dise_telemetry.Profile
+module Image = Dise_isa.Program.Image
+
+type candidate = {
+  window : Compress.window;
+  heat : int;
+  static_gain : int;
+  weight : float;
+}
+
+(* All instructions of a straight-line window execute together, so the
+   head PC's fetch count stands for the whole window. *)
+let site_heat ~image ~profile (_, _, idx) =
+  Profile.fetch_count profile ~pc:(Image.addr_of_index image idx)
+
+let gain (scheme : Compress.scheme) (w : Compress.window) =
+  (w.Compress.w_count * ((4 * w.Compress.w_len) - scheme.Compress.codeword_bytes))
+  - (w.Compress.w_len * scheme.Compress.dict_entry_bytes)
+
+let mine ~scheme ~corpus ~image ~profile =
+  let cands =
+    List.filter_map
+      (fun (w : Compress.window) ->
+        let static_gain = gain scheme w in
+        if static_gain <= 0 then None
+        else
+          let heat =
+            List.fold_left
+              (fun acc site -> acc + site_heat ~image ~profile site)
+              0 w.Compress.w_sites
+          in
+          (* Savings are the objective; heat only skews the proposal
+             order, logarithmically so a single scorching loop cannot
+             starve every other group of proposals. *)
+          let weight =
+            float_of_int static_gain
+            *. log (2.0 +. float_of_int (heat * w.Compress.w_len))
+          in
+          Some { window = w; heat; static_gain; weight })
+      (Compress.windows corpus)
+  in
+  let arr = Array.of_list cands in
+  Array.sort
+    (fun a b ->
+      match compare b.weight a.weight with
+      | 0 -> compare a.window.Compress.w_seed b.window.Compress.w_seed
+      | c -> c)
+    arr;
+  arr

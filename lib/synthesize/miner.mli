@@ -1,0 +1,34 @@
+(** Candidate mining: rank the compressible windows of a workload by
+    how much they matter dynamically.
+
+    The static side comes from {!Dise_acf.Compress.windows} — every
+    candidate dictionary group of the (scheme, program) corpus. The
+    dynamic side comes from a telemetry {!Dise_telemetry.Profile}
+    collected on a baseline run of the same workload: its per-PC
+    application-fetch histogram says how often each window's sites
+    actually execute. The product is the search's proposal
+    distribution — hot, high-savings groups are proposed often, cold
+    ones rarely, and groups that could never save a byte are pruned
+    outright. *)
+
+type candidate = {
+  window : Dise_acf.Compress.window;
+  heat : int;
+      (** summed dynamic execution count over the window's sites
+          (fetch count of each site's head PC in the baseline image) *)
+  static_gain : int;
+      (** bytes the group would save if it compressed alone:
+          [count * (4*len - codeword_bytes) - len * dict_entry_bytes] *)
+  weight : float;  (** sampling mass for the search's add moves *)
+}
+
+val mine :
+  scheme:Dise_acf.Compress.scheme ->
+  corpus:Dise_acf.Compress.corpus ->
+  image:Dise_isa.Program.Image.t ->
+  profile:Dise_telemetry.Profile.t ->
+  candidate array
+(** Candidates with positive [static_gain], sorted by descending
+    [weight] (ties broken by window position, so the pool — and hence
+    the whole search — is deterministic). [image] must be the layout
+    of the {e uncompressed} program the profile was collected on. *)

@@ -8,9 +8,15 @@ type entry = {
 type t = {
   by_rsid : (int, entry) Hashtbl.t;
   by_pc : (int, int ref) Hashtbl.t;
+  by_fetch : (int, int ref) Hashtbl.t;
 }
 
-let create () = { by_rsid = Hashtbl.create 64; by_pc = Hashtbl.create 256 }
+let create () =
+  {
+    by_rsid = Hashtbl.create 64;
+    by_pc = Hashtbl.create 256;
+    by_fetch = Hashtbl.create 1024;
+  }
 
 let entry_for t rsid =
   match Hashtbl.find_opt t.by_rsid rsid with
@@ -26,6 +32,11 @@ let on_expansion t ~rsid ~pc =
   match Hashtbl.find_opt t.by_pc pc with
   | Some r -> incr r
   | None -> Hashtbl.add t.by_pc pc (ref 1)
+
+let on_fetch t ~pc =
+  match Hashtbl.find_opt t.by_fetch pc with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.by_fetch pc (ref 1)
 
 let on_rep_instr t ~rsid =
   let e = entry_for t rsid in
@@ -56,6 +67,16 @@ let top_pcs ?(n = 10) t =
       items
   in
   List.filteri (fun i _ -> i < n) sorted
+
+let total_fetches t =
+  Hashtbl.fold (fun _ r acc -> acc + !r) t.by_fetch 0
+
+let fetch_counts t =
+  Hashtbl.fold (fun pc r acc -> (pc, !r) :: acc) t.by_fetch []
+  |> List.sort (fun (pa, _) (pb, _) -> compare pa pb)
+
+let fetch_count t ~pc =
+  match Hashtbl.find_opt t.by_fetch pc with Some r -> !r | None -> 0
 
 let to_json ?(top = 10) t =
   Json.Obj

@@ -21,6 +21,12 @@ val create : unit -> t
 val on_expansion : t -> rsid:int -> pc:int -> unit
 (** Record an expansion of sequence [rsid] triggered at [pc]. *)
 
+val on_fetch : t -> pc:int -> unit
+(** Record one application fetch at [pc]. The timing model calls this
+    for every [fetched_new_pc] instruction, so a profiled run yields a
+    complete dynamic execution histogram of the static code — the raw
+    material [disesim synthesize] mines candidate productions from. *)
+
 val on_rep_instr : t -> rsid:int -> unit
 (** Record one injected replacement instruction. *)
 
@@ -37,6 +43,17 @@ val top_pcs : ?n:int -> t -> (int * int) list
 (** The [n] (default 10) hottest trigger PCs as [(pc, expansions)],
     descending; ties broken by ascending PC so output is
     deterministic. *)
+
+val total_fetches : t -> int
+(** Sum of per-PC application-fetch counts. *)
+
+val fetch_counts : t -> (int * int) list
+(** Every fetched PC as [(pc, count)], ascending by PC — the
+    deterministic input of the production miner. Empty when the run
+    predates the fetch hook or had no application instructions. *)
+
+val fetch_count : t -> pc:int -> int
+(** Fetch count of one PC (0 when never fetched). *)
 
 val to_json : ?top:int -> t -> Json.t
 (** [{ "productions": [...], "hot_pcs": [...] }], productions sorted

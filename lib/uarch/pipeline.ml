@@ -231,6 +231,9 @@ let consume_raw t (r : Machine.Raw.t) =
   end;
   if r.Machine.Raw.fetched_new_pc then begin
     stats.Stats.app_instrs <- stats.Stats.app_instrs + 1;
+    (match t.profile with
+    | None -> ()
+    | Some p -> Profile.on_fetch p ~pc:r.Machine.Raw.pc);
     (match t.icache with
     | None -> ()
     | Some ic ->

@@ -474,6 +474,175 @@ let test_coordinator_journal_shard_replay () =
           (List.assoc_opt "journal_replayed" counters = Some (Json.Int 3))
       | _ -> Alcotest.fail "merged record lacks counters")
 
+(* --- socket-mode harness ------------------------------------------------- *)
+
+(* Run the socket front end on a background domain and hand the test
+   body a connector; stop and join on the way out. *)
+let with_socket_tier ?(cfg = Serve_config.of_flags ~workers:1 ~jobs:1 ())
+    body =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "tier.sock" in
+      let stop = Server.Stop.create () in
+      let tier =
+        Domain.spawn (fun () ->
+            Coordinator.run_socket ~stop ~cache_dir:(Filename.concat dir "cache")
+              cfg ~path ())
+      in
+      let rec wait_sock n =
+        if n = 0 then Alcotest.fail "socket never appeared";
+        if not (Sys.file_exists path) then begin
+          Unix.sleepf 0.05;
+          wait_sock (n - 1)
+        end
+      in
+      let connect () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      in
+      let send fd line = ignore (Unix.write_substring fd (line ^ "\n") 0 (String.length line + 1)) in
+      let recv_line fd =
+        let buf = Buffer.create 256 in
+        let b = Bytes.create 1 in
+        let rec go () =
+          match Unix.read fd b 0 1 with
+          | 0 -> None
+          | _ ->
+            if Bytes.get b 0 = '\n' then Some (Buffer.contents buf)
+            else begin
+              Buffer.add_char buf (Bytes.get b 0);
+              go ()
+            end
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        in
+        go ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Stop.signal stop;
+          ignore (Domain.join tier))
+        (fun () ->
+          wait_sock 100;
+          body ~connect ~send ~recv_line))
+
+(* A connection that dies {e hard} (write failure, not a polite EOF)
+   while a slow job is in flight must not pin its tenant's quota for
+   the rest of the job's lifetime. Job 7 stalls in its worker for
+   seconds; planting a parse-error line just before closing makes the
+   coordinator's response write fail, so the connection takes the
+   [fail_conn] path with job 7 still holding acme's only quota slot.
+   Pre-fix, client B's same-tenant job is answered [overloaded]. *)
+let test_quota_released_on_conn_failure () =
+  with_chaos "sleep=7:2500" (fun () ->
+      with_socket_tier
+        ~cfg:(Serve_config.of_flags ~workers:1 ~jobs:1 ~tenant_quota:1 ())
+        (fun ~connect ~send ~recv_line ->
+          let a = connect () in
+          (* Shut the receive side down first, then pipeline a
+             parse-error line ahead of the slow job. The parse error
+             is answered immediately (it is slot 0, so the in-order
+             emitter flushes it without waiting on a worker), the
+             write raises EPIPE against the shut-down reader, and the
+             connection takes the hard-failure path while job 7 still
+             holds acme's quota inside its worker. *)
+          Unix.shutdown a Unix.SHUTDOWN_RECEIVE;
+          send a ("{\n" ^ job ~v:1 ~tenant:"acme" ~dyn:23_500 7);
+          Unix.sleepf 0.5;
+          Unix.close a;
+          let b = connect () in
+          send b (job ~v:1 ~tenant:"acme" ~dyn:23_501 8);
+          (match recv_line b with
+          | Some l ->
+            let r = Json.parse l in
+            check bool_
+              (Printf.sprintf
+                 "same-tenant job admitted after the hard disconnect (got %s)"
+                 l)
+              true
+              (member "ok" r = Json.Bool true)
+          | None -> Alcotest.fail "no response to job 8");
+          Unix.close b))
+
+(* --- write_all on a nonblocking descriptor -------------------------------- *)
+
+(* The coordinator marks its pipe ends O_NONBLOCK, and status flags
+   belong to the open file description — so [write_all] must survive a
+   full pipe (EAGAIN mid-frame) without tearing or dropping bytes.
+   1 MiB through a ~64 KiB pipe against a deliberately slow reader
+   guarantees the writer sees EAGAIN many times; pre-fix the
+   Unix_error escapes and the test fails. *)
+let test_write_all_nonblocking_pipe () =
+  let r, w = Unix.pipe () in
+  Unix.set_nonblock w;
+  let total = 1 lsl 20 in
+  let payload = String.init total (fun i -> Char.chr (i land 0xff)) in
+  let reader =
+    Domain.spawn (fun () ->
+        let buf = Bytes.create 4096 in
+        let count = ref 0 in
+        let ok = ref true in
+        let continue = ref true in
+        while !continue do
+          (* throttle so the pipe stays full on the writer's side *)
+          Unix.sleepf 0.001;
+          match Unix.read r buf 0 (Bytes.length buf) with
+          | 0 -> continue := false
+          | n ->
+            for i = 0 to n - 1 do
+              if Bytes.get buf i <> Char.chr ((!count + i) land 0xff) then
+                ok := false
+            done;
+            count := !count + n
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done;
+        (!count, !ok))
+  in
+  Coordinator.write_all w payload 0;
+  Unix.close w;
+  let count, ok = Domain.join reader in
+  Unix.close r;
+  check int_ "every byte arrived" total count;
+  check bool_ "bytes arrived in order, untorn" true ok
+
+(* --- journal replay across a worker-count change -------------------------- *)
+
+let plant_journal ~jroot ~shard entries =
+  let dir = Filename.concat jroot (Printf.sprintf "worker-%d" shard) in
+  let j = Journal.open_ ~dir in
+  List.iter (fun doc -> ignore (Journal.append_begin j doc)) entries;
+  Journal.sync j;
+  Journal.close j
+
+(* A tier that crashed at --workers 3 left entries in worker-0/1/2;
+   restarting at --workers 2 must replay {e all} of them — routed by
+   the current ring — not just the two directories whose names happen
+   to match a live shard. Pre-fix, worker-2's journal is orphaned and
+   only 4 of the 6 jobs replay. *)
+let test_coordinator_journal_reshard_replay () =
+  with_temp_dir (fun root ->
+      let jroot = Filename.concat root "journal" in
+      List.iter
+        (fun shard ->
+          plant_journal ~jroot ~shard
+            [
+              Json.parse (job ~dyn:(24_301 + (2 * shard)) ((2 * shard) + 1));
+              Json.parse (job ~dyn:(24_302 + (2 * shard)) ((2 * shard) + 2));
+            ])
+        [ 0; 1; 2 ];
+      let summary, rs, records = serve_sharded ~workers:2 ~journal:jroot [] in
+      check int_ "empty stream serves nothing" 0 summary.Server.served;
+      check int_ "no responses" 0 (List.length rs);
+      let record = merged_record records in
+      match Json.member "counters" record with
+      | Some (Json.Obj counters) ->
+        check bool_
+          (Printf.sprintf
+             "all three crashed shards replay through the new ring (%s)"
+             (Json.to_string (Json.Obj counters)))
+          true
+          (List.assoc_opt "journal_replayed" counters = Some (Json.Int 6))
+      | _ -> Alcotest.fail "merged record lacks counters")
+
 let suite =
   [
     Alcotest.test_case "serve_config round-trip" `Quick
@@ -489,4 +658,10 @@ let suite =
       test_coordinator_crash_recovery;
     Alcotest.test_case "journal shard replay" `Quick
       test_coordinator_journal_shard_replay;
+    Alcotest.test_case "journal replay across resharding" `Quick
+      test_coordinator_journal_reshard_replay;
+    Alcotest.test_case "write_all vs nonblocking full pipe" `Quick
+      test_write_all_nonblocking_pipe;
+    Alcotest.test_case "quota released on connection failure" `Quick
+      test_quota_released_on_conn_failure;
   ]

@@ -21,6 +21,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("metrics", Test_metrics.suite);
       ("service", Test_service.suite);
+      ("synthesize", Test_synthesize.suite);
       ("resilience", Test_resilience.suite);
       ("coordinator", Test_coordinator.suite);
       ("fuzz", Test_fuzz.suite);

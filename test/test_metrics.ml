@@ -151,6 +151,57 @@ let test_delta () =
   check bool_ "delta invariant" true
     (Metrics.Histogram.invariant d = Ok ())
 
+(* Pin the histogram edge cases around emptiness and [reset_all]: a
+   quantile of nothing is 0 (not a trap), a post-reset snapshot is
+   empty again, and a delta taken {e across} a reset yields a
+   negative count with no buckets — well-defined garbage the
+   [invariant] checker flags, rather than an exception. The serve
+   tier's monitor takes deltas on a timer, so a concurrent reset must
+   never crash it. *)
+let test_histogram_empty_and_reset_edges () =
+  let h = Metrics.Histogram.make "test_edge_hist" in
+  let empty =
+    Metrics.Histogram.delta
+      ~since:(Metrics.Histogram.snapshot h)
+      (Metrics.Histogram.snapshot h)
+  in
+  check int_ "empty count" 0 empty.Metrics.Histogram.count;
+  List.iter
+    (fun q ->
+      check int_
+        (Printf.sprintf "quantile %.2f of an empty histogram is 0" q)
+        0
+        (Metrics.Histogram.quantile empty q))
+    [ 0.5; 0.9; 0.99; 1.0 ];
+  check bool_ "empty snapshot satisfies the invariant" true
+    (Metrics.Histogram.invariant empty = Ok ());
+  (* observe, snapshot, reset: the pre-reset snapshot keeps its data,
+     a fresh snapshot is empty, and quantiles on it are 0 again *)
+  List.iter (Metrics.Histogram.observe h) [ 10; 200; 3000 ];
+  let before = Metrics.Histogram.snapshot h in
+  check int_ "pre-reset snapshot sees the observations" 3
+    before.Metrics.Histogram.count;
+  Metrics.reset_all ();
+  let after = Metrics.Histogram.snapshot h in
+  check int_ "reset empties the histogram" 0 after.Metrics.Histogram.count;
+  check int_ "quantile right after reset is 0" 0
+    (Metrics.Histogram.quantile after 0.99);
+  check bool_ "immutable pre-reset snapshot survives the reset" true
+    (before.Metrics.Histogram.count = 3);
+  (* a delta spanning the reset must not trap: count goes negative,
+     no bucket survives the subtraction, and the invariant reports
+     the inconsistency instead of raising *)
+  let across = Metrics.Histogram.delta ~since:before after in
+  check int_ "delta across a reset has a negative count" (-3)
+    across.Metrics.Histogram.count;
+  check int_ "no buckets survive the subtraction" 0
+    (Array.length across.Metrics.Histogram.buckets);
+  check int_ "quantile of a negative-count delta is 0" 0
+    (Metrics.Histogram.quantile across 0.5);
+  (match Metrics.Histogram.invariant across with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cross-reset delta passed the invariant")
+
 let test_metrics_schema () =
   let schema = load_schema "metrics.schema.json" in
   let h = Metrics.Histogram.make "test_schema_hist" in
@@ -357,6 +408,8 @@ let suite =
     Alcotest.test_case "registry" `Quick test_registry;
     Alcotest.test_case "disabled gate" `Quick test_disabled_gate;
     Alcotest.test_case "histogram delta" `Quick test_delta;
+    Alcotest.test_case "empty/reset histogram edges" `Quick
+      test_histogram_empty_and_reset_edges;
     Alcotest.test_case "metrics schema" `Quick test_metrics_schema;
     Alcotest.test_case "serve_summary metrics" `Quick
       test_serve_summary_metrics;
