@@ -28,6 +28,7 @@ let warm_frac = ref 0.5
 let dyn = ref 20_000
 let json_out = ref ""
 let v1 = ref false
+let error_breakdown = ref false
 
 let args =
   [
@@ -47,6 +48,10 @@ let args =
       "N base dynamic instruction target (default 20000)" );
     ("--json", Arg.Set_string json_out, "FILE write the report as JSON");
     ("--v1", Arg.Set v1, "send explicit v:1 envelopes (default: v0 lines)");
+    ( "--error-breakdown",
+      Arg.Set error_breakdown,
+      " report per-error-kind counts (timeout/overloaded/internal/parse/...) \
+       so chaos and failover runs quantify their degradation" );
   ]
 
 let usage = "usage: loadgen.exe --socket PATH [options]"
@@ -77,6 +82,10 @@ type conn_result = {
   errors : int;
   cache_hits : int;
   latencies_s : float array;
+  kinds : (string, int) Hashtbl.t;
+      (* error kind ("timeout", "internal", ...) -> count; unparseable
+         response lines count under "unparseable", error responses
+         without a kind under "unknown" *)
 }
 
 (* One connection: keep [window] jobs outstanding, match responses to
@@ -88,6 +97,10 @@ let drive_conn conn =
   let send_times = Queue.create () in
   let latencies = Array.make !requests 0.0 in
   let ok = ref 0 and errors = ref 0 and hits = ref 0 and got = ref 0 in
+  let kinds = Hashtbl.create 7 in
+  let count_kind k =
+    Hashtbl.replace kinds k (1 + Option.value (Hashtbl.find_opt kinds k) ~default:0)
+  in
   let send index =
     let line = job_line ~conn ~index ^ "\n" in
     let b = Bytes.of_string line in
@@ -104,11 +117,18 @@ let drive_conn conn =
     latencies.(!got) <- Unix.gettimeofday () -. t0;
     incr got;
     match Json.parse line with
-    | exception Json.Parse_error _ -> incr errors
+    | exception Json.Parse_error _ ->
+      incr errors;
+      count_kind "unparseable"
     | r -> (
       (match Json.member "ok" r with
       | Some (Json.Bool true) -> incr ok
-      | _ -> incr errors);
+      | _ ->
+        incr errors;
+        count_kind
+          (match Option.bind (Json.member "error" r) (Json.member "kind") with
+          | Some (Json.String k) -> k
+          | _ -> "unknown"));
       match Json.member "cache_hit" r with
       | Some (Json.Bool true) -> incr hits
       | _ -> ())
@@ -131,6 +151,7 @@ let drive_conn conn =
     errors = !errors;
     cache_hits = !hits;
     latencies_s = Array.sub latencies 0 !got;
+    kinds;
   }
 
 let quantile sorted q =
@@ -167,9 +188,28 @@ let () =
   let jobs_per_s =
     if wall_s > 0.0 then float_of_int sent /. wall_s else 0.0
   in
+  let breakdown =
+    if not !error_breakdown then []
+    else begin
+      let merged = Hashtbl.create 7 in
+      List.iter
+        (fun r ->
+          Hashtbl.iter
+            (fun k n ->
+              Hashtbl.replace merged k
+                (n + Option.value (Hashtbl.find_opt merged k) ~default:0))
+            r.kinds)
+        results;
+      let pairs =
+        Hashtbl.fold (fun k n acc -> (k, Json.Int n) :: acc) merged []
+        |> List.sort compare
+      in
+      [ ("error_breakdown", Json.Obj pairs) ]
+    end
+  in
   let report =
     Json.Obj
-      [
+      ([
         ("record", Json.String "loadgen");
         ("socket", Json.String !socket_path);
         ("conns", Json.Int !conns);
@@ -191,6 +231,7 @@ let () =
               ("max", Json.Float (quantile latencies 1.0));
             ] );
       ]
+      @ breakdown)
   in
   let text = Json.to_string report in
   print_endline text;

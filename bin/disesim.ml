@@ -680,9 +680,20 @@ let serve_cmd =
            ~doc:"How long the breaker stays open before admitting a \
                  half-open probe (default: 5000).")
   in
+  let chaos_schedule_arg =
+    Arg.(value & opt (some string) None & info [ "chaos-schedule" ]
+           ~docv:"FILE"
+           ~doc:"Replay a deterministic chaos schedule against the sharded \
+                 tier (requires --workers): a JSON file of seeded fault \
+                 events (kill/stall/torn/drop_ping/suspect/\
+                 truncate_journal) fired as the submitted-request count \
+                 passes each event's 'after' \
+                 (doc/schema/chaos_schedule.schema.json). The same file \
+                 replays identically on every run. See doc/resilience.md.")
+  in
   let run config workers jobs queue socket deadline_ms shed_above
       tenant_quota journal manifest_path breaker breaker_cooldown_ms
-      cache_dir no_cache no_jit jit_threshold =
+      chaos_schedule cache_dir no_cache no_jit jit_threshold =
     (* The default applies to every request that leaves the jit member
        out; requests spelling it out still win. *)
     setup_jit no_jit jit_threshold;
@@ -724,12 +735,33 @@ let serve_cmd =
         else Some (match cache_dir with Some d -> d | None -> default_cache_dir ())
       in
       let jit = (not no_jit, jit_threshold) in
+      let chaos =
+        match chaos_schedule with
+        | None -> None
+        | Some file -> (
+          match Fz.Chaos_sched.of_file file with
+          | Error d -> die d
+          | Ok sched ->
+            (* Startup faults (torn journal tails) land before the tier
+               boots, so recovery replays through the live ring. *)
+            (match cfg.S.Serve_config.journal with
+            | Some root ->
+              let n = Fz.Chaos_sched.truncate_journals sched ~root in
+              if n > 0 then
+                Format.eprintf
+                  "disesim serve: chaos schedule truncated %d journal \
+                   tail%s@."
+                  n
+                  (if n = 1 then "" else "s")
+            | None -> ());
+            Some (Fz.Chaos_sched.hook sched))
+      in
       Fun.protect ~finally:close_manifest (fun () ->
           match socket with
           | None ->
             let s =
-              S.Coordinator.run_channel ~stop ?manifest:manifest_t ?cache_dir
-                ~jit cfg stdin stdout
+              S.Coordinator.run_channel ~stop ?manifest:manifest_t ?chaos
+                ?cache_dir ~jit cfg stdin stdout
             in
             Format.eprintf "disesim serve: %a@." S.Server.pp_summary s
           | Some path -> (
@@ -737,8 +769,8 @@ let serve_cmd =
               path cfg.S.Serve_config.workers;
             try
               let s =
-                S.Coordinator.run_socket ~stop ?manifest:manifest_t ?cache_dir
-                  ~jit cfg ~path ()
+                S.Coordinator.run_socket ~stop ?manifest:manifest_t ?chaos
+                  ?cache_dir ~jit cfg ~path ()
               in
               Format.eprintf "disesim serve: %a@." S.Server.pp_summary s
             with S.Cache.Diag_error d -> die d))
@@ -796,8 +828,8 @@ let serve_cmd =
     Term.(const run $ config_arg $ workers_arg $ jobs_arg $ queue_arg
           $ socket_arg $ deadline_arg $ shed_arg $ tenant_quota_arg
           $ journal_arg $ serve_manifest_arg $ breaker_arg
-          $ breaker_cooldown_arg $ cache_dir_arg $ no_cache_arg $ no_jit_arg
-          $ jit_threshold_arg)
+          $ breaker_cooldown_arg $ chaos_schedule_arg $ cache_dir_arg
+          $ no_cache_arg $ no_jit_arg $ jit_threshold_arg)
 
 (* --- cache: inspect / clear the result cache ---------------------------- *)
 
@@ -1037,9 +1069,18 @@ let fuzz_cmd =
                  hammer), malformed/oversized/partial JSONL serve lines, \
                  and a mid-batch SIGINT drain.")
   in
+  let chaos_arg =
+    Arg.(value & flag & info [ "chaos" ]
+           ~doc:"Run the scheduled-chaos checks instead of differential \
+                 fuzzing: a fixed fault schedule (heartbeat loss, \
+                 gray-failure stall, torn frame, permanent shard kill) \
+                 against a live 3-worker tier, asserting exactly-once \
+                 in-order responses and a deterministic replay. See \
+                 doc/resilience.md.")
+  in
   let log msg = Format.eprintf "disesim fuzz: %s@." msg in
   let module F = Dise_fuzz in
-  let run iterations seed out self_test replay faults =
+  let run iterations seed out self_test replay faults chaos =
     guarded @@ fun () ->
     match replay with
     | Some path -> (
@@ -1050,7 +1091,12 @@ let fuzz_cmd =
         Format.printf "replay: verdict did NOT reproduce@.";
         exit 1)
     | None ->
-      if faults then begin
+      if chaos then begin
+        let report = F.Faults.chaos_faults ~seed in
+        Format.printf "%a@." F.Faults.pp_report report;
+        if report.F.Faults.failures <> [] then exit 1
+      end
+      else if faults then begin
         let report = F.Faults.run_all ~seed in
         Format.printf "%a@." F.Faults.pp_report report;
         if report.F.Faults.failures <> [] then exit 1
@@ -1082,7 +1128,7 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ iterations_arg $ seed_arg $ out_arg $ self_test_arg
-          $ replay_arg $ faults_arg)
+          $ replay_arg $ faults_arg $ chaos_arg)
 
 (* --- conformance: the versioned architectural suite ---------------------- *)
 

@@ -645,6 +645,138 @@ let resilience_faults ~seed:_ =
       ("journal SIGKILL replay", serve_journal_sigkill_replay);
     ]
 
+(* --- chaos faults ------------------------------------------------------- *)
+
+(* One replayable chaos run against a 3-worker tier: lose a heartbeat,
+   gray-stall one worker (hedge), tear a frame mid-stream (torn-tail
+   respawn), then kill a worker permanently (failover). The tier's
+   contract under all of it: every request answered exactly once, in
+   order, all ok — and the whole run deterministic, so two executions
+   of the same schedule produce the same normalized response stream
+   and the same degraded topology. *)
+let chaos_jobs = 60
+
+let chaos_run ~seed () =
+  let sched =
+    match
+      Chaos_sched.of_json
+        (Json.Obj
+           [
+             ("record", Json.String "chaos_schedule");
+             ("seed", Json.Int seed);
+             ( "events",
+               Json.List
+                 [
+                   Json.Obj
+                     [
+                       ("after", Json.Int 2);
+                       ("action", Json.String "drop_ping");
+                       ("shard", Json.Int 1);
+                     ];
+                   Json.Obj
+                     [
+                       ("after", Json.Int 10);
+                       ("action", Json.String "stall");
+                       ("shard", Json.Int 1);
+                       ("ms", Json.Int 500);
+                     ];
+                   Json.Obj
+                     [
+                       ("after", Json.Int 20);
+                       ("action", Json.String "torn");
+                       ("shard", Json.Int 2);
+                     ];
+                   Json.Obj
+                     [
+                       ("after", Json.Int 40);
+                       ("action", Json.String "kill");
+                       ("shard", Json.Int 0);
+                       ("permanent", Json.Bool true);
+                     ];
+                 ] );
+           ])
+    with
+    | Ok s -> s
+    | Error d -> failwith (Dise_isa.Diag.to_string d)
+  in
+  let root = temp_dir "dise-fuzz-chaos" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      let inp = Filename.concat root "in.jsonl" in
+      let out = Filename.concat root "out.jsonl" in
+      (* distinct dyn targets: distinct cache keys, so jobs spread
+         across the ring instead of collapsing onto one shard *)
+      let input =
+        String.concat "\n"
+          (List.init chaos_jobs (fun i -> job ~dyn:(50_000 + i) (i + 1)))
+        ^ "\n"
+      in
+      write_raw inp input;
+      let cfg =
+        Serve_config.of_flags ~workers:3 ~jobs:1
+          ~journal:(Filename.concat root "journal")
+          ~heartbeat_ms:100 ~suspect_misses:2 ()
+      in
+      let ic = open_in_bin inp in
+      let oc = open_out_bin out in
+      let summary =
+        Fun.protect
+          ~finally:(fun () ->
+            close_in_noerr ic;
+            close_out_noerr oc)
+          (fun () ->
+            Dise_service.Coordinator.run_channel
+              ~chaos:(Chaos_sched.hook sched) cfg ic oc)
+      in
+      let lines =
+        String.split_on_char '\n' (read_raw out)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      (* The normalized projection: (id, outcome) in emission order.
+         Timings vary run to run; identity and order must not. *)
+      let normalized =
+        List.map
+          (fun line ->
+            match response_shape line with
+            | Ok (id, kind) -> (id, kind)
+            | Error e -> failwith e)
+          lines
+      in
+      (summary, normalized))
+
+let serve_chaos_exactly_once ~seed () =
+  let summary, normalized = chaos_run ~seed () in
+  let expected =
+    List.init chaos_jobs (fun i -> (Some (Json.Int (i + 1)), None))
+  in
+  if List.length normalized <> chaos_jobs then
+    Error
+      (Printf.sprintf "%d responses for %d jobs" (List.length normalized)
+         chaos_jobs)
+  else if normalized <> expected then Error "responses out of order or not ok"
+  else if summary.Server.served <> chaos_jobs then
+    Error
+      (Printf.sprintf "summary served %d, wanted %d" summary.Server.served
+         chaos_jobs)
+  else if summary.Server.errors <> 0 then
+    Error (Printf.sprintf "summary reports %d errors" summary.Server.errors)
+  else Ok ()
+
+let serve_chaos_deterministic ~seed () =
+  let _, first = chaos_run ~seed () in
+  let _, second = chaos_run ~seed () in
+  if first <> second then
+    Error "two runs of the same schedule diverged (normalized responses)"
+  else Ok ()
+
+let chaos_faults ~seed =
+  run_checks
+    [
+      ("serve chaos exactly-once", serve_chaos_exactly_once ~seed);
+      ("serve chaos deterministic replay", serve_chaos_deterministic ~seed);
+    ]
+
 let run_all ~seed =
   merge
     (merge (cache_faults ~seed) (serve_faults ~seed))

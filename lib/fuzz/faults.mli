@@ -38,6 +38,17 @@ val cache_faults : seed:int -> report
 val serve_faults : seed:int -> report
 val resilience_faults : seed:int -> report
 
+val chaos_faults : seed:int -> report
+(** Scheduled chaos against a live 3-worker tier ([disesim fuzz
+    --chaos]): a fixed {!Chaos_sched} schedule drops a heartbeat,
+    gray-stalls one worker past the hedge threshold, tears a frame
+    mid-stream, and permanently kills a shard mid-run — asserting
+    every request is still answered exactly once, in order, all ok,
+    with zero summary errors; and that two executions of the same
+    schedule produce identical normalized response streams. Requires
+    {!journal_child_main}'s host-hook discipline (the worker children
+    are re-execs of the host executable). *)
+
 val journal_child_main : unit -> unit
 (** Host-executable hook for the SIGKILL replay check. If the
     dispatch environment variable is set, diverts this process into

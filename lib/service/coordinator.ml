@@ -11,6 +11,11 @@ let env_var = "DISESIM_SERVE_WORKER"
    idempotent), recorded inside each worker process. *)
 let h_execute = Metrics.Histogram.make "serve_execute_ns"
 
+(* Client-observed latency of every logical request the coordinator
+   completes (enqueue to response, hedges and retries included). The
+   supervision layer hedges against this instrument's p95. *)
+let h_tier = Metrics.Histogram.make "tier_request_ns"
+
 (* --- frame protocol ----------------------------------------------------- *)
 
 (* Coordinator <-> worker pipes carry 4-byte big-endian length-prefixed
@@ -19,13 +24,29 @@ let h_execute = Metrics.Histogram.make "serve_execute_ns"
    descriptors.
 
      C -> W   {"op":"job","seq":N,"enq":T,"id":ID,"req":REQUEST}
+              {"op":"ping","t":N}
               {"op":"stop"}
-     W -> C   {"op":"resp","seq":N,"tag":"hit"|"fresh"|"error",
+              {"op":"stall","ms":M}        (chaos: sleep M ms)
+              {"op":"chaos_torn","cut":K}  (chaos: tear a frame, die)
+     W -> C   {"op":"hello","shard":S}     (first frame, always)
+              {"op":"resp","seq":N,"tag":"hit"|"fresh"|"error",
                "kind":CATEGORY?,"resp":RESPONSE}
+              {"op":"pong","t":N}
               {"op":"summary","shard":S,"counters":{..},"metrics":{..}}
 
    [seq] is coordinator-global and monotonic, so a respawned worker can
-   be handed the same frame again without ambiguity. *)
+   be handed the same frame again without ambiguity. [ping] frames are
+   the supervision heartbeat: a worker answers [pong] from its frame
+   loop, so a worker wedged inside a batch stops answering — exactly
+   the signal the health machine wants.
+
+   [hello] synchronizes the stream: a worker is a re-exec of the host
+   executable, and anything linked into that host may write banners to
+   stdout during module initialization, before the worker hook runs
+   (the test runner's property-test library prints its random seed).
+   The coordinator discards bytes until it sees the exact framed hello
+   for the expected shard; only after that does a malformed frame mean
+   the stream is poisoned. *)
 
 let max_frame = 8 * 1024 * 1024
 
@@ -39,6 +60,25 @@ let frame_string doc =
   Bytes.set b 3 (Char.chr (n land 0xff));
   Bytes.blit_string body 0 b 4 n;
   Bytes.unsafe_to_string b
+
+(* The framed hello for [shard], byte-exact on both sides: the worker
+   writes it first, the coordinator scans for it to synchronize. *)
+let hello_frame shard =
+  frame_string
+    (Json.Obj [ ("op", Json.String "hello"); ("shard", Json.Int shard) ])
+
+(* Startup pollution beyond this and the worker is not speaking the
+   protocol at all. *)
+let hello_preamble_limit = 65536
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  if nn = 0 then Some 0 else go 0
 
 let be32 s pos =
   (Char.code s.[pos] lsl 24)
@@ -100,25 +140,31 @@ let input_ready fd =
    in [ibuf] and complete frames are peeled off as they arrive. *)
 type instream = { ibuf : Buffer.t }
 
+(* Peel complete frames off the buffer. The second component reports a
+   poisoned stream — an impossible length prefix or a frame body that
+   is not JSON. Framing never recovers from either (every subsequent
+   byte boundary is a guess), so the caller must stop trusting the
+   peer entirely: kill it, resubmit its inflight work, never parse the
+   tail as data. *)
 let extract_frames st =
   let data = Buffer.contents st.ibuf in
   let len = String.length data in
   let pos = ref 0 in
   let out = ref [] in
+  let poisoned = ref false in
   let continue = ref true in
   while !continue do
     if len - !pos >= 4 then begin
       let n = be32 data !pos in
       if n < 0 || n > max_frame then begin
-        (* Poisoned stream: drop everything; the caller sees EOF-like
-           silence and the peer's exit handles the rest. *)
         pos := len;
+        poisoned := true;
         continue := false
       end
       else if len - !pos - 4 >= n then begin
         (match Json.parse (String.sub data (!pos + 4) n) with
         | doc -> out := doc :: !out
-        | exception Json.Parse_error _ -> ());
+        | exception Json.Parse_error _ -> poisoned := true);
         pos := !pos + 4 + n
       end
       else continue := false
@@ -127,7 +173,7 @@ let extract_frames st =
   done;
   Buffer.clear st.ibuf;
   Buffer.add_substring st.ibuf data !pos (len - !pos);
-  List.rev !out
+  (List.rev !out, !poisoned)
 
 (* Outgoing byte queue for one descriptor: strings are pushed whole
    and written as far as the fd will take them. *)
@@ -296,6 +342,43 @@ let worker_serve spec journal ~counters0 ~metrics0 =
         seqs;
       Resilience.Journal.sync j
   in
+  (* Supervision and chaos control frames, answered inline from the
+     frame loop (a worker wedged inside a batch therefore stops
+     ponging — the signal the coordinator's health machine reads). *)
+  let handle_ctl doc op =
+    match op with
+    | "ping" ->
+      emit_frame
+        (Json.Obj
+           [
+             ("op", Json.String "pong");
+             ("t", Option.value (Json.member "t" doc) ~default:Json.Null);
+           ])
+    | "stall" -> (
+      (* chaos: wedge the frame loop for a while, like a gray-failing
+         process that is alive but not making progress *)
+      match Json.member "ms" doc with
+      | Some (Json.Int ms) when ms > 0 -> Unix.sleepf (float_of_int ms /. 1000.)
+      | _ -> ())
+    | "chaos_torn" ->
+      (* chaos: die mid-write. Emit the first [cut] bytes of a frame
+         whose header promises 256 body bytes, then exit — exactly the
+         torn tail a worker killed inside [write_all] leaves behind.
+         [cut < 4] tears the header itself. *)
+      let cut =
+        match Json.member "cut" doc with Some (Json.Int c) -> c | _ -> 8
+      in
+      let promised = 256 in
+      let full = Bytes.make (4 + promised) 'x' in
+      Bytes.set full 0 '\000';
+      Bytes.set full 1 '\000';
+      Bytes.set full 2 '\001';
+      Bytes.set full 3 '\000';
+      let cut = max 1 (min cut (4 + promised - 1)) in
+      write_all Unix.stdout (Bytes.sub_string full 0 cut) 0;
+      Unix._exit 9
+    | _ -> ()
+  in
   (* Frames arrive one at a time; batch up whatever is already queued
      (up to [queue]) so the domain pool fans out instead of running
      jobs one by one. *)
@@ -305,6 +388,9 @@ let worker_serve spec journal ~counters0 ~metrics0 =
     | Some doc -> (
       match Json.member "op" doc with
       | Some (Json.String "stop") -> ()
+      | Some (Json.String (("ping" | "stall" | "chaos_torn") as op)) ->
+        handle_ctl doc op;
+        loop ()
       | Some (Json.String "job") ->
         let batch = ref [ decode_job doc ] in
         let count = ref 1 in
@@ -318,6 +404,8 @@ let worker_serve spec journal ~counters0 ~metrics0 =
           | Some doc -> (
             match Json.member "op" doc with
             | Some (Json.String "stop") -> after := `Stop
+            | Some (Json.String (("ping" | "stall" | "chaos_torn") as op)) ->
+              handle_ctl doc op
             | Some (Json.String "job") ->
               batch := decode_job doc :: !batch;
               incr count
@@ -327,6 +415,9 @@ let worker_serve spec journal ~counters0 ~metrics0 =
         if !after = `Continue then loop ()
       | _ -> loop ())
   in
+  (* First bytes this incarnation contributes: the sync point the
+     coordinator scans for past any module-init stdout pollution. *)
+  write_all Unix.stdout (hello_frame spec.w_shard) 0;
   loop ();
   let counter_deltas =
     List.map
@@ -422,6 +513,35 @@ let worker_child_main () =
 
 (* --- coordinator -------------------------------------------------------- *)
 
+(* One fault from a chaos schedule, applied between client requests.
+   The deterministic schedule machinery (JSON file, seeding) lives in
+   [Dise_fuzz.Chaos_sched]; the coordinator only executes actions. *)
+type chaos_action =
+  | Chaos_kill of { shard : int; permanent : bool }
+  | Chaos_stall of { shard : int; ms : int }
+  | Chaos_torn of { shard : int; cut : int }
+  | Chaos_drop_ping of { shard : int }
+  | Chaos_suspect of { shard : int }
+
+(* One logical client request. Routing normally gives it a single leg
+   (one [seq] on one worker), but supervision may hedge it (a second
+   leg on the next ring worker) or re-route it (failover). Exactly one
+   client response is ever delivered, whichever leg answers first with
+   a non-error; [lr_done] dedupes the stragglers. *)
+type lreq = {
+  lr_id : Json.t;
+  lr_key : string;  (* result-cache key: the routing key *)
+  lr_req : Json.t;  (* request document, re-framed per leg *)
+  lr_enq : float;
+  lr_quiet : bool;
+      (* internal resubmission (journal replay): the response must not
+         count as client traffic *)
+  lr_complete : tag:string -> Json.t -> unit;
+  mutable lr_primary : int;  (* shard of the routed (non-hedge) leg *)
+  mutable lr_legs : (int * int) list;  (* (shard, seq) still outstanding *)
+  mutable lr_done : bool;
+}
+
 type worker = {
   shard : int;
   mutable pid : int;
@@ -429,12 +549,10 @@ type worker = {
   mutable from_w : Unix.file_descr;
   mutable wout : outstream;
   win : instream;
-  (* seq -> (frame bytes, client id, quiet?, completion); the frame is
-     kept verbatim so a respawned worker can be handed it again. Quiet
-     jobs are internal resubmissions (startup journal replay) whose
-     responses must not count as client traffic. *)
-  inflight :
-    (int, string * Json.t * bool * (tag:string -> Json.t -> unit)) Hashtbl.t;
+  (* seq -> logical request with a leg on this worker; a respawned
+     worker is handed every entry again (re-framed from the lreq,
+     byte-identical to the original frame). *)
+  inflight : (int, lreq) Hashtbl.t;
   mutable served : int;
   mutable hits : int;
   mutable misses : int;
@@ -442,6 +560,10 @@ type worker = {
   mutable restarts : int;
   mutable alive : bool;
   mutable got_summary : bool;
+  mutable health : Resilience.Health.t;
+  mutable dead : bool;  (* failed over: off the ring for good *)
+  mutable drop_pings : int;  (* chaos: heartbeats to lose in transit *)
+  mutable saw_hello : bool;  (* this incarnation's stream is synced *)
 }
 
 type t = {
@@ -449,12 +571,15 @@ type t = {
   cache_dir : string option;
   jit : (bool * int) option;
   nonblocking : bool;
-  ring : Shard.t;
+  mutable ring : Shard.t;  (* shrinks as workers are failed over *)
   mutable workers : worker array;
   mutable next_seq : int;
   stop : Server.Stop.t;
   manifest : Manifest.t option;
   on_spawn : (shard:int -> pid:int -> unit) option;
+  chaos : (requests:int -> chaos_action list) option;
+  mutable chaos_requests : int;
+  mutable ping_n : int;
   counters0 : (string * int) list;
   metrics0 : Metrics.snapshot;
   mutable summaries : (int * Json.t) list;
@@ -522,6 +647,12 @@ let spawn_env spec =
    (which clears the flag on the child's copies), and nothing leaks
    into sibling workers — vital, or a dead worker's pipe would never
    read EOF while a sibling still held its write end. *)
+let fresh_health cfg =
+  Resilience.Health.create
+    ~interval_s:(float_of_int cfg.Serve_config.heartbeat_ms /. 1000.)
+    ~suspect_misses:cfg.Serve_config.suspect_misses
+    ~dead_misses:cfg.Serve_config.dead_misses ()
+
 let spawn_into t w =
   let stdin_r, stdin_w = Unix.pipe ~cloexec:true () in
   let stdout_r, stdout_w = Unix.pipe ~cloexec:true () in
@@ -544,6 +675,10 @@ let spawn_into t w =
   Buffer.clear w.win.ibuf;
   w.alive <- true;
   w.got_summary <- false;
+  w.saw_hello <- false;
+  (* A fresh process starts with a clean bill of health: accumulated
+     misses belonged to its predecessor. *)
+  w.health <- fresh_health t.cfg;
   (match t.on_spawn with None -> () | Some f -> f ~shard:w.shard ~pid)
 
 let rec reap pid =
@@ -554,51 +689,19 @@ let rec reap pid =
 
 let stop_frame = lazy (frame_string (Json.Obj [ ("op", Json.String "stop") ]))
 
-let max_respawns = 100
-
-(* A worker died with work outstanding. Reap it, spawn a replacement
-   on the same shard, and resubmit every inflight frame verbatim: the
-   replacement first replays its journal shard (re-deriving results
-   into the shared content-addressed cache), so resubmitted jobs that
-   had already run come back as cache hits — crash recovery is
-   idempotent end to end. During shutdown there is no respawn; any
-   stragglers are answered with an internal error instead. *)
-let handle_crash t w reason =
-  (try Unix.close w.to_w with Unix.Unix_error _ -> ());
-  (try Unix.close w.from_w with Unix.Unix_error _ -> ());
-  w.alive <- false;
-  reap w.pid;
-  if t.shutting_down then begin
-    let pending =
-      Hashtbl.fold (fun seq v acc -> (seq, v) :: acc) w.inflight []
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
-    in
-    Hashtbl.reset w.inflight;
-    List.iter
-      (fun (_, (_, id, _, complete)) ->
-        complete ~tag:"error"
-          (Server.error_response id
-             (Diag.Internal "worker exited during shutdown")))
-      pending
-  end
-  else begin
-    Format.eprintf
-      "disesim serve: worker %d (pid %d) exited unexpectedly (%s); respawning@."
-      w.shard w.pid reason;
-    w.restarts <- w.restarts + 1;
-    if w.restarts > max_respawns then
-      raise
-        (Cache.Diag_error
-           (Diag.Internal
-              (Printf.sprintf "worker %d keeps crashing (%d respawns); giving up"
-                 w.shard w.restarts)));
-    spawn_into t w;
-    let pending =
-      Hashtbl.fold (fun seq (fr, _, _, _) acc -> (seq, fr) :: acc) w.inflight []
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
-    in
-    List.iter (fun (_, fr) -> out_push w.wout fr) pending
-  end
+(* Every leg of a logical request is framed from the lreq, so a
+   respawned (or hedge, or failover) worker receives bytes identical
+   to the original frame apart from [seq]. *)
+let job_frame lr ~seq =
+  frame_string
+    (Json.Obj
+       [
+         ("op", Json.String "job");
+         ("seq", Json.Int seq);
+         ("enq", Json.Float lr.lr_enq);
+         ("id", lr.lr_id);
+         ("req", lr.lr_req);
+       ])
 
 (* Route by result-cache key: identical requests always reach the
    same worker, whose memory and journal shard own that slice of the
@@ -607,22 +710,26 @@ let submit ?(quiet = false) t (p : Server.parsed) req ~enq ~complete =
   match p.Server.req with
   | Error _ -> invalid_arg "Coordinator.submit: unrunnable job"
   | Ok _ ->
-    let w = t.workers.(Shard.route t.ring (Request.key req)) in
+    let key = Request.key req in
+    let shard = Shard.route t.ring key in
+    let w = t.workers.(shard) in
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
-    let fr =
-      frame_string
-        (Json.Obj
-           [
-             ("op", Json.String "job");
-             ("seq", Json.Int seq);
-             ("enq", Json.Float enq);
-             ("id", p.Server.id);
-             ("req", Request.to_json req);
-           ])
+    let lr =
+      {
+        lr_id = p.Server.id;
+        lr_key = key;
+        lr_req = Request.to_json req;
+        lr_enq = enq;
+        lr_quiet = quiet;
+        lr_complete = complete;
+        lr_primary = shard;
+        lr_legs = [ (shard, seq) ];
+        lr_done = false;
+      }
     in
-    Hashtbl.replace w.inflight seq (fr, p.Server.id, quiet, complete);
-    out_push w.wout fr
+    Hashtbl.replace w.inflight seq lr;
+    out_push w.wout (job_frame lr ~seq)
 
 (* Startup crash recovery across resharding. Per-shard journals are
    named [<root>/worker-<shard>] after the ring that {e wrote} them;
@@ -686,7 +793,7 @@ let resubmit_journal_docs t drained =
         docs)
     drained
 
-let create ?stop ?manifest ?on_spawn ?cache_dir ?jit ~nonblocking cfg =
+let create ?stop ?manifest ?on_spawn ?chaos ?cache_dir ?jit ~nonblocking cfg =
   let workers_n = max 1 cfg.Serve_config.workers in
   let cfg = { cfg with Serve_config.workers = workers_n } in
   let t =
@@ -701,6 +808,9 @@ let create ?stop ?manifest ?on_spawn ?cache_dir ?jit ~nonblocking cfg =
       stop = (match stop with Some s -> s | None -> Server.Stop.create ());
       manifest;
       on_spawn;
+      chaos;
+      chaos_requests = 0;
+      ping_n = 0;
       counters0 = Resilience.Counters.snapshot ();
       metrics0 = Metrics.snapshot ();
       summaries = [];
@@ -733,6 +843,10 @@ let create ?stop ?manifest ?on_spawn ?cache_dir ?jit ~nonblocking cfg =
           restarts = 0;
           alive = false;
           got_summary = false;
+          health = fresh_health cfg;
+          dead = false;
+          drop_pings = 0;
+          saw_hello = false;
         });
   (* Drain pre-crash journal shards before any worker starts (so their
      own startup replay cannot race over the same files), spawn the
@@ -768,60 +882,405 @@ let tally t ~tag ~kind =
     | Some "internal" -> t.s_isolated <- t.s_isolated + 1
     | _ -> ())
 
+(* Deliver the single client response of a logical request (via the
+   worker [w] that answered) and retire every outstanding leg, so
+   stragglers — a hedge sibling, a duplicate after a respawn race —
+   find no table entry and are dropped. *)
+let complete_lreq t w lr ~tag ~kind resp =
+  lr.lr_done <- true;
+  List.iter
+    (fun (shard, seq) -> Hashtbl.remove t.workers.(shard).inflight seq)
+    lr.lr_legs;
+  lr.lr_legs <- [];
+  if not lr.lr_quiet then begin
+    w.served <- w.served + 1;
+    (match tag with
+    | "hit" -> w.hits <- w.hits + 1
+    | "fresh" -> w.misses <- w.misses + 1
+    | _ -> w.errs <- w.errs + 1);
+    Metrics.Histogram.observe_s h_tier (Unix.gettimeofday () -. lr.lr_enq);
+    tally t ~tag ~kind;
+    lr.lr_complete ~tag resp
+  end
+
+(* Shutdown straggler path: there is no respawn to hand work to, so
+   every pending request on [w] is answered with an internal error
+   (once — a hedged request aborted on one worker must not be aborted
+   again on the other). *)
+let abort_pending t w =
+  let pending =
+    Hashtbl.fold (fun seq lr acc -> (seq, lr) :: acc) w.inflight []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Hashtbl.reset w.inflight;
+  List.iter
+    (fun (_, lr) ->
+      if not lr.lr_done then begin
+        lr.lr_done <- true;
+        List.iter
+          (fun (shard, seq) -> Hashtbl.remove t.workers.(shard).inflight seq)
+          lr.lr_legs;
+        lr.lr_legs <- [];
+        lr.lr_complete ~tag:"error"
+          (Server.error_response lr.lr_id
+             (Diag.Internal "worker exited during shutdown"))
+      end)
+    pending
+
+(* Re-route a legless logical request through the (post-failover)
+   ring. The new leg becomes primary: a response from it is normal
+   failover recovery, not a hedge win. *)
+let resubmit_lreq t lr =
+  let shard = Shard.route t.ring lr.lr_key in
+  let w = t.workers.(shard) in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  lr.lr_primary <- shard;
+  lr.lr_legs <- [ (shard, seq) ];
+  Hashtbl.replace w.inflight seq lr;
+  out_push w.wout (job_frame lr ~seq)
+
+(* Terminal failover: [w] is gone for good (heartbeat death or respawn
+   cap). Shrink the ring so only the dead worker's keys move, re-route
+   its outstanding legs through the survivors, replay its journal
+   shard through the new ring, and keep serving degraded. [w]'s pipes
+   must already be closed and the process reaped. With no survivors
+   there is nothing to fail over to and the tier gives up. *)
+let fail_over t w ~reason =
+  w.dead <- true;
+  Resilience.Health.force_dead w.health ~reason;
+  let survivors = List.filter (fun s -> s <> w.shard) (Shard.alive t.ring) in
+  if survivors = [] then begin
+    abort_pending t w;
+    raise
+      (Cache.Diag_error
+         (Diag.Internal
+            (Printf.sprintf "worker %d is gone (%s) and no workers remain"
+               w.shard reason)))
+  end;
+  Resilience.Counters.incr Resilience.Counters.failovers;
+  Format.eprintf
+    "disesim serve: worker %d failed over (%s); serving degraded on %d \
+     shard%s@."
+    w.shard reason (List.length survivors)
+    (if List.length survivors = 1 then "" else "s");
+  t.ring <- Shard.remove t.ring w.shard;
+  let pending =
+    Hashtbl.fold (fun seq lr acc -> (seq, lr) :: acc) w.inflight []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Hashtbl.reset w.inflight;
+  List.iter
+    (fun (seq, lr) ->
+      if not lr.lr_done then begin
+        lr.lr_legs <-
+          List.filter (fun (s, q) -> not (s = w.shard && q = seq)) lr.lr_legs;
+        (* A hedge leg may still be racing on a survivor; only a
+           request with no live leg left needs re-routing. *)
+        if lr.lr_legs = [] then resubmit_lreq t lr
+      end)
+    pending;
+  match t.cfg.Serve_config.journal with
+  | None -> ()
+  | Some root -> (
+    let dir = shard_journal_dir ~root w.shard in
+    match Resilience.Journal.pending ~dir with
+    | [] -> ()
+    | docs ->
+      Resilience.Journal.clear ~dir;
+      resubmit_journal_docs t [ (dir, List.map snd docs) ])
+
+(* Supervision-initiated death of a live process: heartbeat loss means
+   the worker may be wedged rather than exited, so it is killed before
+   the blocking reap. *)
+let declare_dead t w ~reason =
+  Format.eprintf "disesim serve: worker %d (pid %d) declared dead: %s@."
+    w.shard w.pid reason;
+  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try Unix.close w.to_w with Unix.Unix_error _ -> ());
+  (try Unix.close w.from_w with Unix.Unix_error _ -> ());
+  w.alive <- false;
+  reap w.pid;
+  fail_over t w ~reason
+
+(* A worker died (EOF / write failure) or poisoned its frame stream
+   with work outstanding. Reap it, spawn a replacement on the same
+   shard, and resubmit every inflight leg: the replacement first
+   replays its journal shard (re-deriving results into the shared
+   content-addressed cache), so resubmitted jobs that had already run
+   come back as cache hits — crash recovery is idempotent end to end.
+   Past the respawn cap the shard is failed over instead; during
+   shutdown there is no respawn and stragglers are answered with an
+   internal error. *)
+let handle_crash t w reason =
+  (* The poisoned-stream path arrives here with the process still
+     running; the kill is a no-op for a worker that already exited. *)
+  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try Unix.close w.to_w with Unix.Unix_error _ -> ());
+  (try Unix.close w.from_w with Unix.Unix_error _ -> ());
+  w.alive <- false;
+  reap w.pid;
+  if t.shutting_down then abort_pending t w
+  else begin
+    w.restarts <- w.restarts + 1;
+    if w.restarts > t.cfg.Serve_config.respawn_cap then
+      fail_over t w
+        ~reason:
+          (Printf.sprintf "%s; respawn cap exhausted (%d respawns)" reason
+             w.restarts)
+    else begin
+      Format.eprintf
+        "disesim serve: worker %d (pid %d) exited unexpectedly (%s); \
+         respawning@."
+        w.shard w.pid reason;
+      spawn_into t w;
+      let pending =
+        Hashtbl.fold (fun seq lr acc -> (seq, lr) :: acc) w.inflight []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      List.iter
+        (fun (seq, lr) ->
+          if not lr.lr_done then out_push w.wout (job_frame lr ~seq))
+        pending
+    end
+  end
+
 let dispatch t w doc =
   match Json.member "op" doc with
   | Some (Json.String "resp") -> (
     let seq = match Json.member "seq" doc with Some (Json.Int s) -> s | _ -> -1 in
     match Hashtbl.find_opt w.inflight seq with
-    | None -> () (* duplicate after a respawn race; first answer won *)
-    | Some (_, id, quiet, complete) ->
+    | None -> () (* canceled leg or duplicate after a respawn race *)
+    | Some lr ->
       Hashtbl.remove w.inflight seq;
+      lr.lr_legs <-
+        List.filter (fun (s, q) -> not (s = w.shard && q = seq)) lr.lr_legs;
       let tag =
         match Json.member "tag" doc with Some (Json.String s) -> s | _ -> "error"
       in
       let kind =
         match Json.member "kind" doc with Some (Json.String s) -> Some s | _ -> None
       in
-      if not quiet then begin
-        w.served <- w.served + 1;
-        match tag with
-        | "hit" -> w.hits <- w.hits + 1
-        | "fresh" -> w.misses <- w.misses + 1
-        | _ -> w.errs <- w.errs + 1
-      end;
       let resp =
         match Json.member "resp" doc with
         | Some r -> r
         | None ->
-          Server.error_response id (Diag.Internal "worker response without body")
+          Server.error_response lr.lr_id
+            (Diag.Internal "worker response without body")
       in
-      if not quiet then begin
-        tally t ~tag ~kind;
-        complete ~tag resp
+      if lr.lr_done then ()
+      else if tag = "error" && lr.lr_legs <> [] then
+        (* A hedge sibling is still racing; an error here must not beat
+           a success there. If every leg errors, the last one answers
+           the client. *)
+        ()
+      else begin
+        if w.shard <> lr.lr_primary then
+          Resilience.Counters.incr Resilience.Counters.hedge_wins;
+        complete_lreq t w lr ~tag ~kind resp
       end)
+  | Some (Json.String "pong") -> Resilience.Health.pong w.health
   | Some (Json.String "summary") ->
     w.got_summary <- true;
     t.summaries <- (w.shard, doc) :: t.summaries
   | _ -> ()
 
 (* Pump one readable worker pipe: pull whatever bytes are there,
-   dispatch the complete frames, respawn on EOF. *)
+   dispatch the complete frames, respawn on EOF. A torn frame at pipe
+   EOF (a worker died mid-write) is discarded, never parsed — the
+   respawn resubmits the affected requests. A poisoned stream (bad
+   length prefix, non-JSON body) means the byte boundary is lost for
+   good: the worker is killed and crash-handled the same way. *)
 let pump_worker t w =
   match Unix.read w.from_w t.scratch 0 (Bytes.length t.scratch) with
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     -> ()
   | exception Unix.Unix_error (e, _, _) ->
     handle_crash t w (Unix.error_message e)
-  | 0 -> handle_crash t w "pipe closed"
-  | n ->
+  | 0 ->
+    if Buffer.length w.win.ibuf > 0 then begin
+      Resilience.Counters.incr Resilience.Counters.torn_frames;
+      Buffer.clear w.win.ibuf
+    end;
+    handle_crash t w "pipe closed"
+  | n -> (
     Buffer.add_subbytes w.win.ibuf t.scratch 0 n;
-    List.iter (dispatch t w) (extract_frames w.win)
+    (* Sync on the hello frame before trusting the stream: a fresh
+       incarnation's first bytes may be module-init stdout pollution
+       from whatever is linked into the host executable. *)
+    let synced =
+      w.saw_hello
+      ||
+      let data = Buffer.contents w.win.ibuf in
+      let magic = hello_frame w.shard in
+      match find_sub data magic with
+      | Some i ->
+        Buffer.clear w.win.ibuf;
+        let start = i + String.length magic in
+        Buffer.add_substring w.win.ibuf data start (String.length data - start);
+        w.saw_hello <- true;
+        true
+      | None ->
+        if String.length data > hello_preamble_limit then begin
+          Resilience.Counters.incr Resilience.Counters.torn_frames;
+          handle_crash t w "no hello from worker"
+        end;
+        false
+    in
+    if synced then begin
+      let frames, poisoned = extract_frames w.win in
+      List.iter (dispatch t w) frames;
+      if poisoned then begin
+        Resilience.Counters.incr Resilience.Counters.torn_frames;
+        handle_crash t w "corrupt frame stream"
+      end
+    end)
 
 let flush_worker t w =
   if w.alive && out_pending w.wout then
     match out_write w.to_w w.wout with
     | () -> ()
     | exception Unix.Unix_error (_, _, _) -> handle_crash t w "write failed"
+
+(* --- supervision -------------------------------------------------------- *)
+
+(* Hedge a Suspect worker's outstanding requests: each single-leg
+   request gains a leg on the next worker clockwise on the ring — the
+   worker that would inherit its key if the suspect were removed.
+   First non-error answer wins; {!complete_lreq} dedupes the loser.
+   Idempotent per request (a request is never hedged past two legs),
+   so the supervision tick can call this every pass while the worker
+   stays Suspect. *)
+let hedge_worker t w =
+  Hashtbl.iter
+    (fun _seq lr ->
+      if (not lr.lr_done) && (not lr.lr_quiet) && List.length lr.lr_legs = 1
+      then
+        match Shard.next t.ring lr.lr_key ~avoid:w.shard with
+        | None -> ()
+        | Some shard2 ->
+          let w2 = t.workers.(shard2) in
+          if w2.alive && not w2.dead then begin
+            let seq2 = t.next_seq in
+            t.next_seq <- seq2 + 1;
+            lr.lr_legs <- (shard2, seq2) :: lr.lr_legs;
+            Hashtbl.replace w2.inflight seq2 lr;
+            out_push w2.wout (job_frame lr ~seq:seq2);
+            Resilience.Counters.incr Resilience.Counters.hedges
+          end)
+    w.inflight
+
+(* One supervision pass, run from both event loops between selects:
+   send due heartbeats, flag gray failures (a request outliving
+   [hedge_p95x] times the tier p95 marks its worker Suspect), hedge
+   Suspect workers, and fail Dead ones over. *)
+let supervise t =
+  let cfg = t.cfg in
+  if (not t.shutting_down) && cfg.Serve_config.heartbeat_ms > 0 then begin
+    (* One tier-latency bound per pass, shared by every worker's
+       gray-failure check; meaningless below a minimal sample. *)
+    let latency_limit =
+      if cfg.Serve_config.hedge_p95x <= 0. then infinity
+      else
+        let snap = Metrics.Histogram.snapshot h_tier in
+        if snap.Metrics.Histogram.count >= 32 then
+          cfg.Serve_config.hedge_p95x
+          *. float_of_int (Metrics.Histogram.quantile snap 0.95)
+          /. 1e9
+        else infinity
+    in
+    let now = Unix.gettimeofday () in
+    Array.iter
+      (fun w ->
+        if w.alive && not w.dead then begin
+          let h = w.health in
+          if Resilience.Health.due h then begin
+            if w.drop_pings > 0 then
+              (* chaos: the ping is lost in transit — never queued, so
+                 it can only ever count as a miss *)
+              w.drop_pings <- w.drop_pings - 1
+            else begin
+              t.ping_n <- t.ping_n + 1;
+              out_push w.wout
+                (frame_string
+                   (Json.Obj
+                      [ ("op", Json.String "ping"); ("t", Json.Int t.ping_n) ]))
+            end;
+            Resilience.Health.ping_sent h
+          end;
+          if latency_limit < infinity then
+            Hashtbl.iter
+              (fun _ lr ->
+                if (not lr.lr_quiet) && now -. lr.lr_enq > latency_limit then
+                  Resilience.Health.suspect h
+                    ~reason:"request outlived the hedge latency bound")
+              w.inflight;
+          match Resilience.Health.state h with
+          | Resilience.Health.Healthy -> ()
+          | Resilience.Health.Suspect -> hedge_worker t w
+          | Resilience.Health.Dead ->
+            declare_dead t w
+              ~reason:
+                (Option.value (Resilience.Health.reason h)
+                   ~default:"heartbeat loss")
+        end)
+      t.workers
+  end
+
+(* --- chaos -------------------------------------------------------------- *)
+
+let apply_chaos t act =
+  let live shard =
+    if shard >= 0 && shard < Array.length t.workers then
+      let w = t.workers.(shard) in
+      if w.alive && not w.dead then Some w else None
+    else None
+  in
+  match act with
+  | Chaos_kill { shard; permanent } -> (
+    match live shard with
+    | None -> ()
+    | Some w ->
+      (* The EOF on its pipe reaches [handle_crash], which respawns
+         the shard — or, with the cap pre-exhausted for a permanent
+         kill, fails it over. *)
+      if permanent then
+        w.restarts <- max w.restarts t.cfg.Serve_config.respawn_cap;
+      (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ()))
+  | Chaos_stall { shard; ms } -> (
+    match live shard with
+    | None -> ()
+    | Some w ->
+      out_push w.wout
+        (frame_string
+           (Json.Obj [ ("op", Json.String "stall"); ("ms", Json.Int ms) ])))
+  | Chaos_torn { shard; cut } -> (
+    match live shard with
+    | None -> ()
+    | Some w ->
+      out_push w.wout
+        (frame_string
+           (Json.Obj
+              [ ("op", Json.String "chaos_torn"); ("cut", Json.Int cut) ])))
+  | Chaos_drop_ping { shard } -> (
+    match live shard with
+    | None -> ()
+    | Some w -> w.drop_pings <- w.drop_pings + 1)
+  | Chaos_suspect { shard } -> (
+    match live shard with
+    | None -> ()
+    | Some w -> Resilience.Health.suspect w.health ~reason:"chaos schedule")
+
+(* Count one client request against the chaos schedule and apply
+   whatever faults it releases. Called at the front door (channel
+   chunks and socket lines alike), never for internal resubmissions —
+   "kill worker 2 after 40 requests" means client requests. *)
+let chaos_tick t =
+  match t.chaos with
+  | None -> ()
+  | Some f ->
+    t.chaos_requests <- t.chaos_requests + 1;
+    List.iter (apply_chaos t) (f ~requests:t.chaos_requests)
 
 (* --- merged summary ----------------------------------------------------- *)
 
@@ -871,8 +1330,30 @@ let merged_summary t =
                ("cache_misses", Json.Int w.misses);
                ("errors", Json.Int w.errs);
                ("restarts", Json.Int w.restarts);
+               ( "health",
+                 Json.String
+                   (Resilience.Health.state_name (Resilience.Health.state w.health))
+               );
              ])
          t.workers)
+  in
+  (* The post-failover topology: which shards still hold ring points.
+     [degraded] flags that at least one shard was failed over and its
+     keys now live with the survivors. *)
+  let alive_shards = Shard.alive t.ring in
+  let dead_shards =
+    List.filter
+      (fun s -> not (List.mem s alive_shards))
+      (List.init (Array.length t.workers) Fun.id)
+  in
+  let topology =
+    Json.Obj
+      [
+        ("workers", Json.Int (Array.length t.workers));
+        ("alive", Json.List (List.map (fun s -> Json.Int s) alive_shards));
+        ("dead", Json.List (List.map (fun s -> Json.Int s) dead_shards));
+        ("degraded", Json.Bool (dead_shards <> []));
+      ]
   in
   let summary =
     {
@@ -894,6 +1375,7 @@ let merged_summary t =
       ("shed", Json.Int t.s_shed);
       ("isolated", Json.Int t.s_isolated);
       ("workers", Json.List workers_json);
+      ("topology", topology);
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters));
       ("metrics", Metrics.to_json metrics);
     ]
@@ -966,12 +1448,15 @@ let channel_loop t ic oc =
   let lineno = ref 0 in
   let rec drain_until done_ =
     if not (done_ ()) then begin
+      supervise t;
       Array.iter (fun w -> flush_worker t w) t.workers;
       let rs =
         Array.to_list t.workers
         |> List.filter_map (fun w -> if w.alive then Some w.from_w else None)
       in
-      (match Unix.select rs [] [] 1.0 with
+      (* The select deadline bounds the supervision tick, so it must
+         stay well under the heartbeat interval. *)
+      (match Unix.select rs [] [] 0.2 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | rready, _, _ ->
         Array.iter
@@ -1000,7 +1485,8 @@ let channel_loop t ic oc =
               incr outstanding;
               submit t p req ~enq ~complete:(fun ~tag:_ resp ->
                   responses.(i) <- Some resp;
-                  decr outstanding))
+                  decr outstanding);
+              chaos_tick t)
           chunk;
         drain_until (fun () -> !outstanding = 0);
         Array.iter
@@ -1013,8 +1499,11 @@ let channel_loop t ic oc =
   in
   loop ()
 
-let run_channel ?stop ?manifest ?on_spawn ?cache_dir ?jit cfg ic oc =
-  let t = create ?stop ?manifest ?on_spawn ?cache_dir ?jit ~nonblocking:false cfg in
+let run_channel ?stop ?manifest ?on_spawn ?chaos ?cache_dir ?jit cfg ic oc =
+  let t =
+    create ?stop ?manifest ?on_spawn ?chaos ?cache_dir ?jit ~nonblocking:false
+      cfg
+  in
   match channel_loop t ic oc with
   | () -> shutdown t
   | exception e ->
@@ -1140,7 +1629,8 @@ let handle_parsed t c slot (p : Server.parsed) =
           Hashtbl.remove c.releases slot;
           release ();
           conn_tally c ~tag;
-          finish_slot c slot resp))
+          finish_slot c slot resp);
+      chaos_tick t)
 
 let process_line t c line =
   c.lineno <- c.lineno + 1;
@@ -1191,7 +1681,7 @@ let feed_conn t c data =
     end
     else Buffer.add_substring c.cbuf data !start (len - !start)
 
-let run_socket ?stop ?manifest ?on_spawn ?cache_dir ?jit cfg ~path () =
+let run_socket ?stop ?manifest ?on_spawn ?chaos ?cache_dir ?jit cfg ~path () =
   Server.with_sigpipe_ignored @@ fun () ->
   let sock = Server.listen_socket ~path in
   Unix.set_nonblock sock;
@@ -1200,7 +1690,10 @@ let run_socket ?stop ?manifest ?on_spawn ?cache_dir ?jit cfg ~path () =
      duplicate of a client's socket keeps that client from ever seeing
      EOF after the coordinator closes its copy. *)
   Unix.set_close_on_exec sock;
-  let t = create ?stop ?manifest ?on_spawn ?cache_dir ?jit ~nonblocking:true cfg in
+  let t =
+    create ?stop ?manifest ?on_spawn ?chaos ?cache_dir ?jit ~nonblocking:true
+      cfg
+  in
   let conns = ref [] in
   let next_cid = ref 0 in
   let close_conn c =
@@ -1316,6 +1809,7 @@ let run_socket ?stop ?manifest ?on_spawn ?cache_dir ?jit cfg ~path () =
           !conns;
         conns := List.filter (fun c -> not c.closed) !conns;
         if not (Server.Stop.signalled t.stop && !conns = []) then begin
+          supervise t;
           Array.iter (fun w -> flush_worker t w) t.workers;
           let stopping = Server.Stop.signalled t.stop in
           let rs =

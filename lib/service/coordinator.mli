@@ -19,7 +19,20 @@
     - {e supervision} — a worker that exits is reaped, respawned on
       the same shard, and handed its inflight frames again; the
       replacement replays its journal shard first, so recovery is
-      idempotent (previously completed jobs return as cache hits);
+      idempotent (previously completed jobs return as cache hits).
+      Beyond crash-respawn, the coordinator heartbeats every worker
+      ([ping]/[pong] frames, {!Resilience.Health}): a worker that
+      misses [suspect_misses] consecutive heartbeats — or holds a
+      request longer than [hedge_p95x] times the tier's request p95
+      (gray failure) — turns [Suspect] and its in-flight requests are
+      {e hedged} to the next worker on the ring; the first non-error
+      response wins and duplicates are deduped. A worker that misses
+      [dead_misses] heartbeats or exhausts [respawn_cap] is declared
+      [Dead] and {e failed over}: it is removed from the ring (only
+      its keys move, {!Shard.remove}), its journal shard is replayed
+      through the surviving ring, and the tier keeps serving in
+      degraded mode — the merged summary's ["topology"] member
+      records the new shape;
     - {e admission} — per-tenant quotas and [dyn_target] load
       shedding, the same policies as the in-process server, applied
       tier-wide; rejected jobs are answered ["overloaded"] by the
@@ -39,6 +52,31 @@ val env_var : string
 (** ["DISESIM_SERVE_WORKER"] — presence in the environment makes
     {!worker_child_main} take over the process as a worker. *)
 
+(** One fault from a chaos schedule, applied between client requests
+    (the [?chaos] hook below). The deterministic schedule file and its
+    seeded execution live in [Dise_fuzz.Chaos_sched]; the coordinator
+    only executes actions:
+
+    - [Chaos_kill] — SIGKILL the shard's process; [permanent] first
+      exhausts its respawn cap, so the crash triggers failover instead
+      of a respawn;
+    - [Chaos_stall] — queue a [stall] frame: the worker wedges its
+      frame loop for [ms] milliseconds (a gray failure: alive, not
+      progressing, not ponging);
+    - [Chaos_torn] — queue a [chaos_torn] frame: the worker emits the
+      first [cut] bytes of a frame and dies mid-write, leaving a torn
+      tail on the pipe;
+    - [Chaos_drop_ping] — lose the shard's next heartbeat in transit
+      (a guaranteed miss);
+    - [Chaos_suspect] — mark the shard [Suspect] directly, hedging
+      its in-flight requests on the next supervision pass. *)
+type chaos_action =
+  | Chaos_kill of { shard : int; permanent : bool }
+  | Chaos_stall of { shard : int; ms : int }
+  | Chaos_torn of { shard : int; cut : int }
+  | Chaos_drop_ping of { shard : int }
+  | Chaos_suspect of { shard : int }
+
 val worker_child_main : unit -> unit
 (** Worker dispatch hook: call {e first} in any binary that may spawn
     workers (the CLI and the test runner do). Returns immediately in
@@ -51,6 +89,7 @@ val run_channel :
   ?stop:Server.Stop.t ->
   ?manifest:Dise_telemetry.Manifest.t ->
   ?on_spawn:(shard:int -> pid:int -> unit) ->
+  ?chaos:(requests:int -> chaos_action list) ->
   ?cache_dir:string ->
   ?jit:bool * int ->
   Serve_config.t ->
@@ -64,7 +103,11 @@ val run_channel :
     the tier down (merged summary included) before returning.
     [cache_dir]/[jit] configure the workers' result cache and JIT
     ([None] cache = caching off); [on_spawn] observes every (re)spawn
-    — the fault-injection tests use it to aim SIGKILL. *)
+    — the fault-injection tests use it to aim SIGKILL. [chaos] is
+    consulted once per submitted client request with the running
+    request count and returns the faults to apply at that point —
+    [Dise_fuzz.Chaos_sched.hook] is the schedule-file-driven
+    implementation. *)
 
 val write_all : Unix.file_descr -> string -> int -> unit
 (** [write_all fd s off] writes [s] from [off] to the end, surviving
@@ -78,6 +121,7 @@ val run_socket :
   ?stop:Server.Stop.t ->
   ?manifest:Dise_telemetry.Manifest.t ->
   ?on_spawn:(shard:int -> pid:int -> unit) ->
+  ?chaos:(requests:int -> chaos_action list) ->
   ?cache_dir:string ->
   ?jit:bool * int ->
   Serve_config.t ->

@@ -55,6 +55,23 @@ module Counters : sig
   val journal_replayed : t
   (** Jobs re-executed from a crash journal. *)
 
+  val hedges : t
+  (** Requests duplicated to a second worker because their owner went
+      Suspect (gray failure). *)
+
+  val hedge_wins : t
+  (** Hedged requests whose {e hedge} leg answered first. *)
+
+  val heartbeat_misses : t
+  (** Heartbeat intervals that elapsed without the worker's pong. *)
+
+  val failovers : t
+  (** Workers declared Dead and removed from the ring live. *)
+
+  val torn_frames : t
+  (** Partial or corrupt length-prefixed frames discarded from a
+      worker pipe (the peer is respawned, its work resubmitted). *)
+
   val jit_compiles : t
   (** Superblocks compiled across all jobs (see doc/jit.md). *)
 
@@ -118,6 +135,63 @@ module Breaker : sig
 
   val to_json : t -> Dise_telemetry.Json.t
   (** [{"state", "trips", "probes", "closes"}] for manifests. *)
+end
+
+(** Per-worker health state machine ([Healthy] / [Suspect] / [Dead])
+    for tier supervision (doc/serve-tier.md, "Supervision and
+    failover").
+
+    The coordinator sends a heartbeat ping to every worker each
+    [interval_s] and feeds the evidence in: {!ping_sent} when a ping
+    leaves (an unanswered predecessor becomes a miss and bumps
+    {!Counters.heartbeat_misses}), {!pong} when the worker answers
+    (clears the miss run and any forced suspicion). [suspect_misses]
+    consecutive misses make the worker [Suspect] — its in-flight
+    requests are hedged to the next worker on the ring —
+    [dead_misses] make it [Dead]. {!suspect} forces [Suspect] on
+    external gray-failure evidence (a request outliving the
+    configured multiple of the tier p95); {!force_dead} is terminal
+    (respawn cap exhausted, or the supervisor's verdict): [Dead] is
+    absorbing and triggers live failover. The clock is injectable so
+    transitions are testable without sleeping. *)
+module Health : sig
+  type t
+  type state = Healthy | Suspect | Dead
+
+  val state_name : state -> string
+  (** ["healthy"], ["suspect"], or ["dead"]. *)
+
+  val create :
+    ?now:(unit -> float) ->
+    interval_s:float ->
+    suspect_misses:int ->
+    dead_misses:int ->
+    unit ->
+    t
+  (** [suspect_misses] clamps to >= 1, [dead_misses] to >= 2,
+      [interval_s] to >= 1 ms. *)
+
+  val due : t -> bool
+  (** Is it time to send the next ping? Always [false] once Dead. *)
+
+  val ping_sent : t -> unit
+
+  val pong : t -> unit
+  (** An answered ping clears misses and any latency suspicion. A
+      pong arriving once Dead is ignored: death is terminal however
+      it was reached, so a late answer cannot resurrect a failed-over
+      worker. *)
+
+  val suspect : t -> reason:string -> unit
+  val force_dead : t -> reason:string -> unit
+
+  val misses : t -> int
+  (** Consecutive unanswered pings. *)
+
+  val state : t -> state
+
+  val reason : t -> string option
+  (** Why the worker is not Healthy ([None] when it is). *)
 end
 
 val with_retries :

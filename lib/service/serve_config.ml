@@ -13,6 +13,11 @@ type t = {
   metrics_every_s : float;
   breaker : int;
   breaker_cooldown_ms : int;
+  heartbeat_ms : int;
+  suspect_misses : int;
+  dead_misses : int;
+  hedge_p95x : float;
+  respawn_cap : int;
 }
 
 let default () =
@@ -29,6 +34,11 @@ let default () =
     metrics_every_s = 1.0;
     breaker = 8;
     breaker_cooldown_ms = 5000;
+    heartbeat_ms = 500;
+    suspect_misses = 3;
+    dead_misses = 20;
+    hedge_p95x = 8.0;
+    respawn_cap = 100;
   }
 
 (* Clamps mirror the historical Server.opts smart constructor: the
@@ -42,10 +52,17 @@ let normalize c =
     breaker = max 0 c.breaker;
     breaker_cooldown_ms = max 0 c.breaker_cooldown_ms;
     metrics_every_s = (if c.metrics_every_s < 0. then 0. else c.metrics_every_s);
+    heartbeat_ms = max 0 c.heartbeat_ms;
+    suspect_misses = max 1 c.suspect_misses;
+    dead_misses = max 2 c.dead_misses;
+    hedge_p95x = (if c.hedge_p95x < 0. then 0. else c.hedge_p95x);
+    respawn_cap = max 0 c.respawn_cap;
   }
 
 let of_flags ?workers ?jobs ?queue ?deadline_ms ?shed_above ?tenant_quota
-    ?journal ?manifest ?metrics_every_s ?breaker ?breaker_cooldown_ms () =
+    ?journal ?manifest ?metrics_every_s ?breaker ?breaker_cooldown_ms
+    ?heartbeat_ms ?suspect_misses ?dead_misses ?hedge_p95x ?respawn_cap () =
+  let d = default () in
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let queue = match queue with Some q -> max 1 q | None -> 4 * jobs in
   normalize
@@ -61,10 +78,16 @@ let of_flags ?workers ?jobs ?queue ?deadline_ms ?shed_above ?tenant_quota
       metrics_every_s = Option.value metrics_every_s ~default:1.0;
       breaker = Option.value breaker ~default:8;
       breaker_cooldown_ms = Option.value breaker_cooldown_ms ~default:5000;
+      heartbeat_ms = Option.value heartbeat_ms ~default:d.heartbeat_ms;
+      suspect_misses = Option.value suspect_misses ~default:d.suspect_misses;
+      dead_misses = Option.value dead_misses ~default:d.dead_misses;
+      hedge_p95x = Option.value hedge_p95x ~default:d.hedge_p95x;
+      respawn_cap = Option.value respawn_cap ~default:d.respawn_cap;
     }
 
 let override cfg ?workers ?jobs ?queue ?deadline_ms ?shed_above ?tenant_quota
-    ?journal ?manifest ?metrics_every_s ?breaker ?breaker_cooldown_ms () =
+    ?journal ?manifest ?metrics_every_s ?breaker ?breaker_cooldown_ms
+    ?heartbeat_ms ?suspect_misses ?dead_misses ?hedge_p95x ?respawn_cap () =
   let v keep = function Some x -> Some x | None -> keep in
   normalize
     {
@@ -85,6 +108,11 @@ let override cfg ?workers ?jobs ?queue ?deadline_ms ?shed_above ?tenant_quota
       breaker = Option.value breaker ~default:cfg.breaker;
       breaker_cooldown_ms =
         Option.value breaker_cooldown_ms ~default:cfg.breaker_cooldown_ms;
+      heartbeat_ms = Option.value heartbeat_ms ~default:cfg.heartbeat_ms;
+      suspect_misses = Option.value suspect_misses ~default:cfg.suspect_misses;
+      dead_misses = Option.value dead_misses ~default:cfg.dead_misses;
+      hedge_p95x = Option.value hedge_p95x ~default:cfg.hedge_p95x;
+      respawn_cap = Option.value respawn_cap ~default:cfg.respawn_cap;
     }
 
 (* Canonical form: fixed member order, [None] members omitted —
@@ -114,6 +142,11 @@ let to_json c =
         ("metrics_every_s", Json.Float c.metrics_every_s);
         ("breaker", Json.Int c.breaker);
         ("breaker_cooldown_ms", Json.Int c.breaker_cooldown_ms);
+        ("heartbeat_ms", Json.Int c.heartbeat_ms);
+        ("suspect_misses", Json.Int c.suspect_misses);
+        ("dead_misses", Json.Int c.dead_misses);
+        ("hedge_p95x", Json.Float c.hedge_p95x);
+        ("respawn_cap", Json.Int c.respawn_cap);
       ])
 
 let parse_error msg = Error (Diag.Parse { source = "serve_config"; line = 0; msg })
@@ -122,6 +155,8 @@ let known_members =
   [
     "workers"; "jobs"; "queue"; "deadline_ms"; "shed_above"; "tenant_quota";
     "journal"; "manifest"; "metrics_every_s"; "breaker"; "breaker_cooldown_ms";
+    "heartbeat_ms"; "suspect_misses"; "dead_misses"; "hedge_p95x";
+    "respawn_cap";
   ]
 
 let of_json j =
@@ -181,6 +216,11 @@ let of_json j =
       let* breaker_cooldown_ms =
         int_m "breaker_cooldown_ms" d.breaker_cooldown_ms
       in
+      let* heartbeat_ms = int_m "heartbeat_ms" d.heartbeat_ms in
+      let* suspect_misses = int_m "suspect_misses" d.suspect_misses in
+      let* dead_misses = int_m "dead_misses" d.dead_misses in
+      let* hedge_p95x = float_m "hedge_p95x" d.hedge_p95x in
+      let* respawn_cap = int_m "respawn_cap" d.respawn_cap in
       Ok
         (normalize
            {
@@ -195,6 +235,11 @@ let of_json j =
              metrics_every_s;
              breaker;
              breaker_cooldown_ms;
+             heartbeat_ms;
+             suspect_misses;
+             dead_misses;
+             hedge_p95x;
+             respawn_cap;
            })))
   | _ -> parse_error "serve config must be a JSON object"
 

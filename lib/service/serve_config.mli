@@ -39,6 +39,23 @@ type t = {
   breaker : int;
       (** result-cache breaker threshold; [0] disables (default 8) *)
   breaker_cooldown_ms : int;  (** breaker open-state cooldown (default 5000) *)
+  heartbeat_ms : int;
+      (** coordinator-to-worker heartbeat interval; [0] disables
+          supervision pings entirely (default 500) *)
+  suspect_misses : int;
+      (** consecutive missed heartbeats before a worker is [Suspect]
+          and its in-flight requests are hedged (default 3, >= 1) *)
+  dead_misses : int;
+      (** consecutive missed heartbeats before a worker is declared
+          [Dead] and failed over out of the ring (default 20, >= 2) *)
+  hedge_p95x : float;
+      (** gray-failure latency hedge: a request outliving
+          [hedge_p95x] times the tier's request p95 marks its worker
+          [Suspect]; [0] disables latency hedging (default 8.0) *)
+  respawn_cap : int;
+      (** respawns granted to one shard before its worker is declared
+          [Dead] and failed over (default 100; [0] = first crash is
+          terminal) *)
 }
 
 val default : unit -> t
@@ -57,6 +74,11 @@ val of_flags :
   ?metrics_every_s:float ->
   ?breaker:int ->
   ?breaker_cooldown_ms:int ->
+  ?heartbeat_ms:int ->
+  ?suspect_misses:int ->
+  ?dead_misses:int ->
+  ?hedge_p95x:float ->
+  ?respawn_cap:int ->
   unit ->
   t
 (** Build a config from optional flag values — the mechanical
@@ -77,6 +99,11 @@ val override :
   ?metrics_every_s:float ->
   ?breaker:int ->
   ?breaker_cooldown_ms:int ->
+  ?heartbeat_ms:int ->
+  ?suspect_misses:int ->
+  ?dead_misses:int ->
+  ?hedge_p95x:float ->
+  ?respawn_cap:int ->
   unit ->
   t
 (** [override cfg ...flags] replaces exactly the members a flag was

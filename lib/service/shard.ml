@@ -31,9 +31,26 @@ let ring ~workers ?(vnodes = default_vnodes) () =
 let workers t =
   Array.fold_left (fun acc (_, w) -> max acc (w + 1)) 0 t.points
 
+let alive t =
+  Array.fold_left (fun acc (_, w) -> if List.mem w acc then acc else w :: acc)
+    [] t.points
+  |> List.sort compare
+
+(* Shrink: drop every vnode the dead worker owned. Survivors' points
+   are untouched, so a key either kept its owner or its owner was the
+   removed worker — removal moves exactly the dead worker's keys,
+   each to whichever survivor owns the next point clockwise. *)
+let remove t dead =
+  let points = Array.of_list
+      (List.filter (fun (_, w) -> w <> dead) (Array.to_list t.points))
+  in
+  if Array.length points = 0 then
+    invalid_arg "Shard.remove: cannot remove the last worker";
+  { points }
+
 (* First point at or after the key's position, wrapping to the start
    of the ring: binary search for the leftmost point >= h. *)
-let route t key =
+let start_index t key =
   let h = position key in
   let n = Array.length t.points in
   let rec search lo hi =
@@ -43,4 +60,21 @@ let route t key =
       if fst t.points.(mid) < h then search (mid + 1) hi else search lo mid
   in
   let i = search 0 n in
-  snd t.points.(if i = n then 0 else i)
+  if i = n then 0 else i
+
+let route t key = snd t.points.(start_index t key)
+
+(* The hedge target: the first worker clockwise after the key's
+   position that is not [avoid] — the worker that would inherit the
+   key if [avoid] left the ring, so a hedged request and a failed-over
+   one land on the same shard. [None] on a ring of one worker. *)
+let next t key ~avoid =
+  let n = Array.length t.points in
+  let start = start_index t key in
+  let rec scan steps i =
+    if steps = n then None
+    else
+      let w = snd t.points.(i) in
+      if w <> avoid then Some w else scan (steps + 1) ((i + 1) mod n)
+  in
+  scan 0 start

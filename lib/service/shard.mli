@@ -21,6 +21,25 @@ val ring : workers:int -> ?vnodes:int -> unit -> t
 
 val workers : t -> int
 
+val alive : t -> int list
+(** The worker ids that still own points on the ring, ascending. A
+    fresh ring lists [0 .. workers-1]; {!remove} shrinks the list. *)
+
+val remove : t -> int -> t
+(** [remove t w] shrinks the ring: every vnode [w] owned disappears
+    and its keys pass to whichever survivor owns the next point
+    clockwise. Survivors' points are untouched, so removal moves
+    {e only} the dead worker's keys (the dual of the grow-only
+    movement property). Raises [Invalid_argument] when [w] is the
+    last worker on the ring. Removing a worker not on the ring is the
+    identity. *)
+
 val route : t -> string -> int
 (** [route t key] is the shard that owns [key]. Total and pure —
     every string routes somewhere, and equal keys route equally. *)
+
+val next : t -> string -> avoid:int -> int option
+(** [next t key ~avoid] is the hedge target for [key]: the first
+    worker clockwise after [key]'s position that is not [avoid] —
+    exactly the worker that inherits [key] if [avoid] is
+    {!remove}d. [None] when [avoid] is the only worker. *)

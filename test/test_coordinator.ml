@@ -293,7 +293,7 @@ let test_tenant_quota_order () =
 
 (* Run [lines] through a real worker tier and return
    (summary, responses, manifest records). *)
-let serve_sharded ?on_spawn ?journal ~workers lines =
+let serve_sharded ?on_spawn ?journal ?chaos ?heartbeat_ms ~workers lines =
   with_temp_dir (fun dir ->
       let inp = Filename.concat dir "in.jsonl" in
       let outp = Filename.concat dir "out.jsonl" in
@@ -307,7 +307,8 @@ let serve_sharded ?on_spawn ?journal ~workers lines =
       let mbuf = Buffer.create 4096 in
       let manifest = Manifest.to_buffer mbuf in
       let cfg =
-        Serve_config.of_flags ~workers ~jobs:1 ~queue:16 ?journal ()
+        Serve_config.of_flags ~workers ~jobs:1 ~queue:16 ?journal
+          ?heartbeat_ms ()
       in
       let ic = open_in inp in
       let oc = open_out outp in
@@ -317,7 +318,7 @@ let serve_sharded ?on_spawn ?journal ~workers lines =
             close_in_noerr ic;
             close_out_noerr oc)
           (fun () ->
-            Coordinator.run_channel ?on_spawn ~manifest
+            Coordinator.run_channel ?on_spawn ?chaos ~manifest
               ~cache_dir:(Filename.concat dir "cache")
               cfg ic oc)
       in
@@ -643,6 +644,205 @@ let test_coordinator_journal_reshard_replay () =
           (List.assoc_opt "journal_replayed" counters = Some (Json.Int 6))
       | _ -> Alcotest.fail "merged record lacks counters")
 
+(* --- ring shrink: the failover movement property -------------------------- *)
+
+let test_shard_shrink () =
+  let keys = List.init 1000 (fun i -> Printf.sprintf "shrink-key-%d" i) in
+  let ring = Shard.ring ~workers:4 () in
+  check bool_ "fresh ring lists every worker" true
+    (Shard.alive ring = [ 0; 1; 2; 3 ]);
+  let dead = 2 in
+  let shrunk = Shard.remove ring dead in
+  check bool_ "survivors only" true (Shard.alive shrunk = [ 0; 1; 3 ]);
+  let moved = ref 0 in
+  List.iter
+    (fun k ->
+      let before = Shard.route ring k in
+      let after = Shard.route shrunk k in
+      if before = dead then begin
+        incr moved;
+        check bool_ (k ^ " moves off the dead worker") true (after <> dead);
+        (* ...and lands exactly where [next ~avoid] predicted: the
+           hedge target IS the failover inheritor *)
+        check bool_ (k ^ " inherited by the hedge target") true
+          (Shard.next ring k ~avoid:dead = Some after)
+      end
+      else
+        check int_ (k ^ " stays put when its owner survives") before after)
+    keys;
+  check bool_
+    (Printf.sprintf "only the dead worker's slice moved (%d/1000)" !moved)
+    true
+    (!moved > 0 && !moved < 500);
+  (* removing an absent worker is the identity *)
+  let again = Shard.remove shrunk dead in
+  List.iter
+    (fun k ->
+      check int_ (k ^ " unchanged by removing an absent worker")
+        (Shard.route shrunk k) (Shard.route again k))
+    keys;
+  (* the ring refuses to become empty *)
+  let one = Shard.remove (Shard.remove shrunk 0) 1 in
+  check bool_ "one survivor owns everything" true
+    (List.for_all (fun k -> Shard.route one k = 3) keys);
+  check bool_ "no hedge target on a ring of one" true
+    (Shard.next one "anything" ~avoid:3 = None);
+  match Shard.remove one 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "removing the last worker must raise"
+
+(* --- gray failure: hedged requests are deduplicated ----------------------- *)
+
+(* Both workers are forced Suspect every tick while one job is stalled
+   by a chaos directive, so the supervision pass hedges the stalled
+   request onto the sibling — and both legs eventually answer. The
+   client contract: every job exactly one response, in order, both
+   envelope dialects. *)
+let test_hedge_dedup () =
+  with_chaos "sleep=3:1200" (fun () ->
+      let hedges0 = Resilience.Counters.get Resilience.Counters.hedges in
+      let chaos ~requests:_ =
+        [
+          Coordinator.Chaos_suspect { shard = 0 };
+          Coordinator.Chaos_suspect { shard = 1 };
+        ]
+      in
+      let lines =
+        [
+          job ~dyn:25_001 1;
+          job ~v:1 ~dyn:25_002 2;
+          job ~dyn:25_003 3;
+          (* the stalled one *)
+          job ~v:1 ~dyn:25_004 4;
+          job ~dyn:25_005 5;
+        ]
+      in
+      let summary, rs, records =
+        serve_sharded ~workers:2 ~heartbeat_ms:100 ~chaos lines
+      in
+      check int_ "five jobs served" 5 summary.Server.served;
+      check int_ "no errors" 0 summary.Server.errors;
+      check int_ "exactly one response per job" 5 (List.length rs);
+      List.iteri
+        (fun i r ->
+          check bool_
+            (Printf.sprintf "response %d ok, in order, v1" (i + 1))
+            true
+            (member "id" r = Json.Int (i + 1)
+            && member "ok" r = Json.Bool true
+            && Json.member "v" r = Some (Json.Int 1)))
+        rs;
+      let hedged = Resilience.Counters.get Resilience.Counters.hedges in
+      check bool_
+        (Printf.sprintf "the stalled request was hedged (%d)"
+           (hedged - hedges0))
+        true
+        (hedged - hedges0 >= 1);
+      assert_valid
+        ~schema:(load_schema "serve_summary.schema.json")
+        (merged_record records))
+
+(* --- live failover: a permanent kill leaves a degraded tier --------------- *)
+
+let test_failover_degraded () =
+  with_temp_dir (fun jdir ->
+      let failovers0 = Resilience.Counters.get Resilience.Counters.failovers in
+      let killed = ref None in
+      let m = Mutex.create () in
+      (* kill shard 1 for good once the stream is flowing *)
+      let chaos ~requests =
+        Mutex.lock m;
+        let acts =
+          if requests >= 3 && !killed = None then begin
+            killed := Some 1;
+            [ Coordinator.Chaos_kill { shard = 1; permanent = true } ]
+          end
+          else []
+        in
+        Mutex.unlock m;
+        acts
+      in
+      let lines = List.init 10 (fun i -> job ~dyn:(25_101 + i) (i + 1)) in
+      let summary, rs, records =
+        serve_sharded ~workers:3 ~heartbeat_ms:100 ~chaos
+          ~journal:(Filename.concat jdir "journal")
+          lines
+      in
+      check int_ "all jobs served degraded" 10 summary.Server.served;
+      check int_ "no client-visible errors" 0 summary.Server.errors;
+      List.iteri
+        (fun i r ->
+          check bool_
+            (Printf.sprintf "response %d ok and in order" (i + 1))
+            true
+            (member "id" r = Json.Int (i + 1)
+            && member "ok" r = Json.Bool true))
+        rs;
+      check bool_ "a failover was recorded" true
+        (Resilience.Counters.get Resilience.Counters.failovers - failovers0
+        >= 1);
+      let record = merged_record records in
+      assert_valid ~schema:(load_schema "serve_summary.schema.json") record;
+      match Json.member "topology" record with
+      | Some topo ->
+        check bool_ "tier reports degraded" true
+          (member "degraded" topo = Json.Bool true);
+        check bool_ "shard 1 listed dead" true
+          (match member "dead" topo with
+          | Json.List l -> List.mem (Json.Int 1) l
+          | _ -> false);
+        check bool_ "shard 1 off the alive list" true
+          (match member "alive" topo with
+          | Json.List l -> not (List.mem (Json.Int 1) l)
+          | _ -> false)
+      | None -> Alcotest.fail "merged record lacks a topology member")
+
+(* --- torn frames: discarded and resubmitted, never parsed ----------------- *)
+
+let test_torn_frame_resubmit () =
+  let torn0 = Resilience.Counters.get Resilience.Counters.torn_frames in
+  let tore = ref false in
+  let m = Mutex.create () in
+  let chaos ~requests =
+    Mutex.lock m;
+    let acts =
+      if requests >= 2 && not !tore then begin
+        tore := true;
+        (* cut = 2: the worker dies two bytes into a frame header *)
+        [ Coordinator.Chaos_torn { shard = 0; cut = 2 } ]
+      end
+      else []
+    in
+    Mutex.unlock m;
+    acts
+  in
+  let lines = List.init 6 (fun i -> job ~dyn:(25_201 + i) (i + 1)) in
+  let summary, rs, _ = serve_sharded ~workers:2 ~chaos lines in
+  check int_ "all jobs served across the tear" 6 summary.Server.served;
+  check int_ "no errors from the torn stream" 0 summary.Server.errors;
+  List.iteri
+    (fun i r ->
+      check bool_
+        (Printf.sprintf "response %d ok and in order" (i + 1))
+        true
+        (member "id" r = Json.Int (i + 1) && member "ok" r = Json.Bool true))
+    rs;
+  check bool_ "the tear was counted" true
+    (Resilience.Counters.get Resilience.Counters.torn_frames - torn0 >= 1)
+
+(* --- scheduled chaos: exactly-once under kill+stall+torn, twice ----------- *)
+
+(* The full deterministic chaos matrix lives in lib/fuzz (and runs as
+   [disesim fuzz --chaos] in CI); this drives it from the tier-1 suite
+   so a regression in exactly-once delivery or replay determinism
+   fails the default test run. *)
+let test_scheduled_chaos () =
+  let report = Dise_fuzz.Faults.chaos_faults ~seed:5 in
+  check bool_
+    (Format.asprintf "%a" Dise_fuzz.Faults.pp_report report)
+    true
+    (report.Dise_fuzz.Faults.failures = [])
+
 let suite =
   [
     Alcotest.test_case "serve_config round-trip" `Quick
@@ -664,4 +864,13 @@ let suite =
       test_write_all_nonblocking_pipe;
     Alcotest.test_case "quota released on connection failure" `Quick
       test_quota_released_on_conn_failure;
+    Alcotest.test_case "ring shrink moves only the dead shard" `Quick
+      test_shard_shrink;
+    Alcotest.test_case "hedged requests deduplicated" `Quick test_hedge_dedup;
+    Alcotest.test_case "live failover serves degraded" `Quick
+      test_failover_degraded;
+    Alcotest.test_case "torn frame discarded and resubmitted" `Quick
+      test_torn_frame_resubmit;
+    Alcotest.test_case "scheduled chaos exactly-once" `Quick
+      test_scheduled_chaos;
   ]

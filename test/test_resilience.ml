@@ -529,9 +529,72 @@ let test_socket_supervision () =
 
 (* --- counters ------------------------------------------------------------ *)
 
+(* --- heartbeat health state machine -------------------------------------- *)
+
+(* Driven entirely by an injected clock: no sleeps, no real time. *)
+let test_health_states () =
+  let open Resilience.Health in
+  let t = ref 0.0 in
+  let h =
+    create ~now:(fun () -> !t) ~interval_s:1.0 ~suspect_misses:2
+      ~dead_misses:4 ()
+  in
+  check string_ "fresh worker healthy" "healthy" (state_name (state h));
+  check bool_ "no reason while healthy" true (reason h = None);
+  check bool_ "first ping due immediately" true (due h);
+  ping_sent h;
+  check bool_ "not due inside the interval" false (due h);
+  t := 0.5;
+  pong h;
+  check int_ "answered ping clears misses" 0 (misses h);
+  t := 1.6;
+  check bool_ "due again after the interval" true (due h);
+  (* unanswered pings: each due+ping_sent with the previous ping
+     still outstanding counts a miss *)
+  ping_sent h;
+  t := 2.7;
+  ping_sent h;
+  check int_ "one miss" 1 (misses h);
+  check string_ "one miss still healthy" "healthy" (state_name (state h));
+  t := 3.8;
+  ping_sent h;
+  check int_ "two misses" 2 (misses h);
+  check string_ "suspect_misses reached" "suspect" (state_name (state h));
+  check bool_ "suspicion carries a reason" true (reason h <> None);
+  (* a pong heals suspicion *)
+  pong h;
+  check string_ "pong heals suspect" "healthy" (state_name (state h));
+  check bool_ "healed worker has no reason" true (reason h = None);
+  (* explicit suspicion (latency) also heals *)
+  suspect h ~reason:"slow";
+  check string_ "latency suspicion" "suspect" (state_name (state h));
+  check bool_ "latency reason kept" true (reason h = Some "slow");
+  pong h;
+  check string_ "pong heals latency suspicion" "healthy"
+    (state_name (state h));
+  (* ride the misses all the way to dead *)
+  t := 10.0;
+  for _ = 1 to 5 do
+    if due h then ping_sent h;
+    t := !t +. 1.1
+  done;
+  check string_ "dead_misses reached" "dead" (state_name (state h));
+  check bool_ "dead is sticky: no more pings" false (due h);
+  pong h;
+  check string_ "dead ignores a late pong" "dead" (state_name (state h));
+  (* force_dead is immediate regardless of history *)
+  let h2 =
+    create ~now:(fun () -> 0.0) ~interval_s:1.0 ~suspect_misses:2
+      ~dead_misses:4 ()
+  in
+  force_dead h2 ~reason:"respawn cap";
+  check string_ "force_dead immediate" "dead" (state_name (state h2));
+  check bool_ "force_dead keeps its reason" true
+    (reason h2 = Some "respawn cap")
+
 let test_counters () =
   let snap = Resilience.Counters.snapshot () in
-  check int_ "thirteen counters registered" 13 (List.length snap);
+  check int_ "eighteen counters registered" 18 (List.length snap);
   List.iter
     (fun name ->
       check bool_ (name ^ " present") true (List.mem_assoc name snap))
@@ -539,6 +602,7 @@ let test_counters () =
       "isolated"; "timeouts"; "shed"; "retries"; "store_drops";
       "breaker_trips"; "breaker_probes"; "breaker_closes"; "conn_failures";
       "journal_replayed"; "jit_compiles"; "jit_hits"; "jit_invalidations";
+      "hedges"; "hedge_wins"; "heartbeat_misses"; "failovers"; "torn_frames";
     ];
   let before = Resilience.Counters.get Resilience.Counters.shed in
   Resilience.Counters.incr Resilience.Counters.shed;
@@ -565,5 +629,6 @@ let suite =
     Alcotest.test_case "serve manifest record" `Quick
       test_serve_manifest_record;
     Alcotest.test_case "socket supervision" `Quick test_socket_supervision;
+    Alcotest.test_case "heartbeat health states" `Quick test_health_states;
     Alcotest.test_case "resilience counters" `Quick test_counters;
   ]
